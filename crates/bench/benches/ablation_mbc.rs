@@ -1,0 +1,39 @@
+//! Ablation: Memory Bypass Cache size sweep (16–512 entries), printed over
+//! the representatives and timed on the MBC-heavy `untst`.
+
+use contopt_bench::{representatives, timed_speedup};
+use contopt::OptimizerConfig;
+use contopt_pipeline::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SIZES: [usize; 6] = [16, 32, 64, 128, 256, 512];
+
+fn cfg(entries: usize) -> MachineConfig {
+    MachineConfig::default_paper().with_optimizer(OptimizerConfig {
+        mbc_entries: entries,
+        ..OptimizerConfig::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    println!("Ablation: speedup over baseline vs. MBC size");
+    for w in representatives() {
+        print!("{:8}", w.name);
+        for n in SIZES {
+            print!("  {n}={:.3}", timed_speedup(&w, cfg(n)));
+        }
+        println!();
+    }
+    let mut g = c.benchmark_group("ablation_mbc");
+    g.sample_size(10);
+    let w = contopt_workloads::build("untst").unwrap();
+    for n in [16, 128, 512] {
+        g.bench_function(format!("entries{n}"), |b| {
+            b.iter(|| timed_speedup(&w, cfg(n)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: each dataflow optimization disabled in turn (RLE/SF off,
+//! reassociation off, branch inference off, feedback off), printed as a
+//! speedup table over the representatives and timed.
+
+use contopt_bench::{representatives, timed_speedup};
+use contopt::OptimizerConfig;
+use contopt_pipeline::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn variants() -> Vec<(&'static str, OptimizerConfig)> {
+    let d = OptimizerConfig::default();
+    vec![
+        ("full", d),
+        ("no_rle_sf", OptimizerConfig { enable_rle_sf: false, ..d }),
+        ("no_reassoc", OptimizerConfig { enable_reassociation: false, ..d }),
+        ("no_brinfer", OptimizerConfig { enable_branch_inference: false, ..d }),
+        ("no_feedback", OptimizerConfig { value_feedback: false, ..d }),
+        ("flush_mbc_on_unknown_store", OptimizerConfig { flush_mbc_on_unknown_store: true, ..d }),
+        ("discrete_256", OptimizerConfig::discrete(256)),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    println!("Ablation: speedup over baseline with each optimization disabled");
+    for w in representatives() {
+        print!("{:8}", w.name);
+        for (name, cfg) in variants() {
+            let s = timed_speedup(&w, MachineConfig::default_paper().with_optimizer(cfg));
+            print!("  {name}={s:.3}");
+        }
+        println!();
+    }
+    let mut g = c.benchmark_group("ablation_opts");
+    g.sample_size(10);
+    for (name, cfg) in variants() {
+        let w = contopt_workloads::build("untst").unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| timed_speedup(&w, MachineConfig::default_paper().with_optimizer(cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

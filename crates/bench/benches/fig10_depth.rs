@@ -1,0 +1,32 @@
+//! Regenerates Figure 10 (intra-bundle dependence-depth sensitivity:
+//! depth 0 / 1 / 3 / 3 & 1 mem) and times the depth-3 configuration.
+
+use contopt_bench::{representatives, timed_speedup, PRINT_INSTS};
+use contopt_experiments::{fig10, Lab};
+use contopt::OptimizerConfig;
+use contopt_pipeline::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = Lab::new(PRINT_INSTS);
+    println!("{}", fig10(&mut lab));
+    let mut g = c.benchmark_group("fig10_depth");
+    g.sample_size(10);
+    for w in representatives() {
+        g.bench_function(format!("depth3/{}", w.name), |b| {
+            b.iter(|| {
+                timed_speedup(
+                    &w,
+                    MachineConfig::default_paper().with_optimizer(OptimizerConfig {
+                        add_chain_depth: 3,
+                        ..OptimizerConfig::default()
+                    }),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

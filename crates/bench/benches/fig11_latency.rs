@@ -1,0 +1,32 @@
+//! Regenerates Figure 11 (optimizer pipeline-latency sensitivity:
+//! 0 / 2 / 4 extra stages) and times the 4-stage configuration.
+
+use contopt_bench::{representatives, timed_speedup, PRINT_INSTS};
+use contopt_experiments::{fig11, Lab};
+use contopt::OptimizerConfig;
+use contopt_pipeline::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = Lab::new(PRINT_INSTS);
+    println!("{}", fig11(&mut lab));
+    let mut g = c.benchmark_group("fig11_latency");
+    g.sample_size(10);
+    for w in representatives() {
+        g.bench_function(format!("stages4/{}", w.name), |b| {
+            b.iter(|| {
+                timed_speedup(
+                    &w,
+                    MachineConfig::default_paper().with_optimizer(OptimizerConfig {
+                        extra_stages: 4,
+                        ..OptimizerConfig::default()
+                    }),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

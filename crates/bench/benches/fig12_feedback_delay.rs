@@ -1,0 +1,32 @@
+//! Regenerates Figure 12 (value-feedback transmission-delay sensitivity:
+//! 0 / 1 / 5 / 10 cycles) and times the 10-cycle configuration.
+
+use contopt_bench::{representatives, timed_speedup, PRINT_INSTS};
+use contopt_experiments::{fig12, Lab};
+use contopt::OptimizerConfig;
+use contopt_pipeline::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = Lab::new(PRINT_INSTS);
+    println!("{}", fig12(&mut lab));
+    let mut g = c.benchmark_group("fig12_feedback_delay");
+    g.sample_size(10);
+    for w in representatives() {
+        g.bench_function(format!("delay10/{}", w.name), |b| {
+            b.iter(|| {
+                timed_speedup(
+                    &w,
+                    MachineConfig::default_paper().with_optimizer(OptimizerConfig {
+                        feedback_delay: 10,
+                        ..OptimizerConfig::default()
+                    }),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates Figure 6 (per-benchmark speedup of continuous optimization
+//! over the baseline) and times the baseline/optimized pair on one
+//! representative benchmark per suite.
+
+use contopt_bench::{representatives, timed_speedup, PRINT_INSTS};
+use contopt_experiments::{fig6, Lab};
+use contopt_pipeline::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = Lab::new(PRINT_INSTS);
+    println!("{}", fig6(&mut lab));
+    let mut g = c.benchmark_group("fig6_speedup");
+    g.sample_size(10);
+    for w in representatives() {
+        g.bench_function(w.name, |b| {
+            b.iter(|| timed_speedup(&w, MachineConfig::default_with_optimizer()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

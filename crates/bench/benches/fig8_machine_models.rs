@@ -1,0 +1,30 @@
+//! Regenerates Figure 8 (fetch-bound and execution-bound machine models
+//! with and without continuous optimization) and times the exec-bound
+//! configuration, where the paper reports the optimizer's largest effect.
+
+use contopt_bench::{representatives, timed_speedup, PRINT_INSTS};
+use contopt_experiments::{fig8, Lab};
+use contopt::OptimizerConfig;
+use contopt_pipeline::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = Lab::new(PRINT_INSTS);
+    println!("{}", fig8(&mut lab));
+    let mut g = c.benchmark_group("fig8_machine_models");
+    g.sample_size(10);
+    for w in representatives() {
+        g.bench_function(format!("exec_bound_opt/{}", w.name), |b| {
+            b.iter(|| {
+                timed_speedup(
+                    &w,
+                    MachineConfig::exec_bound().with_optimizer(OptimizerConfig::default()),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates Figure 9 (value feedback alone vs. feedback plus
+//! optimization) and times the feedback-only configuration.
+
+use contopt_bench::{representatives, timed_speedup, PRINT_INSTS};
+use contopt_experiments::{fig9, Lab};
+use contopt::OptimizerConfig;
+use contopt_pipeline::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = Lab::new(PRINT_INSTS);
+    println!("{}", fig9(&mut lab));
+    let mut g = c.benchmark_group("fig9_feedback");
+    g.sample_size(10);
+    for w in representatives() {
+        g.bench_function(format!("feedback_only/{}", w.name), |b| {
+            b.iter(|| {
+                timed_speedup(
+                    &w,
+                    MachineConfig::default_paper().with_optimizer(OptimizerConfig::feedback_only()),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Microbenchmarks of the substrate components: symbolic-value folding,
+//! cache accesses, gshare prediction, functional emulation, and
+//! rename-stage optimization throughput.
+
+use contopt::{sym_add_imm, Optimizer, OptimizerConfig, RenameReq, SymValue};
+use contopt_bpred::{Predictor, PredictorConfig};
+use contopt_emu::{Emulator, Step};
+use contopt_mem::{Cache, CacheConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("symval/fold_chain", |b| {
+        let base = SymValue::reg(contopt::PhysReg::from_index(5));
+        b.iter(|| {
+            let mut s = base;
+            for k in 0..64i64 {
+                s = sym_add_imm(black_box(s), k).value;
+            }
+            s
+        })
+    });
+
+    c.bench_function("cache/l1d_hit_stream", |b| {
+        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 2, 32));
+        for a in 0..1024u64 {
+            cache.access(a * 32, false);
+        }
+        b.iter(|| {
+            let mut hits = 0u64;
+            for a in 0..1024u64 {
+                hits += cache.access(black_box(a * 32), false) as u64;
+            }
+            hits
+        })
+    });
+
+    c.bench_function("bpred/gshare_loop", |b| {
+        let mut p = Predictor::new(PredictorConfig::default());
+        b.iter(|| {
+            let mut correct = 0u64;
+            for i in 0..1024u64 {
+                correct += p.update_cond(0x1000 + (i % 16) * 4, i % 7 != 0, 0x2000) as u64;
+            }
+            correct
+        })
+    });
+
+    c.bench_function("emu/interpret_loop", |b| {
+        let w = contopt_workloads::build("twf").unwrap();
+        b.iter(|| {
+            let mut emu = Emulator::new(w.program.clone());
+            emu.run_to_halt(10_000).ok();
+            emu.inst_count()
+        })
+    });
+
+    c.bench_function("optimizer/rename_stream", |b| {
+        let w = contopt_workloads::build("mcf").unwrap();
+        let mut emu = Emulator::new(w.program.clone());
+        let mut stream = Vec::new();
+        while stream.len() < 4096 {
+            match emu.step().unwrap() {
+                Step::Inst(d) => stream.push(d),
+                Step::Halted => break,
+            }
+        }
+        b.iter(|| {
+            let mut opt = Optimizer::new(OptimizerConfig::default(), 65536, |_| 0);
+            let mut cycle = 0;
+            for chunk in stream.chunks(4) {
+                let reqs: Vec<RenameReq> = chunk
+                    .iter()
+                    .map(|&d| RenameReq { d, mispredicted: false })
+                    .collect();
+                black_box(opt.rename_bundle(cycle, &reqs));
+                cycle += 1;
+            }
+            opt.stats().executed_early
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates Table 3 (effects of continuous optimization: early
+//! execution, recovered mispredicts, early address generation, removed
+//! loads) and times the optimizer-statistics collection path.
+
+use contopt_bench::{representatives, timed_run, PRINT_INSTS};
+use contopt_experiments::{table3, Lab};
+use contopt_pipeline::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = Lab::new(PRINT_INSTS);
+    println!("{}", table3(&mut lab));
+    let mut g = c.benchmark_group("table3_effects");
+    g.sample_size(10);
+    for w in representatives() {
+        g.bench_function(w.name, |b| {
+            b.iter(|| {
+                let r = timed_run(&w, MachineConfig::default_with_optimizer());
+                (
+                    r.optimizer.pct_executed_early(),
+                    r.optimizer.pct_loads_removed(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

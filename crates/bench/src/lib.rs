@@ -1,0 +1,66 @@
+//! # contopt-bench — benchmark-harness helpers
+//!
+//! Shared plumbing for the Criterion benches that regenerate each of the
+//! paper's tables and figures. Every bench first prints the full artifact
+//! once (at a reduced instruction budget, outside the measured region),
+//! then times representative per-suite simulations so `cargo bench` both
+//! *reproduces* and *measures*.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use contopt_pipeline::{simulate, MachineConfig, RunReport};
+use contopt_workloads::Workload;
+
+/// Instruction budget used when printing a full figure inside a bench.
+pub const PRINT_INSTS: u64 = 150_000;
+
+/// Instruction budget for each timed simulation inside a bench iteration.
+pub const TIMED_INSTS: u64 = 30_000;
+
+/// One representative benchmark per suite (SPECint, SPECfp, mediabench).
+pub const REPRESENTATIVES: [&str; 3] = ["mcf", "mgd", "untst"];
+
+/// Builds the representative workloads.
+pub fn representatives() -> Vec<Workload> {
+    REPRESENTATIVES
+        .iter()
+        .map(|n| contopt_workloads::build(n).expect("representative exists"))
+        .collect()
+}
+
+/// Runs one baseline/optimized pair at the timed budget and returns the
+/// speedup (the quantity every figure plots).
+pub fn timed_speedup(w: &Workload, opt_cfg: MachineConfig) -> f64 {
+    let base = simulate(MachineConfig::default_paper(), w.program.clone(), TIMED_INSTS);
+    let opt = simulate(opt_cfg, w.program.clone(), TIMED_INSTS);
+    opt.speedup_over(&base)
+}
+
+/// Runs a single configuration at the timed budget.
+pub fn timed_run(w: &Workload, cfg: MachineConfig) -> RunReport {
+    simulate(cfg, w.program.clone(), TIMED_INSTS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representatives_cover_all_suites() {
+        use contopt_workloads::Suite;
+        let reps = representatives();
+        assert_eq!(reps.len(), 3);
+        let suites: Vec<Suite> = reps.iter().map(|w| w.suite).collect();
+        assert!(suites.contains(&Suite::SpecInt));
+        assert!(suites.contains(&Suite::SpecFp));
+        assert!(suites.contains(&Suite::MediaBench));
+    }
+
+    #[test]
+    fn timed_speedup_is_finite() {
+        let w = contopt_workloads::build("twf").unwrap();
+        let s = timed_speedup(&w, MachineConfig::default_with_optimizer());
+        assert!(s.is_finite() && s > 0.5 && s < 3.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Optimizer configuration knobs.
+
+/// Configuration of the continuous optimizer.
+///
+/// Defaults reproduce the paper's default optimizer (Table 2 plus §4.2):
+/// two extra rename pipeline stages, a 128-entry Memory Bypass Cache,
+/// one-cycle value-feedback transmission delay, and at most a single level
+/// of addition per rename bundle (no chained dependent additions, no
+/// chained memory operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    /// Master switch: when `false` the unit degrades to a plain register
+    /// renamer (the baseline machine).
+    pub enabled: bool,
+    /// Perform the CP/RA and RLE/SF dataflow optimizations. Turning this off
+    /// while leaving [`value_feedback`](Self::value_feedback) on yields the
+    /// "feedback alone" configuration of Figure 9.
+    pub optimize: bool,
+    /// Integrate execution results back into the optimization tables.
+    pub value_feedback: bool,
+    /// Transmission delay, in cycles, from execution to the tables
+    /// (Figure 12 sweeps 0/1/5/10; default 1).
+    pub feedback_delay: u64,
+    /// Extra pipeline stages the optimizer adds to rename
+    /// (Figure 11 sweeps 0/2/4; default 2).
+    pub extra_stages: u64,
+    /// Chained dependent *additions* permitted within one rename bundle
+    /// (Figure 10: 0 = default, 1, 3). Each instruction may always use one
+    /// addition of its own; this bounds serial chains beyond that.
+    pub add_chain_depth: u32,
+    /// Chained dependent *memory* operations permitted within one rename
+    /// bundle (Figure 10's "& 1 mem" variant; default 0).
+    pub mem_chain_depth: u32,
+    /// Memory Bypass Cache entries (default 128).
+    pub mbc_entries: usize,
+    /// Flush the MBC when a store with an unknown address passes through
+    /// (the conservative alternative of §3.2; default `false` = proceed
+    /// speculatively, verifying forwards against the oracle).
+    pub flush_mbc_on_unknown_store: bool,
+    /// Enable redundant load elimination + store forwarding (ablation).
+    pub enable_rle_sf: bool,
+    /// Enable reassociation (ablation; with this off, only fully-known
+    /// constant propagation happens).
+    pub enable_reassociation: bool,
+    /// Enable branch-direction value inference (`beq` taken ⇒ reg = 0).
+    pub enable_branch_inference: bool,
+    /// Discrete (offline-style) optimization per §3.4: when non-zero, the
+    /// optimization tables are invalidated every `discrete_interval`
+    /// instructions, modeling trace-at-a-time frameworks such as rePLay or
+    /// PARROT where "optimization table entries would be invalidated at the
+    /// start of each trace". Zero (the default) is continuous optimization.
+    pub discrete_interval: u64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> OptimizerConfig {
+        OptimizerConfig {
+            enabled: true,
+            optimize: true,
+            value_feedback: true,
+            feedback_delay: 1,
+            extra_stages: 2,
+            add_chain_depth: 0,
+            mem_chain_depth: 0,
+            mbc_entries: 128,
+            flush_mbc_on_unknown_store: false,
+            enable_rle_sf: true,
+            enable_reassociation: true,
+            enable_branch_inference: true,
+            discrete_interval: 0,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// The baseline machine: a plain renamer with no optimizer and no extra
+    /// pipeline stages.
+    pub fn baseline() -> OptimizerConfig {
+        OptimizerConfig {
+            enabled: false,
+            optimize: false,
+            value_feedback: false,
+            extra_stages: 0,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    /// Discrete (offline-style) optimization with the given trace length,
+    /// per §3.4: tables are invalidated at every trace boundary.
+    pub fn discrete(trace_len: u64) -> OptimizerConfig {
+        OptimizerConfig {
+            discrete_interval: trace_len,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    /// The "feedback alone" configuration of Figure 9: value feedback is
+    /// integrated but no symbolic dataflow optimization is performed.
+    pub fn feedback_only() -> OptimizerConfig {
+        OptimizerConfig {
+            optimize: false,
+            enable_rle_sf: false,
+            enable_reassociation: false,
+            enable_branch_inference: false,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    /// Maximum *serial* rename-stage additions permitted for one
+    /// instruction's derivation (its own plus the chained allowance).
+    pub(crate) fn max_serial_adds(&self) -> u32 {
+        self.add_chain_depth + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = OptimizerConfig::default();
+        assert!(c.enabled && c.optimize && c.value_feedback);
+        assert_eq!(c.feedback_delay, 1);
+        assert_eq!(c.extra_stages, 2);
+        assert_eq!(c.add_chain_depth, 0);
+        assert_eq!(c.mem_chain_depth, 0);
+        assert_eq!(c.mbc_entries, 128);
+        assert!(!c.flush_mbc_on_unknown_store);
+    }
+
+    #[test]
+    fn baseline_is_inert() {
+        let c = OptimizerConfig::baseline();
+        assert!(!c.enabled);
+        assert_eq!(c.extra_stages, 0);
+    }
+
+    #[test]
+    fn feedback_only_disables_transforms() {
+        let c = OptimizerConfig::feedback_only();
+        assert!(c.enabled && c.value_feedback && !c.optimize);
+        assert!(!c.enable_rle_sf && !c.enable_reassociation);
+        assert_eq!(c.extra_stages, 2, "still pays the pipeline cost");
+    }
+
+    #[test]
+    fn discrete_mode_sets_interval() {
+        assert_eq!(OptimizerConfig::default().discrete_interval, 0);
+        assert_eq!(OptimizerConfig::discrete(256).discrete_interval, 256);
+    }
+
+    #[test]
+    fn serial_add_budget() {
+        let mut c = OptimizerConfig::default();
+        assert_eq!(c.max_serial_adds(), 1);
+        c.add_chain_depth = 3;
+        assert_eq!(c.max_serial_adds(), 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! The value-feedback path from execution back to the optimization tables.
+//!
+//! Results computed by the execution units travel back to the rename stage
+//! over a transmission path with a configurable delay (§2.2, §3.3, §6.4).
+//! This module models that path as a time-stamped queue; the optimizer
+//! drains entries whose arrival cycle has passed and CAM-updates the RAT
+//! and MBC.
+
+use crate::preg::PhysReg;
+use std::collections::VecDeque;
+
+/// A pending feedback message: `(arrives_at, register, value)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Feedback {
+    /// Cycle at which the value reaches the optimization tables.
+    pub arrives_at: u64,
+    /// The physical register that produced the value.
+    pub preg: PhysReg,
+    /// The produced value.
+    pub value: u64,
+}
+
+/// FIFO of in-flight feedback messages.
+///
+/// Completion events are pushed in non-decreasing cycle order (the pipeline
+/// advances monotonically and the transmission delay is constant), so a
+/// simple deque suffices.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackQueue {
+    q: VecDeque<Feedback>,
+}
+
+impl FeedbackQueue {
+    /// Creates an empty queue.
+    pub fn new() -> FeedbackQueue {
+        FeedbackQueue::default()
+    }
+
+    /// Enqueues a value produced at `completed_at` with transmission delay
+    /// `delay`.
+    pub fn push(&mut self, preg: PhysReg, value: u64, completed_at: u64, delay: u64) {
+        let arrives_at = completed_at + delay;
+        debug_assert!(
+            self.q.back().is_none_or(|b| b.arrives_at <= arrives_at),
+            "feedback must be pushed in arrival order"
+        );
+        self.q.push_back(Feedback {
+            arrives_at,
+            preg,
+            value,
+        });
+    }
+
+    /// Pops every message that has arrived by `now`.
+    pub fn drain_ready(&mut self, now: u64) -> impl Iterator<Item = Feedback> + '_ {
+        let mut n = 0;
+        while n < self.q.len() && self.q[n].arrives_at <= now {
+            n += 1;
+        }
+        self.q.drain(..n)
+    }
+
+    /// Messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.q.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> PhysReg {
+        PhysReg::from_index(i)
+    }
+
+    #[test]
+    fn respects_transmission_delay() {
+        let mut q = FeedbackQueue::new();
+        q.push(p(1), 11, 10, 5);
+        assert_eq!(q.drain_ready(14).count(), 0);
+        let got: Vec<_> = q.drain_ready(15).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].preg, p(1));
+        assert_eq!(got[0].value, 11);
+    }
+
+    #[test]
+    fn drains_in_order() {
+        let mut q = FeedbackQueue::new();
+        q.push(p(1), 1, 10, 1);
+        q.push(p(2), 2, 10, 1);
+        q.push(p(3), 3, 12, 1);
+        let got: Vec<_> = q.drain_ready(11).map(|f| f.preg).collect();
+        assert_eq!(got, vec![p(1), p(2)]);
+        assert_eq!(q.in_flight(), 1);
+    }
+
+    #[test]
+    fn zero_delay_is_same_cycle() {
+        let mut q = FeedbackQueue::new();
+        q.push(p(4), 9, 7, 0);
+        assert_eq!(q.drain_ready(7).count(), 1);
+    }
+}

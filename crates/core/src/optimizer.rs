@@ -1,0 +1,1361 @@
+//! The continuous optimizer: CP/RA + RLE/SF + value feedback + early
+//! execution, integrated with register renaming.
+//!
+//! [`Optimizer::rename_bundle`] processes one rename packet exactly as §3 of
+//! the paper describes: each instruction reads symbolic source values from
+//! the [`SymRat`], the CP/RA step folds constants and reassociates
+//! `(base << scale) + offset` forms, the RLE/SF step matches known-address
+//! loads against the [`Mbc`], and instructions whose inputs are fully known
+//! execute on the rename-stage ALUs. Serial-addition chains and chained
+//! memory accesses within a bundle are bounded per the configuration
+//! (§6.2).
+//!
+//! Every value the optimizer derives is checked against the functional
+//! oracle (the paper's "strict expression and value checking"); a mismatch
+//! in the CP/RA path is a simulator bug and panics, while a mismatch on an
+//! MBC forward (a stale entry left by a speculative unknown-address store)
+//! rejects the forward and invalidates the entry.
+
+use crate::config::OptimizerConfig;
+use crate::feedback::FeedbackQueue;
+use crate::mbc::{Mbc, MbcStats};
+use crate::preg::{PhysReg, PregFile};
+use crate::rat::SymRat;
+use crate::stats::OptStats;
+use crate::symval::{sym_add, sym_add_imm, sym_scaled_add, sym_shl, sym_sub, Folded, SymValue};
+use contopt_emu::DynInst;
+use contopt_isa::{AluOp, ArchReg, Inst, MemSize, Operand};
+
+/// Where a renamed instruction goes after the rename/optimize stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenamedClass {
+    /// Fully handled in the optimizer (early-executed, eliminated, or
+    /// resolved); it only occupies a reorder-buffer slot until retirement.
+    Done,
+    /// Single-cycle integer ALU (includes unresolved branches).
+    SimpleInt,
+    /// Multi-cycle integer (multiply).
+    ComplexInt,
+    /// Floating-point unit.
+    Fp,
+    /// Load: address generation + data-cache access.
+    Load,
+    /// Store: address generation; data written at retire.
+    Store,
+}
+
+/// One instruction after rename/optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Renamed {
+    /// Dynamic sequence number (matches the [`DynInst`]).
+    pub seq: u64,
+    /// Post-optimization routing.
+    pub class: RenamedClass,
+    /// Physical registers this instruction must wait for before issuing.
+    /// Constant-propagated operands are embedded and appear as no
+    /// dependence; reassociated operands point at the *earlier* producer.
+    /// A consumer reference is held on each and must be released (via
+    /// [`Optimizer::release`]) when the instruction completes.
+    pub srcs: Vec<PhysReg>,
+    /// Destination physical register, if the instruction writes one.
+    pub dst: Option<PhysReg>,
+    /// Whether `dst` was freshly allocated (`false` for eliminated moves and
+    /// forwarded loads that alias an existing register). A producer
+    /// reference is held on freshly allocated registers and must be
+    /// released when the instruction completes.
+    pub dst_new: bool,
+    /// The value computed in the optimizer, for early-executed instructions.
+    pub early_value: Option<u64>,
+    /// Whether a branch was resolved at the optimization stage.
+    pub resolved_early: bool,
+    /// Whether a load was removed (converted to a move / expression).
+    pub load_removed: bool,
+    /// Whether a memory op's effective address was generated early.
+    pub addr_known: bool,
+}
+
+/// A rename request: the dynamic instruction plus what the front end knows.
+#[derive(Debug, Clone, Copy)]
+pub struct RenameReq {
+    /// The oracle record from the functional emulator.
+    pub d: DynInst,
+    /// Whether the front-end predictor mispredicted this (control)
+    /// instruction — the pipeline learns this at fetch from the oracle.
+    pub mispredicted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SrcView {
+    map: PhysReg,
+    sym: SymValue,
+    /// Serial rename-stage additions behind this symbol within the current
+    /// bundle (0 when the producer is outside the bundle or did no ALU
+    /// work).
+    adds: u32,
+    /// Serial MBC accesses behind this symbol within the current bundle.
+    mbcs: u32,
+}
+
+struct Bundle {
+    /// arch-reg index → slot that wrote it in this bundle.
+    writer: [Option<u8>; contopt_isa::NUM_ARCH_REGS],
+    adds: Vec<u32>,
+    mbcs: Vec<u32>,
+    /// Aligned addresses written into the MBC this bundle.
+    mbc_written: Vec<u64>,
+}
+
+impl Bundle {
+    fn new() -> Bundle {
+        Bundle {
+            writer: [None; contopt_isa::NUM_ARCH_REGS],
+            adds: Vec::new(),
+            mbcs: Vec::new(),
+            mbc_written: Vec::new(),
+        }
+    }
+
+    fn costs(&self, a: ArchReg) -> (u32, u32) {
+        match self.writer[a.index()] {
+            Some(s) => (self.adds[s as usize], self.mbcs[s as usize]),
+            None => (0, 0),
+        }
+    }
+
+    fn record(&mut self, dst: Option<ArchReg>, adds: u32, mbcs: u32) {
+        let slot = self.adds.len() as u8;
+        self.adds.push(adds);
+        self.mbcs.push(mbcs);
+        if let Some(a) = dst {
+            self.writer[a.index()] = Some(slot);
+        }
+    }
+}
+
+/// The rename/optimize unit.
+///
+/// Owns the physical register file, the symbolic RAT, the Memory Bypass
+/// Cache, and the value-feedback path. With [`OptimizerConfig::baseline`]
+/// it degrades to a plain register renamer, so one unit serves both the
+/// baseline and the optimized machine.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    cfg: OptimizerConfig,
+    pregs: PregFile,
+    rat: SymRat,
+    mbc: Mbc,
+    feedback: FeedbackQueue,
+    stats: OptStats,
+    /// Oracle architectural value of each physical register; used only for
+    /// strict value checking, never to drive an optimization.
+    oracle: Vec<u64>,
+}
+
+impl Optimizer {
+    /// Creates the unit with `preg_count` physical registers and the given
+    /// initial architectural register values.
+    pub fn new(
+        cfg: OptimizerConfig,
+        preg_count: usize,
+        initial: impl Fn(ArchReg) -> u64,
+    ) -> Optimizer {
+        let mut pregs = PregFile::new(preg_count);
+        let track_known = cfg.enabled && cfg.optimize;
+        let rat = SymRat::new(&mut pregs, &initial, track_known);
+        let mut oracle = vec![0u64; preg_count];
+        for i in 0..contopt_isa::NUM_ARCH_REGS {
+            let a = ArchReg::from_index(i);
+            oracle[rat.map(a).index()] = if a.is_zero() { 0 } else { initial(a) };
+        }
+        Optimizer {
+            mbc: Mbc::new(cfg.mbc_entries),
+            cfg,
+            pregs,
+            rat,
+            feedback: FeedbackQueue::new(),
+            stats: OptStats::default(),
+            oracle,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.cfg
+    }
+
+    /// Optimizer statistics (Table 3 counters).
+    pub fn stats(&self) -> OptStats {
+        self.stats
+    }
+
+    /// Memory Bypass Cache statistics.
+    pub fn mbc_stats(&self) -> MbcStats {
+        self.mbc.stats()
+    }
+
+    /// The physical register file (for capacity/occupancy reporting).
+    pub fn pregs(&self) -> &PregFile {
+        &self.pregs
+    }
+
+    /// The oracle value of a live physical register.
+    pub fn oracle_value(&self, p: PhysReg) -> u64 {
+        self.oracle[p.index()]
+    }
+
+    /// Current RAT mapping (for tests and the retirement checker).
+    pub fn rat_map(&self, a: ArchReg) -> PhysReg {
+        self.rat.map(a)
+    }
+
+    /// Current RAT symbol (for tests).
+    pub fn rat_sym(&self, a: ArchReg) -> SymValue {
+        self.rat.sym(a)
+    }
+
+    /// Whether at least one physical register is free (rename can proceed).
+    pub fn can_rename(&self) -> bool {
+        self.pregs.live_count() < self.pregs.capacity()
+    }
+
+    /// Releases one reference (consumer or producer claim) on `p`.
+    pub fn release(&mut self, p: PhysReg) {
+        self.pregs.release(p);
+    }
+
+    /// Reports a completed execution result; it will reach the optimization
+    /// tables after the configured transmission delay.
+    pub fn complete(&mut self, p: PhysReg, value: u64, cycle: u64) {
+        if self.cfg.enabled && self.cfg.value_feedback {
+            // Hold a claim while the value is in flight so the tag cannot be
+            // reallocated before the CAM update.
+            self.pregs.add_ref(p);
+            self.feedback.push(p, value, cycle, self.cfg.feedback_delay);
+        }
+    }
+
+    /// Applies all feedback that has arrived by `now` to the RAT and MBC.
+    pub fn apply_feedback(&mut self, now: u64) {
+        let msgs: Vec<_> = self.feedback.drain_ready(now).collect();
+        for f in msgs {
+            let n = self.rat.feed_back(f.preg, f.value, &mut self.pregs)
+                + self.mbc.feed_back(f.preg, f.value, &mut self.pregs);
+            self.stats.feedback_integrations += n;
+            self.pregs.release(f.preg); // in-flight claim
+        }
+    }
+
+    /// Renames (and, when enabled, optimizes) one bundle of up to
+    /// rename-width instructions. Returns the renamed instructions in
+    /// order; stops short if the physical register pool is exhausted
+    /// (the pipeline retries the remainder next cycle).
+    pub fn rename_bundle(&mut self, now: u64, reqs: &[RenameReq]) -> Vec<Renamed> {
+        self.apply_feedback(now);
+        // Discrete (offline-style) optimization: invalidate the tables at
+        // every trace boundary (§3.4).
+        let interval = self.cfg.discrete_interval;
+        if interval > 0 && self.optimizing() {
+            let before = self.stats.insts / interval;
+            let after = (self.stats.insts + reqs.len() as u64) / interval;
+            if after > before {
+                self.rat.invalidate_syms(&mut self.pregs);
+                self.mbc.flush(&mut self.pregs);
+                self.stats.trace_resets += 1;
+            }
+        }
+        let mut bundle = Bundle::new();
+        let mut out = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            if !self.can_rename() {
+                break;
+            }
+            out.push(self.process(req, &mut bundle));
+        }
+        out
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn view(&self, a: ArchReg, bundle: &Bundle) -> SrcView {
+        let (adds, mbcs) = bundle.costs(a);
+        SrcView {
+            map: self.rat.map(a),
+            sym: self.rat.sym(a),
+            adds,
+            mbcs,
+        }
+    }
+
+    /// Downgrades a source to its plain mapping (ignoring in-bundle symbolic
+    /// state) — used when the serial-addition budget is exceeded.
+    fn plain(v: &SrcView) -> SrcView {
+        SrcView {
+            map: v.map,
+            sym: SymValue::reg(v.map),
+            adds: 0,
+            mbcs: 0,
+        }
+    }
+
+    fn optimizing(&self) -> bool {
+        self.cfg.enabled && self.cfg.optimize
+    }
+
+    /// In feedback-only mode, symbolic expressions may not be derived; only
+    /// fully-known results (from fed-back values and immediates) are used.
+    fn allow_expr(&self) -> bool {
+        self.optimizing() && self.cfg.enable_reassociation
+    }
+
+    fn verify(&self, what: &str, d: &DynInst, got: u64) {
+        let want = d.result.unwrap_or_else(|| {
+            panic!("strict check: {what} produced a value for {} which has none", d.inst)
+        });
+        assert_eq!(
+            got, want,
+            "strict value check failed ({what}) at pc {:#x} for `{}`: optimizer {got:#x} != oracle {want:#x}",
+            d.pc, d.inst
+        );
+    }
+
+    fn alloc_dst(&mut self, d: &DynInst) -> PhysReg {
+        let p = self.pregs.alloc().expect("caller checked can_rename");
+        self.oracle[p.index()] = d.result.unwrap_or(0);
+        p
+    }
+
+    /// Take consumer references on the dependence registers.
+    fn hold_srcs(&mut self, srcs: &[PhysReg]) {
+        for &p in srcs {
+            self.pregs.add_ref(p);
+        }
+    }
+
+    /// Builds the [`Renamed`] record. Consumer references on `srcs` must
+    /// already have been taken (via [`Self::hold_srcs`]) *before* any RAT or
+    /// MBC mutation that could release those registers.
+    fn renamed(
+        &mut self,
+        d: &DynInst,
+        class: RenamedClass,
+        srcs: Vec<PhysReg>,
+        dst: Option<PhysReg>,
+        dst_new: bool,
+    ) -> Renamed {
+        Renamed {
+            seq: d.seq,
+            class,
+            srcs,
+            dst,
+            dst_new,
+            early_value: None,
+            resolved_early: false,
+            load_removed: false,
+            addr_known: false,
+        }
+    }
+
+    fn process(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
+        let d = &req.d;
+        self.stats.insts += 1;
+        match d.inst {
+            Inst::Alu { op, ra, rb, rc } => self.process_alu(req, op, ra, rb, rc, bundle),
+            Inst::Lda { rc, rb, disp } => self.process_lda(req, rc, rb, disp, bundle),
+            Inst::Ld { .. } | Inst::FLd { .. } => self.process_load(req, bundle),
+            Inst::St { .. } | Inst::FSt { .. } => self.process_store(req, bundle),
+            Inst::Br { cond, ra, .. } => self.process_branch(req, cond, ra, bundle),
+            Inst::Bru { .. } => {
+                bundle.record(None, 0, 0);
+                self.renamed(d, RenamedClass::Done, vec![], None, false)
+            }
+            Inst::Bsr { .. } | Inst::Jmp { .. } => self.process_call(req, bundle),
+            Inst::FAlu { .. } | Inst::FCmp { .. } | Inst::Itof { .. } | Inst::Ftoi { .. } => {
+                self.process_fp(req, bundle)
+            }
+            Inst::Halt | Inst::Nop => {
+                bundle.record(None, 0, 0);
+                self.renamed(d, RenamedClass::Done, vec![], None, false)
+            }
+        }
+    }
+
+    /// Plain renaming of an instruction: map sources, allocate a fresh
+    /// destination with a self-referencing symbol. Dependences on
+    /// known-valued sources are still dropped (constant propagation into
+    /// otherwise-unoptimizable instructions).
+    fn process_plain(
+        &mut self,
+        d: &DynInst,
+        class: RenamedClass,
+        bundle: &mut Bundle,
+    ) -> Renamed {
+        let mut srcs = Vec::new();
+        for a in d.inst.srcs().into_iter().flatten() {
+            let v = self.view(a, bundle);
+            if v.sym.known().is_none() {
+                srcs.push(v.map);
+            }
+        }
+        self.hold_srcs(&srcs);
+        let (dst, dst_new) = match d.inst.dst() {
+            Some(a) => {
+                let p = self.alloc_dst(d);
+                self.rat.write(a, p, SymValue::reg(p), &mut self.pregs);
+                (Some(p), true)
+            }
+            None => (None, false),
+        };
+        bundle.record(d.inst.dst(), 0, 0);
+        self.renamed(d, class, srcs, dst, dst_new)
+    }
+
+    fn process_alu(
+        &mut self,
+        req: &RenameReq,
+        op: AluOp,
+        ra: contopt_isa::Reg,
+        rb: Operand,
+        _rc: contopt_isa::Reg,
+        bundle: &mut Bundle,
+    ) -> Renamed {
+        let d = &req.d;
+        if !self.cfg.enabled {
+            let class = if op.is_simple() {
+                RenamedClass::SimpleInt
+            } else {
+                RenamedClass::ComplexInt
+            };
+            return self.process_plain(d, class, bundle);
+        }
+
+        let va = self.view(ArchReg::from(ra), bundle);
+        let vb = match rb {
+            Operand::Reg(r) => Some(self.view(ArchReg::from(r), bundle)),
+            Operand::Imm(_) => None,
+        };
+
+        // First attempt with full symbolic views; retry with plain views if
+        // the serial-addition budget is exceeded.
+        let attempt = self.fold_alu(op, &va, rb, &vb);
+        let budget = self.cfg.max_serial_adds();
+        let (folded, va, vb) = match attempt {
+            Some((f, inherited)) if inherited + f.used_add as u32 > budget => {
+                self.stats.chain_limited += 1;
+                let pa = Self::plain(&va);
+                let pb = vb.as_ref().map(Self::plain);
+                let f2 = self.fold_alu(op, &pa, rb, &pb).map(|(f, _)| f);
+                (f2, pa, pb)
+            }
+            Some((f, _)) => (Some(f), va, vb),
+            None => (None, va, vb),
+        };
+
+        // In feedback-only mode, only fully-known results may be used.
+        let folded = match folded {
+            Some(f) if f.value.known().is_none() && !self.allow_expr() => None,
+            other => other,
+        };
+
+        let dst_arch = d.inst.dst();
+        let reduced_mul = op == AluOp::Mulq && folded.is_some();
+        if reduced_mul {
+            self.stats.strength_reductions += 1;
+        }
+
+        match folded {
+            Some(f) => match f.value {
+                SymValue::Known(v) if op.is_simple() || reduced_mul => {
+                    // Early execution on the rename-stage ALUs.
+                    if dst_arch.is_some() {
+                        self.verify("early alu", d, v);
+                        let p = self.alloc_dst(d);
+                        self.rat
+                            .write(dst_arch.unwrap(), p, SymValue::Known(v), &mut self.pregs);
+                        self.stats.executed_early += 1;
+                        bundle.record(dst_arch, va.adds.max(vb.map_or(0, |x| x.adds)) + 1, 0);
+                        let mut r =
+                            self.renamed(d, RenamedClass::Done, vec![], Some(p), true);
+                        r.early_value = Some(v);
+                        return r;
+                    }
+                    // Result discarded (dst is a zero register): nothing to do.
+                    bundle.record(None, 0, 0);
+                    self.stats.executed_early += 1;
+                    self.renamed(d, RenamedClass::Done, vec![], None, false)
+                }
+                SymValue::Known(_) => {
+                    // Known result but multi-cycle op (non-reduced multiply
+                    // of two constants): must still execute in the core.
+                    self.process_plain(d, RenamedClass::ComplexInt, bundle)
+                }
+                e @ SymValue::Expr { base, .. } => {
+                    let Some(dst_a) = dst_arch else {
+                        // Zero-register destination: no architectural effect.
+                        bundle.record(None, 0, 0);
+                        return self.renamed(d, RenamedClass::Done, vec![], None, false);
+                    };
+                    if e.is_plain_reg() {
+                        // Move elimination: remap the destination onto the
+                        // producer; no execution needed.
+                        self.rat.write(dst_a, base, e, &mut self.pregs);
+                        self.stats.moves_eliminated += 1;
+                        self.stats.executed_early += 1;
+                        bundle.record(dst_arch, 0, 0);
+                        return self.renamed(d, RenamedClass::Done, vec![], Some(base), false);
+                    }
+                    // Simplified: the instruction now computes
+                    // (base << scale) + offset — a single-cycle form whose
+                    // only dependence is the (earlier) base producer.
+                    self.hold_srcs(&[base]);
+                    let p = self.alloc_dst(d);
+                    self.rat.write(dst_a, p, e, &mut self.pregs);
+                    let total = va.adds.max(vb.map_or(0, |x| x.adds)) + f.used_add as u32;
+                    bundle.record(dst_arch, total, 0);
+                    self.renamed(d, RenamedClass::SimpleInt, vec![base], Some(p), true)
+                }
+            },
+            None => {
+                let class = if op.is_simple() {
+                    RenamedClass::SimpleInt
+                } else {
+                    RenamedClass::ComplexInt
+                };
+                self.process_plain(d, class, bundle)
+            }
+        }
+    }
+
+    /// The CP/RA fold for an ALU op. Returns the folded value plus the
+    /// maximum in-bundle serial-add cost inherited from the sources whose
+    /// symbols were consumed.
+    fn fold_alu(
+        &self,
+        op: AluOp,
+        va: &SrcView,
+        rb: Operand,
+        vb: &Option<SrcView>,
+    ) -> Option<(Folded, u32)> {
+        let sa = va.sym;
+        let (sb, b_adds) = match (rb, vb) {
+            (Operand::Imm(k), _) => (SymValue::Known(k as u64), 0),
+            (Operand::Reg(_), Some(v)) => (v.sym, v.adds),
+            (Operand::Reg(_), None) => unreachable!("register operand without view"),
+        };
+        let inherited = va.adds.max(b_adds);
+        let f = match op {
+            AluOp::Addq => match rb {
+                Operand::Imm(k) => Some(sym_add_imm(sa, k)),
+                Operand::Reg(_) => sym_add(sa, sb),
+            },
+            AluOp::Subq => match rb {
+                Operand::Imm(k) => Some(sym_add_imm(sa, k.wrapping_neg())),
+                Operand::Reg(_) => sym_sub(sa, sb),
+            },
+            AluOp::S4Addq => sym_scaled_add(sa, 2, sb),
+            AluOp::S8Addq => sym_scaled_add(sa, 3, sb),
+            AluOp::Sll => match sb.known() {
+                Some(k) if k < 64 => sym_shl(sa, k as u32),
+                _ => None,
+            },
+            AluOp::Mulq => {
+                // Strength reduction: multiply by a power of two.
+                let (val, konst) = match (sa.known(), sb.known()) {
+                    (_, Some(k)) => (sa, Some(k)),
+                    (Some(k), _) => (sb, Some(k)),
+                    _ => (sa, None),
+                };
+                match konst {
+                    Some(k) if k.is_power_of_two() => sym_shl(val, k.trailing_zeros()),
+                    _ => None,
+                }
+            }
+            _ => {
+                // Generic simple ops: executable only with fully known
+                // inputs.
+                match (sa.known(), sb.known()) {
+                    (Some(a), Some(b)) => Some(Folded {
+                        value: SymValue::Known(op.eval(a, b)),
+                        used_add: true,
+                    }),
+                    _ => None,
+                }
+            }
+        };
+        f.map(|f| (f, inherited))
+    }
+
+    fn process_lda(
+        &mut self,
+        req: &RenameReq,
+        _rc: contopt_isa::Reg,
+        rb: contopt_isa::Reg,
+        disp: i64,
+        bundle: &mut Bundle,
+    ) -> Renamed {
+        let d = &req.d;
+        if !self.cfg.enabled {
+            return self.process_plain(d, RenamedClass::SimpleInt, bundle);
+        }
+        let vb = self.view(ArchReg::from(rb), bundle);
+        let budget = self.cfg.max_serial_adds();
+        let mut f = sym_add_imm(vb.sym, disp);
+        let mut inherited = vb.adds;
+        if inherited + f.used_add as u32 > budget {
+            self.stats.chain_limited += 1;
+            f = sym_add_imm(SymValue::reg(vb.map), disp);
+            inherited = 0;
+        }
+        if f.value.known().is_none() && !self.allow_expr() {
+            return self.process_plain(d, RenamedClass::SimpleInt, bundle);
+        }
+        let dst_arch = d.inst.dst();
+        match f.value {
+            SymValue::Known(v) => {
+                let Some(dst_a) = dst_arch else {
+                    bundle.record(None, 0, 0);
+                    self.stats.executed_early += 1;
+                    return self.renamed(d, RenamedClass::Done, vec![], None, false);
+                };
+                self.verify("early lda", d, v);
+                let p = self.alloc_dst(d);
+                self.rat.write(dst_a, p, SymValue::Known(v), &mut self.pregs);
+                self.stats.executed_early += 1;
+                bundle.record(dst_arch, inherited + 1, 0);
+                let mut r = self.renamed(d, RenamedClass::Done, vec![], Some(p), true);
+                r.early_value = Some(v);
+                r
+            }
+            e @ SymValue::Expr { base, .. } => {
+                let Some(dst_a) = dst_arch else {
+                    bundle.record(None, 0, 0);
+                    return self.renamed(d, RenamedClass::Done, vec![], None, false);
+                };
+                if e.is_plain_reg() {
+                    // `mov` (lda 0(rb)): eliminated through reassociation.
+                    self.rat.write(dst_a, base, e, &mut self.pregs);
+                    self.stats.moves_eliminated += 1;
+                    self.stats.executed_early += 1;
+                    bundle.record(dst_arch, 0, 0);
+                    return self.renamed(d, RenamedClass::Done, vec![], Some(base), false);
+                }
+                self.hold_srcs(&[base]);
+                let p = self.alloc_dst(d);
+                self.rat.write(dst_a, p, e, &mut self.pregs);
+                bundle.record(dst_arch, inherited + f.used_add as u32, 0);
+                self.renamed(d, RenamedClass::SimpleInt, vec![base], Some(p), true)
+            }
+        }
+    }
+
+    /// Resolves a memory op's address symbolically; returns
+    /// `(address-symbol, inherited adds, inherited mbc accesses)`.
+    fn fold_addr(&mut self, base: contopt_isa::Reg, disp: i64, bundle: &Bundle) -> (SymValue, u32, u32) {
+        let vb = self.view(ArchReg::from(base), bundle);
+        if !self.cfg.enabled {
+            return (SymValue::reg(vb.map), 0, 0);
+        }
+        let f = sym_add_imm(vb.sym, disp);
+        let budget = self.cfg.max_serial_adds();
+        if vb.adds + f.used_add as u32 > budget {
+            self.stats.chain_limited += 1;
+            return (SymValue::reg(vb.map), 0, 0);
+        }
+        (f.value, vb.adds, vb.mbcs)
+    }
+
+    fn process_load(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
+        let d = &req.d;
+        self.stats.mem_ops += 1;
+        self.stats.loads += 1;
+        let (rb, disp) = d.inst.mem_addr_spec().expect("load has address spec");
+        let size = d.inst.mem_size().expect("load has size");
+        let is_fp = matches!(d.inst, Inst::FLd { .. });
+        let (addr_sym, inh_adds, inh_mbcs) = self.fold_addr(rb, disp, bundle);
+        let addr_known = addr_sym.known();
+
+        if let Some(a) = addr_known {
+            assert_eq!(
+                Some(a),
+                d.eff_addr,
+                "strict check: early address {a:#x} != oracle {:?} for `{}`",
+                d.eff_addr,
+                d.inst
+            );
+            self.stats.mem_addr_generated += 1;
+        }
+
+        let dst_arch = d.inst.dst();
+
+        // RLE/SF: only with a known address, the feature enabled, and the
+        // intra-bundle memory-chain budget unspent.
+        if let Some(a) = addr_known {
+            if self.optimizing() && self.cfg.enable_rle_sf && dst_arch.is_some() {
+                let chained = inh_mbcs + 1 > self.cfg.mem_chain_depth + 1
+                    || (bundle.mbc_written.iter().any(|&w| w == (a & !7))
+                        && self.cfg.mem_chain_depth == 0);
+                if chained {
+                    self.stats.mem_chain_limited += 1;
+                } else if let Some(data) = self.mbc.lookup(a, size) {
+                    if let Some(r) = self.try_forward(req, a, size, data, is_fp, inh_mbcs, bundle)
+                    {
+                        return r;
+                    }
+                }
+                // Miss (or rejected forward): install this load's
+                // destination for future reuse.
+                let p = self.alloc_dst(d);
+                self.rat
+                    .write(dst_arch.unwrap(), p, SymValue::reg(p), &mut self.pregs);
+                self.mbc.insert(a, size, SymValue::reg(p), &mut self.pregs);
+                bundle.mbc_written.push(a & !7);
+                bundle.record(dst_arch, inh_adds, inh_mbcs + 1);
+                let mut r = self.renamed(d, RenamedClass::Load, vec![], Some(p), true);
+                r.addr_known = true;
+                return r;
+            }
+        }
+
+        // Ordinary load (unknown address, or RLE/SF unavailable).
+        let srcs = if addr_known.is_some() {
+            vec![]
+        } else {
+            vec![self.rat.map(ArchReg::from(rb))]
+        };
+        self.hold_srcs(&srcs);
+        let (dst, dst_new) = match dst_arch {
+            Some(a) => {
+                let p = self.alloc_dst(d);
+                self.rat.write(a, p, SymValue::reg(p), &mut self.pregs);
+                (Some(p), true)
+            }
+            None => (None, false),
+        };
+        bundle.record(dst_arch, 0, 0);
+        let mut r = self.renamed(d, RenamedClass::Load, srcs, dst, dst_new);
+        r.addr_known = addr_known.is_some();
+        r
+    }
+
+    /// Attempts to forward MBC `data` into the load; returns `None` (after
+    /// invalidating the stale entry) if strict value checking rejects it.
+    fn try_forward(
+        &mut self,
+        req: &RenameReq,
+        addr: u64,
+        size: MemSize,
+        data: SymValue,
+        is_fp: bool,
+        inh_mbcs: u32,
+        bundle: &mut Bundle,
+    ) -> Option<Renamed> {
+        let d = &req.d;
+        let dst_a = d.inst.dst().expect("forwarding checked dst");
+        // The stored register value, evaluated with the oracle.
+        let stored = data.eval_with(|p| self.oracle[p.index()]);
+        let loaded = extend(truncate(stored, size), size, signedness(&d.inst));
+        if Some(loaded) != d.result {
+            // Stale entry (speculative unknown-address store wrote this
+            // location since) or a width-change mismatch: reject.
+            self.stats.mbc_rejects += 1;
+            self.mbc.invalidate(addr, &mut self.pregs);
+            return None;
+        }
+        match data {
+            SymValue::Known(_) => {
+                // The load's value is fully known: executed in the optimizer.
+                let p = self.alloc_dst(d);
+                self.rat
+                    .write(dst_a, p, SymValue::Known(loaded), &mut self.pregs);
+                self.stats.loads_removed += 1;
+                self.stats.executed_early += 1;
+                bundle.record(d.inst.dst(), 1, inh_mbcs + 1);
+                let mut r = self.renamed(d, RenamedClass::Done, vec![], Some(p), true);
+                r.early_value = Some(loaded);
+                r.load_removed = true;
+                r.addr_known = true;
+                Some(r)
+            }
+            e @ SymValue::Expr { base, .. } if e.is_plain_reg() => {
+                // Pure move: the destination aliases the forwarding register.
+                self.rat.write(dst_a, base, e, &mut self.pregs);
+                self.stats.loads_removed += 1;
+                self.stats.executed_early += 1;
+                bundle.record(d.inst.dst(), 0, inh_mbcs + 1);
+                let mut r = self.renamed(d, RenamedClass::Done, vec![], Some(base), false);
+                r.load_removed = true;
+                r.addr_known = true;
+                Some(r)
+            }
+            e @ SymValue::Expr { base, .. } => {
+                if is_fp || size != MemSize::Quad {
+                    // A non-trivial integer expression cannot be forwarded
+                    // into an FP register or through a width change; leave
+                    // the entry and fall back to a normal (known-address)
+                    // load.
+                    return None;
+                }
+                // The load becomes the single-cycle expression
+                // (base << scale) + offset: removed from the memory system.
+                self.hold_srcs(&[base]);
+                let p = self.alloc_dst(d);
+                self.rat.write(dst_a, p, e, &mut self.pregs);
+                self.stats.loads_removed += 1;
+                bundle.record(d.inst.dst(), 1, inh_mbcs + 1);
+                let mut r = self.renamed(d, RenamedClass::SimpleInt, vec![base], Some(p), true);
+                r.load_removed = true;
+                r.addr_known = true;
+                Some(r)
+            }
+        }
+    }
+
+    fn process_store(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
+        let d = &req.d;
+        self.stats.mem_ops += 1;
+        let (rb, disp) = d.inst.mem_addr_spec().expect("store has address spec");
+        let size = d.inst.mem_size().expect("store has size");
+        let (addr_sym, _inh_adds, _inh_mbcs) = self.fold_addr(rb, disp, bundle);
+        let addr_known = addr_sym.known();
+
+        // Data source view.
+        let data_arch = d.inst.srcs()[0].expect("store has a data source");
+        let data_view = self.view(data_arch, bundle);
+        let data_sym = if self.cfg.enabled && self.cfg.optimize {
+            data_view.sym
+        } else {
+            SymValue::reg(data_view.map)
+        };
+
+        let mut srcs = Vec::new();
+        if data_sym.known().is_none() {
+            srcs.push(data_view.map);
+        }
+        if addr_known.is_none() {
+            srcs.push(self.rat.map(ArchReg::from(rb)));
+        }
+        self.hold_srcs(&srcs);
+
+        if let Some(a) = addr_known {
+            assert_eq!(
+                Some(a),
+                d.eff_addr,
+                "strict check: early store address {a:#x} != oracle {:?}",
+                d.eff_addr
+            );
+            self.stats.mem_addr_generated += 1;
+            if self.optimizing() && self.cfg.enable_rle_sf {
+                // Store forwarding: record the data's symbolic value. Use
+                // the mapping register when the symbol is a non-trivial
+                // expression of the *data* register (the stored value equals
+                // the register's value, which the mapping names directly).
+                let recorded = match data_sym {
+                    k @ SymValue::Known(_) => k,
+                    e @ SymValue::Expr { .. } if e.is_plain_reg() => e,
+                    _ => SymValue::reg(data_view.map),
+                };
+                self.mbc.insert(a, size, recorded, &mut self.pregs);
+                bundle.mbc_written.push(a & !7);
+            }
+        } else if self.optimizing() && self.cfg.enable_rle_sf && self.cfg.flush_mbc_on_unknown_store
+        {
+            self.mbc.flush(&mut self.pregs);
+        }
+
+        bundle.record(None, 0, 0);
+        let mut r = self.renamed(d, RenamedClass::Store, srcs, None, false);
+        r.addr_known = addr_known.is_some();
+        r
+    }
+
+    fn process_branch(
+        &mut self,
+        req: &RenameReq,
+        cond: contopt_isa::Cond,
+        ra: contopt_isa::Reg,
+        bundle: &mut Bundle,
+    ) -> Renamed {
+        let d = &req.d;
+        if req.mispredicted {
+            self.stats.mispredicted_branches += 1;
+        }
+        if !self.cfg.enabled {
+            bundle.record(None, 0, 0);
+            let map = self.rat.map(ArchReg::from(ra));
+            self.hold_srcs(&[map]);
+            return self.renamed(d, RenamedClass::SimpleInt, vec![map], None, false);
+        }
+        let va = self.view(ArchReg::from(ra), bundle);
+        let budget = self.cfg.max_serial_adds();
+        let usable = va.adds <= budget;
+        if let (Some(v), true) = (va.sym.known(), usable) {
+            // Early branch resolution on the rename-stage ALUs.
+            assert_eq!(
+                cond.eval(v),
+                d.taken,
+                "strict check: branch `{}` resolved {} but oracle says {}",
+                d.inst,
+                cond.eval(v),
+                d.taken
+            );
+            self.stats.branches_resolved_early += 1;
+            self.stats.executed_early += 1;
+            if req.mispredicted {
+                self.stats.mispredicts_recovered_early += 1;
+            }
+            bundle.record(None, va.adds, 0);
+            let mut r = self.renamed(d, RenamedClass::Done, vec![], None, false);
+            r.resolved_early = true;
+            return r;
+        }
+        // Unresolved: executes in the core. Branch-direction inference may
+        // still reveal the register's value to younger instructions.
+        let srcs = vec![va.map];
+        self.hold_srcs(&srcs);
+        if self.optimizing() && self.cfg.enable_branch_inference && cond.implies_zero(d.taken) {
+            self.rat
+                .update_sym(ArchReg::from(ra), SymValue::Known(0), &mut self.pregs);
+            self.stats.branch_inferences += 1;
+        }
+        bundle.record(None, 0, 0);
+        self.renamed(d, RenamedClass::SimpleInt, srcs, None, false)
+    }
+
+    fn process_call(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
+        let d = &req.d;
+        let link = d.pc.wrapping_add(4);
+        let dst_arch = d.inst.dst();
+        match d.inst {
+            Inst::Bsr { .. } => {
+                if self.optimizing() {
+                    // The link value is architecturally known.
+                    let (dst, dst_new) = match dst_arch {
+                        Some(a) => {
+                            self.verify("bsr link", d, link);
+                            let p = self.alloc_dst(d);
+                            self.rat.write(a, p, SymValue::Known(link), &mut self.pregs);
+                            (Some(p), true)
+                        }
+                        None => (None, false),
+                    };
+                    self.stats.executed_early += 1;
+                    bundle.record(dst_arch, 0, 0);
+                    let mut r = self.renamed(d, RenamedClass::Done, vec![], dst, dst_new);
+                    r.early_value = dst.map(|_| link);
+                    r
+                } else {
+                    self.process_plain(d, RenamedClass::SimpleInt, bundle)
+                }
+            }
+            Inst::Jmp { ra, .. } => {
+                if req.mispredicted {
+                    self.stats.mispredicted_branches += 1;
+                }
+                if !self.cfg.enabled {
+                    return self.process_plain(d, RenamedClass::SimpleInt, bundle);
+                }
+                let va = self.view(ArchReg::from(ra), bundle);
+                let target_known = self.optimizing() && va.sym.known().is_some();
+                if target_known {
+                    assert_eq!(
+                        va.sym.known(),
+                        Some(d.next_pc),
+                        "strict check: jump target mismatch"
+                    );
+                }
+                if !target_known {
+                    self.hold_srcs(&[va.map]);
+                }
+                let (dst, dst_new) = match dst_arch {
+                    Some(a) => {
+                        let p = self.alloc_dst(d);
+                        let sym = if self.optimizing() {
+                            SymValue::Known(link)
+                        } else {
+                            SymValue::reg(p)
+                        };
+                        self.rat.write(a, p, sym, &mut self.pregs);
+                        (Some(p), true)
+                    }
+                    None => (None, false),
+                };
+                bundle.record(dst_arch, 0, 0);
+                if target_known {
+                    self.stats.executed_early += 1;
+                    if req.mispredicted {
+                        self.stats.mispredicts_recovered_early += 1;
+                    }
+                    let mut r = self.renamed(d, RenamedClass::Done, vec![], dst, dst_new);
+                    r.resolved_early = true;
+                    r.early_value = dst.map(|_| link);
+                    r
+                } else {
+                    self.renamed(d, RenamedClass::SimpleInt, vec![va.map], dst, dst_new)
+                }
+            }
+            _ => unreachable!("process_call on non-call"),
+        }
+    }
+
+    fn process_fp(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
+        self.process_plain(&req.d, RenamedClass::Fp, bundle)
+    }
+}
+
+fn signedness(inst: &Inst) -> bool {
+    matches!(inst, Inst::Ld { signed: true, .. })
+}
+
+#[inline]
+fn truncate(v: u64, size: MemSize) -> u64 {
+    match size {
+        MemSize::Byte => v & 0xff,
+        MemSize::Word => v & 0xffff,
+        MemSize::Long => v & 0xffff_ffff,
+        MemSize::Quad => v,
+    }
+}
+
+#[inline]
+fn extend(raw: u64, size: MemSize, signed: bool) -> u64 {
+    if !signed {
+        return raw;
+    }
+    match size {
+        MemSize::Byte => raw as u8 as i8 as i64 as u64,
+        MemSize::Word => raw as u16 as i16 as i64 as u64,
+        MemSize::Long => raw as u32 as i32 as i64 as u64,
+        MemSize::Quad => raw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptimizerConfig;
+    use contopt_emu::{Emulator, Step};
+    use contopt_isa::{r, ArchReg, Asm};
+
+    /// Runs a program functionally and returns its dynamic stream.
+    fn stream(a: Asm) -> Vec<DynInst> {
+        let mut emu = Emulator::new(a.finish().expect("assembles"));
+        let mut out = Vec::new();
+        loop {
+            match emu.step().expect("executes") {
+                Step::Inst(d) => out.push(d),
+                Step::Halted => return out,
+            }
+        }
+    }
+
+    fn opt_default() -> Optimizer {
+        Optimizer::new(OptimizerConfig::default(), 4096, |_| 0)
+    }
+
+    /// Renames one instruction per bundle (no intra-bundle limits apply),
+    /// completing every new destination `lat` cycles later.
+    fn rename_all(opt: &mut Optimizer, ds: &[DynInst], lat: u64) -> Vec<Renamed> {
+        let mut out = Vec::new();
+        for (cycle, &d) in ds.iter().enumerate() {
+            let r = opt
+                .rename_bundle(cycle as u64, &[RenameReq { d, mispredicted: false }])
+                .remove(0);
+            if let (Some(p), true) = (r.dst, r.dst_new) {
+                opt.complete(p, d.result.unwrap_or(0), cycle as u64 + lat);
+                opt.release(p);
+            }
+            for &p in &r.srcs {
+                opt.release(p);
+            }
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn li_and_dependent_add_execute_early() {
+        let mut a = Asm::new();
+        a.li(r(1), 40);
+        a.addq(r(1), 2, r(2));
+        a.halt();
+        let mut opt = opt_default();
+        let rs = rename_all(&mut opt, &stream(a), 1);
+        assert_eq!(rs[0].class, RenamedClass::Done);
+        assert_eq!(rs[0].early_value, Some(40));
+        assert_eq!(rs[1].early_value, Some(42));
+        assert_eq!(opt.stats().executed_early, 2);
+    }
+
+    #[test]
+    fn move_elimination_aliases_the_producer() {
+        let mut a = Asm::new();
+        let buf = a.data_zeros(8);
+        a.li(r(5), buf as i64);
+        a.ldq(r(1), r(5), 0); // unknown value
+        a.mov(r(1), r(2));
+        a.halt();
+        let mut opt = opt_default();
+        let rs = rename_all(&mut opt, &stream(a), 1);
+        let load_dst = rs[1].dst.expect("load writes");
+        assert_eq!(rs[2].class, RenamedClass::Done);
+        assert!(!rs[2].dst_new, "move elimination reuses the producer");
+        assert_eq!(rs[2].dst, Some(load_dst));
+        assert_eq!(opt.stats().moves_eliminated, 1);
+        assert_eq!(
+            opt.rat_map(ArchReg::from(r(2))),
+            load_dst,
+            "both architectural registers name one physical register"
+        );
+    }
+
+    #[test]
+    fn simplified_add_depends_on_the_earlier_producer() {
+        // ld -> r1; r2 = r1 + 8; r3 = r2 + 8. The second add's dependence
+        // must be redirected to the *load's* register (tree-height
+        // reduction), not to r2's.
+        let mut a = Asm::new();
+        let buf = a.data_zeros(8);
+        a.li(r(5), buf as i64);
+        a.ldq(r(1), r(5), 0);
+        a.addq(r(1), 8, r(2));
+        a.addq(r(2), 8, r(3));
+        a.halt();
+        let mut opt = opt_default();
+        let rs = rename_all(&mut opt, &stream(a), 100);
+        let load_dst = rs[1].dst.unwrap();
+        assert_eq!(rs[2].srcs, vec![load_dst]);
+        assert_eq!(rs[3].srcs, vec![load_dst], "reassociated past r2");
+        assert_eq!(
+            opt.rat_sym(ArchReg::from(r(3))),
+            SymValue::Expr {
+                base: load_dst,
+                scale: 0,
+                offset: 16
+            }
+        );
+    }
+
+    #[test]
+    fn rle_forwards_the_second_load() {
+        let mut a = Asm::new();
+        let buf = a.data_quads(&[99]);
+        a.li(r(5), buf as i64);
+        a.ldq(r(1), r(5), 0);
+        a.ldq(r(2), r(5), 0);
+        a.halt();
+        let mut opt = opt_default();
+        let rs = rename_all(&mut opt, &stream(a), 100);
+        assert_eq!(rs[1].class, RenamedClass::Load);
+        assert!(rs[1].addr_known);
+        assert_eq!(rs[2].class, RenamedClass::Done, "second load removed");
+        assert!(rs[2].load_removed);
+        assert_eq!(rs[2].dst, rs[1].dst, "aliases the first load");
+        assert_eq!(opt.stats().loads_removed, 1);
+    }
+
+    #[test]
+    fn store_forward_with_known_data_executes_load_early() {
+        let mut a = Asm::new();
+        let buf = a.data_zeros(8);
+        a.li(r(5), buf as i64);
+        a.li(r(1), 1234);
+        a.stq(r(1), r(5), 0);
+        a.ldq(r(2), r(5), 0);
+        a.halt();
+        let mut opt = opt_default();
+        let rs = rename_all(&mut opt, &stream(a), 100);
+        assert_eq!(rs[3].class, RenamedClass::Done);
+        assert_eq!(rs[3].early_value, Some(1234));
+        assert!(rs[3].load_removed);
+    }
+
+    #[test]
+    fn known_address_loads_have_no_register_dependences() {
+        let mut a = Asm::new();
+        let buf = a.data_zeros(64);
+        a.li(r(5), buf as i64);
+        a.ldq(r(1), r(5), 16);
+        a.halt();
+        let mut opt = opt_default();
+        let rs = rename_all(&mut opt, &stream(a), 100);
+        assert!(rs[1].addr_known);
+        assert!(rs[1].srcs.is_empty(), "address embedded, no agen dependence");
+        assert_eq!(opt.stats().mem_addr_generated, 1);
+    }
+
+    #[test]
+    fn branch_with_known_input_resolves_early() {
+        let mut a = Asm::new();
+        a.li(r(1), 0);
+        a.beq(r(1), "target");
+        a.nop();
+        a.label("target");
+        a.halt();
+        let mut opt = opt_default();
+        let rs = rename_all(&mut opt, &stream(a), 1);
+        assert!(rs[1].resolved_early);
+        assert_eq!(rs[1].class, RenamedClass::Done);
+        assert_eq!(opt.stats().branches_resolved_early, 1);
+    }
+
+    #[test]
+    fn value_feedback_converts_consumers() {
+        // A load's value becomes known via feedback; a later consumer of the
+        // same register executes early.
+        let mut a = Asm::new();
+        let buf = a.data_quads(&[50]);
+        a.li(r(5), buf as i64);
+        a.ldq(r(1), r(5), 0);
+        for _ in 0..12 {
+            a.nop(); // give the feedback time to arrive
+        }
+        a.addq(r(1), 1, r(2));
+        a.halt();
+        let mut opt = opt_default();
+        let rs = rename_all(&mut opt, &stream(a), 3);
+        let add = &rs[rs.len() - 2];
+        assert_eq!(add.early_value, Some(51), "fed-back value propagates");
+        assert!(opt.stats().feedback_integrations > 0);
+    }
+
+    #[test]
+    fn feedback_only_mode_does_not_propagate_constants() {
+        let mut a = Asm::new();
+        a.li(r(1), 40);
+        a.addq(r(1), 2, r(2));
+        a.halt();
+        let mut opt = Optimizer::new(OptimizerConfig::feedback_only(), 4096, |_| 0);
+        let rs = rename_all(&mut opt, &stream(a), 100);
+        assert_eq!(rs[0].class, RenamedClass::SimpleInt, "li is not folded");
+        assert_eq!(rs[1].class, RenamedClass::SimpleInt);
+        assert_eq!(opt.stats().executed_early, 0);
+    }
+
+    #[test]
+    fn baseline_mode_is_a_plain_renamer() {
+        let mut a = Asm::new();
+        a.li(r(1), 40);
+        a.addq(r(1), 2, r(2));
+        a.mov(r(2), r(3));
+        a.halt();
+        let mut opt = Optimizer::new(OptimizerConfig::baseline(), 4096, |_| 0);
+        let rs = rename_all(&mut opt, &stream(a), 100);
+        assert!(rs.iter().take(3).all(|x| x.class == RenamedClass::SimpleInt));
+        assert!(rs.iter().take(3).all(|x| x.dst_new));
+        assert_eq!(opt.stats().executed_early, 0);
+        assert_eq!(opt.stats().moves_eliminated, 0);
+    }
+
+    #[test]
+    fn rename_stops_when_registers_run_out() {
+        let mut a = Asm::new();
+        for i in 0..40 {
+            a.li(r((i % 20) as u8 + 1), i);
+        }
+        a.halt();
+        // 64 arch registers + zero reg occupy most of an 80-register file.
+        let mut opt = Optimizer::new(OptimizerConfig::baseline(), 80, |_| 0);
+        let ds = stream(a);
+        let reqs: Vec<RenameReq> = ds
+            .iter()
+            .map(|&d| RenameReq { d, mispredicted: false })
+            .collect();
+        let renamed = opt.rename_bundle(0, &reqs);
+        assert!(renamed.len() < reqs.len(), "pool exhaustion must stop rename");
+        assert!(!renamed.is_empty(), "some registers were free");
+    }
+
+    #[test]
+    fn intra_bundle_chain_limit_demotes_dependents() {
+        // The paper's §3.1 example: four dependent adds in one packet; only
+        // the first is optimized at the default depth.
+        // Seed r1 with a known constant, then issue four dependent adds in
+        // a single rename packet.
+        let mut c = Asm::new();
+        c.li(r(1), 1);
+        c.addq(r(1), 1, r(2));
+        c.addq(r(2), 1, r(3));
+        c.addq(r(3), 1, r(4));
+        c.addq(r(4), 1, r(5));
+        c.halt();
+        let ds = stream(c);
+        let mut opt = opt_default();
+        // First bundle: li alone. Second bundle: the four adds together.
+        let first = opt.rename_bundle(0, &[RenameReq { d: ds[0], mispredicted: false }]);
+        assert_eq!(first[0].class, RenamedClass::Done);
+        let reqs: Vec<RenameReq> = ds[1..5]
+            .iter()
+            .map(|&d| RenameReq { d, mispredicted: false })
+            .collect();
+        let adds = opt.rename_bundle(1, &reqs);
+        assert_eq!(adds[0].class, RenamedClass::Done, "head of the chain folds");
+        // The paper's §3.1 example: "only the first instruction is
+        // reassociated". The dependents must all still execute in the core
+        // (none may early-execute off a value computed this cycle). Note:
+        // after demotion, later adds may still *record* symbols built from
+        // statically available offset fields — that costs no serial adder —
+        // but no dependent's value is computed at rename.
+        assert!(
+            adds[1..].iter().all(|x| x.class == RenamedClass::SimpleInt),
+            "dependents are chain-limited: {:?}",
+            adds.iter().map(|x| x.class).collect::<Vec<_>>()
+        );
+        assert!(opt.stats().chain_limited >= 1);
+    }
+
+    #[test]
+    fn bsr_link_value_is_known() {
+        let mut a = Asm::new();
+        a.bsr(contopt_isa::Reg::RA, "f");
+        a.halt();
+        a.label("f");
+        a.jmp(contopt_isa::Reg::R31, contopt_isa::Reg::RA);
+        a.halt();
+        let mut opt = opt_default();
+        let rs = rename_all(&mut opt, &stream(a), 1);
+        assert_eq!(rs[0].class, RenamedClass::Done, "link is pc+4, known");
+        // The return jump reads RA whose value is known -> resolved early.
+        assert!(rs[1].resolved_early, "return target known in the optimizer");
+    }
+
+    #[test]
+    fn fp_ops_are_never_optimized() {
+        let mut a = Asm::new();
+        let buf = a.data_f64s(&[1.5]);
+        a.li(r(5), buf as i64);
+        a.ldt(contopt_isa::f(1), r(5), 0);
+        a.addt(contopt_isa::f(1), contopt_isa::f(1), contopt_isa::f(2));
+        a.halt();
+        let mut opt = opt_default();
+        let rs = rename_all(&mut opt, &stream(a), 100);
+        assert_eq!(rs[2].class, RenamedClass::Fp);
+        assert!(!rs[2].srcs.is_empty(), "FP values are never constants");
+    }
+
+    #[test]
+    fn no_references_leak_across_a_long_run() {
+        let mut a = Asm::new();
+        let buf = a.data_zeros(256);
+        a.li(r(5), buf as i64);
+        a.li(r(9), 50);
+        a.label("loop");
+        a.ldq(r(1), r(5), 0);
+        a.addq(r(1), 1, r(1));
+        a.stq(r(1), r(5), 0);
+        a.mov(r(1), r(2));
+        a.subq(r(9), 1, r(9));
+        a.bne(r(9), "loop");
+        a.halt();
+        let mut opt = opt_default();
+        let before = opt.pregs().live_count();
+        rename_all(&mut opt, &stream(a), 2);
+        opt.apply_feedback(u64::MAX); // drain in-flight feedback claims
+        let after = opt.pregs().live_count();
+        // Live registers: the 64 RAT mappings (+ sym bases + MBC pins),
+        // bounded well below the pool size; crucially it must not grow with
+        // the dynamic instruction count (50 iterations x 6 insts).
+        assert!(
+            after < before + 80,
+            "references leak: {before} -> {after}"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Optimizer statistics — the raw counters behind Table 3.
+
+/// Event counters accumulated by the optimizer.
+///
+/// The derived percentages ([`OptStats::pct_executed_early`] etc.) are the
+/// quantities Table 3 of the paper reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Dynamic instructions processed by the rename/optimize stage.
+    pub insts: u64,
+    /// Instructions whose outputs were fully determined in the optimizer
+    /// (early-executed ALU ops, resolved branches, eliminated moves, and
+    /// forwarded loads) — the paper's "exec. early".
+    pub executed_early: u64,
+    /// Conditional-branch instances resolved in the optimizer.
+    pub branches_resolved_early: u64,
+    /// Mispredicted conditional branches (as reported by the pipeline).
+    pub mispredicted_branches: u64,
+    /// Mispredicted conditional branches that the optimizer resolved —
+    /// the paper's "recov. mispred. brs.".
+    pub mispredicts_recovered_early: u64,
+    /// Loads + stores processed.
+    pub mem_ops: u64,
+    /// Loads + stores whose effective address was fully generated in the
+    /// optimizer — the paper's "ld/st addr. gen.".
+    pub mem_addr_generated: u64,
+    /// Loads processed.
+    pub loads: u64,
+    /// Loads converted to moves by RLE/SF — the paper's "lds removed".
+    pub loads_removed: u64,
+    /// MBC forwards rejected by strict value checking (stale entries from
+    /// speculative unknown-address stores).
+    pub mbc_rejects: u64,
+    /// Register moves eliminated through reassociation.
+    pub moves_eliminated: u64,
+    /// Multiplies strength-reduced to shifts.
+    pub strength_reductions: u64,
+    /// Register values inferred from branch directions.
+    pub branch_inferences: u64,
+    /// Values fed back from execution that converted a live table entry.
+    pub feedback_integrations: u64,
+    /// Instructions that could not be optimized due to the intra-bundle
+    /// serial-addition limit.
+    pub chain_limited: u64,
+    /// Loads denied an MBC query due to the intra-bundle memory-chain limit.
+    pub mem_chain_limited: u64,
+    /// Table invalidations at discrete-optimization trace boundaries (§3.4).
+    pub trace_resets: u64,
+}
+
+impl OptStats {
+    fn pct(num: u64, den: u64) -> f64 {
+        if den == 0 {
+            0.0
+        } else {
+            100.0 * num as f64 / den as f64
+        }
+    }
+
+    /// Percentage of the instruction stream executed in the optimizer.
+    pub fn pct_executed_early(&self) -> f64 {
+        Self::pct(self.executed_early, self.insts)
+    }
+
+    /// Percentage of mispredicted branches recovered at the optimizer.
+    pub fn pct_mispredicts_recovered(&self) -> f64 {
+        Self::pct(self.mispredicts_recovered_early, self.mispredicted_branches)
+    }
+
+    /// Percentage of memory operations with addresses generated early.
+    pub fn pct_mem_addr_generated(&self) -> f64 {
+        Self::pct(self.mem_addr_generated, self.mem_ops)
+    }
+
+    /// Percentage of loads removed by RLE/SF.
+    pub fn pct_loads_removed(&self) -> f64 {
+        Self::pct(self.loads_removed, self.loads)
+    }
+
+    /// Accumulates another stats block into this one (used to aggregate over
+    /// a benchmark suite).
+    pub fn merge(&mut self, o: &OptStats) {
+        self.insts += o.insts;
+        self.executed_early += o.executed_early;
+        self.branches_resolved_early += o.branches_resolved_early;
+        self.mispredicted_branches += o.mispredicted_branches;
+        self.mispredicts_recovered_early += o.mispredicts_recovered_early;
+        self.mem_ops += o.mem_ops;
+        self.mem_addr_generated += o.mem_addr_generated;
+        self.loads += o.loads;
+        self.loads_removed += o.loads_removed;
+        self.mbc_rejects += o.mbc_rejects;
+        self.moves_eliminated += o.moves_eliminated;
+        self.strength_reductions += o.strength_reductions;
+        self.branch_inferences += o.branch_inferences;
+        self.feedback_integrations += o.feedback_integrations;
+        self.chain_limited += o.chain_limited;
+        self.mem_chain_limited += o.mem_chain_limited;
+        self.trace_resets += o.trace_resets;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages() {
+        let s = OptStats {
+            insts: 200,
+            executed_early: 52,
+            mispredicted_branches: 40,
+            mispredicts_recovered_early: 5,
+            mem_ops: 100,
+            mem_addr_generated: 65,
+            loads: 50,
+            loads_removed: 10,
+            ..OptStats::default()
+        };
+        assert!((s.pct_executed_early() - 26.0).abs() < 1e-9);
+        assert!((s.pct_mispredicts_recovered() - 12.5).abs() < 1e-9);
+        assert!((s.pct_mem_addr_generated() - 65.0).abs() < 1e-9);
+        assert!((s.pct_loads_removed() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_denominators_are_zero() {
+        let s = OptStats::default();
+        assert_eq!(s.pct_executed_early(), 0.0);
+        assert_eq!(s.pct_mispredicts_recovered(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = OptStats {
+            insts: 10,
+            loads: 2,
+            ..OptStats::default()
+        };
+        let b = OptStats {
+            insts: 5,
+            loads: 3,
+            loads_removed: 1,
+            ..OptStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.insts, 15);
+        assert_eq!(a.loads, 5);
+        assert_eq!(a.loads_removed, 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! The symbolic value algebra of the CP/RA tables.
+//!
+//! Every integer architectural register's RAT entry carries a symbolic value
+//! of the form `(base << scale) + offset`, where `base` is a physical
+//! register, `scale` a 2-bit shift, and `offset` a 64-bit signed immediate
+//! (§3.1 of the paper). A fully *known* value is encoded by setting the base
+//! to the hardwired zero register and storing the value in the offset — the
+//! paper's "base register value" field.
+//!
+//! Transformations additionally report whether they consumed one of the
+//! rename-stage ALUs ([`Folded::used_add`]); the bundle logic uses this to
+//! enforce the paper's bound on serial additions per rename packet (§3.1,
+//! §6.2).
+
+use crate::preg::PhysReg;
+use std::fmt;
+
+/// Maximum encodable scale (a 2-bit field: shifts of 0–3).
+pub const MAX_SCALE: u8 = 3;
+
+/// A symbolic register value: either a known 64-bit constant or
+/// `(base << scale) + offset` over a physical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymValue {
+    /// The value is fully known.
+    Known(u64),
+    /// `(base << scale) + offset`.
+    Expr {
+        /// Base physical register.
+        base: PhysReg,
+        /// Left-shift applied to the base (0–3).
+        scale: u8,
+        /// Signed offset added after shifting.
+        offset: i64,
+    },
+}
+
+impl SymValue {
+    /// A plain reference to a physical register (scale 0, offset 0).
+    #[inline]
+    pub fn reg(p: PhysReg) -> SymValue {
+        SymValue::Expr {
+            base: p,
+            scale: 0,
+            offset: 0,
+        }
+    }
+
+    /// The known constant, if fully known.
+    #[inline]
+    pub fn known(&self) -> Option<u64> {
+        match *self {
+            SymValue::Known(v) => Some(v),
+            SymValue::Expr { .. } => None,
+        }
+    }
+
+    /// The base physical register, if symbolic.
+    #[inline]
+    pub fn base(&self) -> Option<PhysReg> {
+        match *self {
+            SymValue::Known(_) => None,
+            SymValue::Expr { base, .. } => Some(base),
+        }
+    }
+
+    /// Whether this is a *plain* register reference (`scale == 0 &&
+    /// offset == 0`) — the form that permits move elimination.
+    #[inline]
+    pub fn is_plain_reg(&self) -> bool {
+        matches!(
+            *self,
+            SymValue::Expr {
+                scale: 0,
+                offset: 0,
+                ..
+            }
+        )
+    }
+
+    /// Substitutes a now-known value for the base register (value feedback):
+    /// `(v << scale) + offset`.
+    ///
+    /// Returns `None` if this symbol does not reference `p`.
+    pub fn feed_back(&self, p: PhysReg, v: u64) -> Option<SymValue> {
+        match *self {
+            SymValue::Expr {
+                base,
+                scale,
+                offset,
+            } if base == p => Some(SymValue::Known(
+                (v << scale).wrapping_add(offset as u64),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the symbol given an oracle for physical-register values
+    /// (used only for strict value checking, never for optimization).
+    pub fn eval_with(&self, lookup: impl Fn(PhysReg) -> u64) -> u64 {
+        match *self {
+            SymValue::Known(v) => v,
+            SymValue::Expr {
+                base,
+                scale,
+                offset,
+            } => (lookup(base) << scale).wrapping_add(offset as u64),
+        }
+    }
+}
+
+impl fmt::Display for SymValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SymValue::Known(v) => write!(f, "={v:#x}"),
+            SymValue::Expr {
+                base,
+                scale,
+                offset,
+            } => {
+                if scale == 0 && offset == 0 {
+                    write!(f, "{base}")
+                } else if scale == 0 {
+                    write!(f, "{base}{offset:+}")
+                } else {
+                    write!(f, "({base}<<{scale}){offset:+}")
+                }
+            }
+        }
+    }
+}
+
+/// Result of a symbolic transformation: the derived value plus whether one
+/// rename-stage ALU addition was consumed to derive it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Folded {
+    /// The derived symbolic value.
+    pub value: SymValue,
+    /// Whether deriving it required an ALU addition this cycle. Trivial
+    /// recodings (e.g. folding an immediate into a zero offset, or bumping
+    /// the 2-bit scale) are free.
+    pub used_add: bool,
+}
+
+impl Folded {
+    fn add(value: SymValue) -> Folded {
+        Folded {
+            value,
+            used_add: true,
+        }
+    }
+}
+
+/// Adds a signed immediate to a symbolic value (constant propagation /
+/// reassociation for `lda`, `addq rI, #k`, `subq rI, #k`).
+///
+/// Always representable. Costs an addition unless the existing offset is
+/// zero (the immediate then just occupies the empty offset field).
+///
+/// # Examples
+///
+/// ```
+/// use contopt::{sym_add_imm, SymValue, PhysReg};
+/// let p = PhysReg::from_index(5);
+/// let f = sym_add_imm(SymValue::reg(p), 8);
+/// assert_eq!(f.value, SymValue::Expr { base: p, scale: 0, offset: 8 });
+/// assert!(!f.used_add, "filling an empty offset is free");
+/// let g = sym_add_imm(f.value, -3);
+/// assert_eq!(g.value, SymValue::Expr { base: p, scale: 0, offset: 5 });
+/// assert!(g.used_add, "folding into a non-zero offset costs an add");
+/// ```
+pub fn sym_add_imm(a: SymValue, k: i64) -> Folded {
+    match a {
+        SymValue::Known(v) => Folded {
+            value: SymValue::Known(v.wrapping_add(k as u64)),
+            used_add: k != 0,
+        },
+        SymValue::Expr {
+            base,
+            scale,
+            offset,
+        } => {
+            let value = SymValue::Expr {
+                base,
+                scale,
+                offset: offset.wrapping_add(k),
+            };
+            Folded {
+                value,
+                used_add: offset != 0 && k != 0,
+            }
+        }
+    }
+}
+
+/// Adds two symbolic values (`addq rA, rB`): representable when at least one
+/// side is known.
+pub fn sym_add(a: SymValue, b: SymValue) -> Option<Folded> {
+    match (a, b) {
+        (SymValue::Known(x), SymValue::Known(y)) => {
+            Some(Folded::add(SymValue::Known(x.wrapping_add(y))))
+        }
+        (SymValue::Known(k), e @ SymValue::Expr { .. })
+        | (e @ SymValue::Expr { .. }, SymValue::Known(k)) => Some(sym_add_imm(e, k as i64)),
+        (SymValue::Expr { .. }, SymValue::Expr { .. }) => None,
+    }
+}
+
+/// Subtracts symbolic values (`subq rA, rB`): representable when the
+/// subtrahend is known, or both are known. `Known - Expr` is *not*
+/// representable (the encoding cannot negate a base register).
+pub fn sym_sub(a: SymValue, b: SymValue) -> Option<Folded> {
+    match (a, b) {
+        (SymValue::Known(x), SymValue::Known(y)) => {
+            Some(Folded::add(SymValue::Known(x.wrapping_sub(y))))
+        }
+        (e @ SymValue::Expr { .. }, SymValue::Known(k)) => {
+            Some(sym_add_imm(e, (k as i64).wrapping_neg()))
+        }
+        _ => None,
+    }
+}
+
+/// Shifts a symbolic value left (`sll rA, #k`, and the strength-reduced form
+/// of `mulq rA, #2^k`): representable while the accumulated scale fits the
+/// 2-bit field.
+///
+/// Folding the scale is free; shifting a non-zero offset costs an add-class
+/// ALU slot (it reuses the shifter).
+pub fn sym_shl(a: SymValue, k: u32) -> Option<Folded> {
+    match a {
+        SymValue::Known(v) => Some(Folded::add(SymValue::Known(v.wrapping_shl(k)))),
+        SymValue::Expr {
+            base,
+            scale,
+            offset,
+        } => {
+            let new_scale = scale as u32 + k;
+            if new_scale > MAX_SCALE as u32 {
+                return None;
+            }
+            let new_offset = offset.checked_shl(k)?;
+            // Guard against offset overflow changing the value.
+            if (new_offset >> k) != offset {
+                return None;
+            }
+            Some(Folded {
+                value: SymValue::Expr {
+                    base,
+                    scale: new_scale as u8,
+                    offset: new_offset,
+                },
+                used_add: offset != 0,
+            })
+        }
+    }
+}
+
+/// The scaled-add forms `s4addq`/`s8addq`: `(a << k) + b` with `k ∈ {2,3}`.
+pub fn sym_scaled_add(a: SymValue, k: u32, b: SymValue) -> Option<Folded> {
+    let shifted = sym_shl(a, k)?;
+    let sum = sym_add(shifted.value, b)?;
+    Some(Folded {
+        value: sum.value,
+        used_add: shifted.used_add || sum.used_add,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> PhysReg {
+        PhysReg::from_index(i)
+    }
+
+    #[test]
+    fn known_encoding_via_zero_base() {
+        // The hardware encodes Known(v) as base = zero register; the enum
+        // models that directly. Feeding back the zero register never occurs.
+        let k = SymValue::Known(7);
+        assert_eq!(k.known(), Some(7));
+        assert_eq!(k.base(), None);
+        assert!(!k.is_plain_reg());
+    }
+
+    #[test]
+    fn add_imm_chains() {
+        let s = SymValue::reg(p(3));
+        let s1 = sym_add_imm(s, 4);
+        assert!(!s1.used_add);
+        let s2 = sym_add_imm(s1.value, 4);
+        assert!(s2.used_add);
+        assert_eq!(
+            s2.value,
+            SymValue::Expr {
+                base: p(3),
+                scale: 0,
+                offset: 8
+            }
+        );
+    }
+
+    #[test]
+    fn add_sub_with_known() {
+        let e = SymValue::Expr {
+            base: p(1),
+            scale: 0,
+            offset: 10,
+        };
+        let sum = sym_add(e, SymValue::Known(5)).unwrap();
+        assert_eq!(
+            sum.value,
+            SymValue::Expr {
+                base: p(1),
+                scale: 0,
+                offset: 15
+            }
+        );
+        let diff = sym_sub(e, SymValue::Known(5)).unwrap();
+        assert_eq!(
+            diff.value,
+            SymValue::Expr {
+                base: p(1),
+                scale: 0,
+                offset: 5
+            }
+        );
+        assert!(sym_sub(SymValue::Known(5), e).is_none(), "cannot negate a base");
+        assert!(sym_add(e, e).is_none(), "two symbolic bases not representable");
+    }
+
+    #[test]
+    fn both_known_executes() {
+        assert_eq!(
+            sym_add(SymValue::Known(3), SymValue::Known(4)).unwrap().value,
+            SymValue::Known(7)
+        );
+        assert_eq!(
+            sym_sub(SymValue::Known(3), SymValue::Known(4)).unwrap().value,
+            SymValue::Known(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn scale_field_limits_shifts() {
+        let s = SymValue::reg(p(2));
+        let s2 = sym_shl(s, 2).unwrap();
+        assert_eq!(
+            s2.value,
+            SymValue::Expr {
+                base: p(2),
+                scale: 2,
+                offset: 0
+            }
+        );
+        assert!(!s2.used_add, "scale bump is free");
+        let s3 = sym_shl(s2.value, 1).unwrap();
+        assert_eq!(s3.value.base(), Some(p(2)));
+        assert!(sym_shl(s3.value, 1).is_none(), "scale > 3 not encodable");
+    }
+
+    #[test]
+    fn shift_scales_offset() {
+        let e = SymValue::Expr {
+            base: p(2),
+            scale: 0,
+            offset: 5,
+        };
+        let s = sym_shl(e, 3).unwrap();
+        assert_eq!(
+            s.value,
+            SymValue::Expr {
+                base: p(2),
+                scale: 3,
+                offset: 40
+            }
+        );
+        assert!(s.used_add);
+    }
+
+    #[test]
+    fn scaled_add_matches_s4addq() {
+        // (p << 2) + 100
+        let f = sym_scaled_add(SymValue::reg(p(4)), 2, SymValue::Known(100)).unwrap();
+        assert_eq!(
+            f.value,
+            SymValue::Expr {
+                base: p(4),
+                scale: 2,
+                offset: 100
+            }
+        );
+    }
+
+    #[test]
+    fn feedback_folds_scale_and_offset() {
+        let e = SymValue::Expr {
+            base: p(9),
+            scale: 1,
+            offset: -2,
+        };
+        assert_eq!(e.feed_back(p(9), 10), Some(SymValue::Known(18)));
+        assert_eq!(e.feed_back(p(8), 10), None);
+        assert_eq!(SymValue::Known(3).feed_back(p(9), 10), None);
+    }
+
+    #[test]
+    fn eval_with_oracle() {
+        let e = SymValue::Expr {
+            base: p(9),
+            scale: 2,
+            offset: 1,
+        };
+        assert_eq!(e.eval_with(|_| 5), 21);
+        assert_eq!(SymValue::Known(7).eval_with(|_| unreachable!()), 7);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SymValue::Known(255).to_string(), "=0xff");
+        assert_eq!(SymValue::reg(p(3)).to_string(), "p3");
+        assert_eq!(
+            SymValue::Expr {
+                base: p(3),
+                scale: 0,
+                offset: -4
+            }
+            .to_string(),
+            "p3-4"
+        );
+        assert_eq!(
+            SymValue::Expr {
+                base: p(3),
+                scale: 2,
+                offset: 4
+            }
+            .to_string(),
+            "(p3<<2)+4"
+        );
+    }
+}

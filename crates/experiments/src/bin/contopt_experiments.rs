@@ -1,0 +1,56 @@
+//! Command-line driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! contopt-experiments [--insts N] [--json] --all
+//! contopt-experiments --table1 --table2 --table3 --fig6 --fig8 --fig9 --fig10 --fig11 --fig12
+//! ```
+
+use contopt_experiments::{
+    fig10, fig11, fig12, fig6, fig8, fig9, table1, table2, table3, Lab, DEFAULT_INSTS,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: contopt-experiments [--insts N] [--json] \
+             [--all | --table1 --table2 --table3 --fig6 --fig8 --fig9 --fig10 --fig11 --fig12]"
+        );
+        return;
+    }
+    let mut insts = DEFAULT_INSTS;
+    if let Some(i) = args.iter().position(|a| a == "--insts") {
+        insts = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--insts takes a number");
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let all = args.iter().any(|a| a == "--all");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    let mut lab = Lab::new(insts);
+    macro_rules! emit {
+        ($flag:expr, $result:expr) => {
+            if want($flag) {
+                let r = $result;
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&r).expect("serializes"));
+                } else {
+                    println!("{r}");
+                }
+                println!();
+            }
+        };
+    }
+
+    emit!("--table1", table1(&lab));
+    emit!("--table2", table2());
+    emit!("--fig6", fig6(&mut lab));
+    emit!("--table3", table3(&mut lab));
+    emit!("--fig8", fig8(&mut lab));
+    emit!("--fig9", fig9(&mut lab));
+    emit!("--fig10", fig10(&mut lab));
+    emit!("--fig11", fig11(&mut lab));
+    emit!("--fig12", fig12(&mut lab));
+}

@@ -1,0 +1,229 @@
+//! Regenerators for the paper's evaluation figures (6, 8, 9, 10, 11, 12).
+
+use crate::lab::{Lab, SuiteMeans};
+use contopt::OptimizerConfig;
+use contopt_pipeline::MachineConfig;
+use contopt_workloads::Suite;
+use serde::Serialize;
+use std::fmt;
+
+fn base() -> MachineConfig {
+    MachineConfig::default_paper()
+}
+
+fn opt() -> MachineConfig {
+    MachineConfig::default_with_optimizer()
+}
+
+/// Figure 6 — speedup of continuous optimization over the baseline, per
+/// benchmark, with per-suite averages.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6 {
+    /// `(suite, name, speedup)` per benchmark, in Table 1 order.
+    pub rows: Vec<(String, String, f64)>,
+    /// Per-suite geometric means.
+    pub means: SuiteMeans,
+}
+
+/// Regenerates Figure 6.
+pub fn fig6(lab: &mut Lab) -> Fig6 {
+    let ws = lab.workloads().to_vec();
+    let mut rows = Vec::new();
+    for w in &ws {
+        let b = lab.run("base", base(), w);
+        let o = lab.run("opt", opt(), w);
+        rows.push((w.suite.to_string(), w.name.to_string(), o.speedup_over(&b)));
+    }
+    let means = lab.suite_speedups("opt", opt(), "base", base());
+    Fig6 { rows, means }
+}
+
+fn bar(f: &mut fmt::Formatter<'_>, label: &str, v: f64) -> fmt::Result {
+    let n = ((v - 0.9).max(0.0) * 100.0).round() as usize;
+    writeln!(f, "  {label:<8} {v:>6.3}  |{}", "#".repeat(n.min(60)))
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 6. Speedup of continuous optimization over baseline")?;
+        writeln!(f, "(bars start at 0.9; geometric-mean suite averages)")?;
+        let mut last = String::new();
+        for (suite, name, v) in &self.rows {
+            if *suite != last {
+                if !last.is_empty() {
+                    let m = match last.as_str() {
+                        "SPECint" => self.means.specint,
+                        "SPECfp" => self.means.specfp,
+                        _ => self.means.mediabench,
+                    };
+                    bar(f, "avg", m)?;
+                }
+                writeln!(f, "{suite}:")?;
+                last = suite.clone();
+            }
+            bar(f, name, *v)?;
+        }
+        bar(f, "avg", self.means.mediabench)?;
+        Ok(())
+    }
+}
+
+/// Speedup bars for a multi-configuration figure, one row per suite.
+#[derive(Debug, Clone, Serialize)]
+pub struct SuiteFigure {
+    /// Figure title.
+    pub title: String,
+    /// Bar labels, in order.
+    pub labels: Vec<String>,
+    /// `labels.len()` speedups per suite: (SPECint, SPECfp, mediabench).
+    pub bars: Vec<(String, Vec<f64>)>,
+}
+
+impl SuiteFigure {
+    fn collect(title: &str, lab: &mut Lab, configs: &[(&str, MachineConfig)]) -> SuiteFigure {
+        let mut means = Vec::new();
+        for (key, cfg) in configs {
+            means.push(lab.suite_speedups(key, *cfg, "base", base()));
+        }
+        let bars = [
+            (Suite::SpecInt.to_string(), means.iter().map(|m| m.specint).collect()),
+            (Suite::SpecFp.to_string(), means.iter().map(|m| m.specfp).collect()),
+            (
+                Suite::MediaBench.to_string(),
+                means.iter().map(|m| m.mediabench).collect(),
+            ),
+        ];
+        SuiteFigure {
+            title: title.to_string(),
+            labels: configs.iter().map(|(k, _)| k.to_string()).collect(),
+            bars: bars.into(),
+        }
+    }
+
+    /// The speedups for one suite, in label order.
+    pub fn suite(&self, s: Suite) -> &[f64] {
+        &self
+            .bars
+            .iter()
+            .find(|(name, _)| *name == s.to_string())
+            .expect("suite present")
+            .1
+    }
+}
+
+impl fmt::Display for SuiteFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        write!(f, "{:<12}", "")?;
+        for l in &self.labels {
+            write!(f, "{l:>16}")?;
+        }
+        writeln!(f)?;
+        for (suite, vals) in &self.bars {
+            write!(f, "{suite:<12}")?;
+            for v in vals {
+                write!(f, "{v:>16.3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Figure 8 — performance on fetch-bound and execution-bound machine models
+/// (all speedups relative to the default baseline).
+pub fn fig8(lab: &mut Lab) -> SuiteFigure {
+    let configs = [
+        ("fetch bound", MachineConfig::fetch_bound()),
+        (
+            "fetch bound+opt",
+            MachineConfig::fetch_bound().with_optimizer(OptimizerConfig::default()),
+        ),
+        ("opt", opt()),
+        ("exec bound", MachineConfig::exec_bound()),
+        (
+            "exec bound+opt",
+            MachineConfig::exec_bound().with_optimizer(OptimizerConfig::default()),
+        ),
+    ];
+    SuiteFigure::collect(
+        "Figure 8. Performance relative to various machine configurations",
+        lab,
+        &configs,
+    )
+}
+
+/// Figure 9 — value feedback alone versus feedback plus optimization.
+pub fn fig9(lab: &mut Lab) -> SuiteFigure {
+    let configs = [
+        (
+            "feedback",
+            base().with_optimizer(OptimizerConfig::feedback_only()),
+        ),
+        ("feedback+opt", opt()),
+    ];
+    SuiteFigure::collect(
+        "Figure 9. Continuous optimization vs. value feedback",
+        lab,
+        &configs,
+    )
+}
+
+/// Figure 10 — sensitivity to intra-bundle dependence depth.
+pub fn fig10(lab: &mut Lab) -> SuiteFigure {
+    let mk = |add: u32, mem: u32| {
+        base().with_optimizer(OptimizerConfig {
+            add_chain_depth: add,
+            mem_chain_depth: mem,
+            ..OptimizerConfig::default()
+        })
+    };
+    let configs = [
+        ("depth 0", opt()),
+        ("depth 1", mk(1, 0)),
+        ("depth 3", mk(3, 0)),
+        ("depth 3 & 1 mem", mk(3, 1)),
+    ];
+    SuiteFigure::collect(
+        "Figure 10. Importance of processing dependent instructions in parallel",
+        lab,
+        &configs,
+    )
+}
+
+/// Figure 11 — sensitivity to the optimizer's extra pipeline stages.
+pub fn fig11(lab: &mut Lab) -> SuiteFigure {
+    let mk = |stages: u64| {
+        base().with_optimizer(OptimizerConfig {
+            extra_stages: stages,
+            ..OptimizerConfig::default()
+        })
+    };
+    let configs = [
+        ("delay 0", mk(0)),
+        ("delay 2", opt()),
+        ("delay 4", mk(4)),
+    ];
+    SuiteFigure::collect("Figure 11. Optimizer latency sensitivity", lab, &configs)
+}
+
+/// Figure 12 — sensitivity to the value-feedback transmission delay.
+pub fn fig12(lab: &mut Lab) -> SuiteFigure {
+    let mk = |delay: u64| {
+        base().with_optimizer(OptimizerConfig {
+            feedback_delay: delay,
+            ..OptimizerConfig::default()
+        })
+    };
+    let configs = [
+        ("delay 0", mk(0)),
+        ("delay 1", opt()),
+        ("delay 5", mk(5)),
+        ("delay 10", mk(10)),
+    ];
+    SuiteFigure::collect(
+        "Figure 12. Performance sensitivity to value feedback transmission delay",
+        lab,
+        &configs,
+    )
+}

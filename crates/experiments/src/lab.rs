@@ -1,0 +1,156 @@
+//! The experiment runner: simulates workloads under machine configurations
+//! and caches results so figures sharing a configuration don't re-simulate.
+
+use contopt_pipeline::{simulate, MachineConfig, RunReport};
+use contopt_workloads::{suite, Suite, Workload};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default dynamic-instruction budget per benchmark (all workloads halt
+/// naturally below this).
+pub const DEFAULT_INSTS: u64 = 2_000_000;
+
+/// Runs simulations and memoizes their reports.
+///
+/// # Examples
+///
+/// ```no_run
+/// use contopt_experiments::Lab;
+/// use contopt_pipeline::MachineConfig;
+///
+/// let mut lab = Lab::new(2_000_000);
+/// let w = contopt_workloads::build("untst").unwrap();
+/// let base = lab.run("base", MachineConfig::default_paper(), &w);
+/// let opt = lab.run("opt", MachineConfig::default_with_optimizer(), &w);
+/// println!("untst speedup: {:.3}", opt.speedup_over(&base));
+/// ```
+pub struct Lab {
+    insts: u64,
+    workloads: Vec<Workload>,
+    cache: HashMap<(String, &'static str), Arc<RunReport>>,
+}
+
+impl Lab {
+    /// Creates a lab with an instruction budget per benchmark.
+    pub fn new(insts: u64) -> Lab {
+        Lab {
+            insts,
+            workloads: suite(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The workload suite under test.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// The per-benchmark instruction budget.
+    pub fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    /// Simulates `w` under `cfg`, memoized by `(key, workload name)`.
+    ///
+    /// The caller-chosen `key` must uniquely identify `cfg` within this lab.
+    pub fn run(&mut self, key: &str, cfg: MachineConfig, w: &Workload) -> Arc<RunReport> {
+        let k = (key.to_string(), w.name);
+        if let Some(r) = self.cache.get(&k) {
+            return Arc::clone(r);
+        }
+        let report = Arc::new(simulate(cfg, w.program.clone(), self.insts));
+        self.cache.insert(k, Arc::clone(&report));
+        report
+    }
+
+    /// Runs every workload under `cfg`; returns `(workload, report)` pairs
+    /// in Table 1 order.
+    pub fn run_all(&mut self, key: &str, cfg: MachineConfig) -> Vec<(Workload, Arc<RunReport>)> {
+        let ws = self.workloads.clone();
+        ws.into_iter()
+            .map(|w| {
+                let r = self.run(key, cfg, &w);
+                (w, r)
+            })
+            .collect()
+    }
+
+    /// Per-suite geometric-mean speedup of `cfg` over `base_cfg`.
+    pub fn suite_speedups(
+        &mut self,
+        key: &str,
+        cfg: MachineConfig,
+        base_key: &str,
+        base_cfg: MachineConfig,
+    ) -> SuiteMeans {
+        let mut per_suite: HashMap<Suite, Vec<f64>> = HashMap::new();
+        let ws = self.workloads.clone();
+        for w in &ws {
+            let base = self.run(base_key, base_cfg, w);
+            let new = self.run(key, cfg, w);
+            per_suite
+                .entry(w.suite)
+                .or_default()
+                .push(new.speedup_over(&base));
+        }
+        SuiteMeans {
+            specint: geomean(&per_suite[&Suite::SpecInt]),
+            specfp: geomean(&per_suite[&Suite::SpecFp]),
+            mediabench: geomean(&per_suite[&Suite::MediaBench]),
+        }
+    }
+}
+
+/// Geometric-mean speedups per suite.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct SuiteMeans {
+    /// SPECint geometric mean.
+    pub specint: f64,
+    /// SPECfp geometric mean.
+    pub specfp: f64,
+    /// mediabench geometric mean.
+    pub mediabench: f64,
+}
+
+impl SuiteMeans {
+    /// Geometric mean across the three suite means.
+    pub fn overall(&self) -> f64 {
+        (self.specint * self.specfp * self.mediabench).cbrt()
+    }
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_math() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_empty_panics() {
+        geomean(&[]);
+    }
+
+    #[test]
+    fn lab_memoizes() {
+        let mut lab = Lab::new(50_000);
+        let w = contopt_workloads::build("twf").unwrap();
+        let a = lab.run("base", MachineConfig::default_paper(), &w);
+        let b = lab.run("base", MachineConfig::default_paper(), &w);
+        assert!(Arc::ptr_eq(&a, &b), "second run must come from the cache");
+    }
+}

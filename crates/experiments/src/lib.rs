@@ -1,0 +1,31 @@
+//! # contopt-experiments — regenerating the paper's evaluation
+//!
+//! One function per table and figure in the evaluation of *Continuous
+//! Optimization* (ISCA 2005), each returning a structured, serializable
+//! result that also renders as a paper-style text table:
+//!
+//! | Regenerator | Paper artifact |
+//! |-------------|----------------|
+//! | [`table1`]  | Table 1 — experimental workload |
+//! | [`table2`]  | Table 2 — simulated machine configuration |
+//! | [`fig6`]    | Figure 6 — per-benchmark speedup |
+//! | [`table3`]  | Table 3 — effects of continuous optimization |
+//! | [`fig8`]    | Figure 8 — fetch-bound / exec-bound machine models |
+//! | [`fig9`]    | Figure 9 — value feedback alone vs. with optimization |
+//! | [`fig10`]   | Figure 10 — intra-bundle dependence depth |
+//! | [`fig11`]   | Figure 11 — optimizer pipeline-stage latency |
+//! | [`fig12`]   | Figure 12 — value-feedback transmission delay |
+//!
+//! The `contopt-experiments` binary drives them:
+//! `cargo run --release -p contopt-experiments -- --all`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod figures;
+mod lab;
+mod tables;
+
+pub use figures::{fig10, fig11, fig12, fig6, fig8, fig9, Fig6, SuiteFigure};
+pub use lab::{geomean, Lab, SuiteMeans, DEFAULT_INSTS};
+pub use tables::{table1, table2, table3, Table1, Table1Row, Table2, Table3, Table3Row};

@@ -1,0 +1,207 @@
+//! Regenerators for the paper's tables (1, 2, and 3).
+
+use crate::lab::Lab;
+use contopt_emu::Emulator;
+use contopt_pipeline::MachineConfig;
+use contopt_workloads::Suite;
+use serde::Serialize;
+use std::fmt;
+
+/// Table 1 — the experimental workload and its dynamic instruction counts.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// One row per benchmark.
+    pub rows: Vec<Table1Row>,
+}
+
+/// One Table 1 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Suite label.
+    pub suite: String,
+    /// Benchmark short name.
+    pub name: String,
+    /// What the kernel models.
+    pub description: String,
+    /// Committed dynamic instructions.
+    pub insts: u64,
+}
+
+/// Regenerates Table 1 by running every workload functionally.
+pub fn table1(lab: &Lab) -> Table1 {
+    let rows = lab
+        .workloads()
+        .iter()
+        .map(|w| {
+            let mut emu = Emulator::new(w.program.clone());
+            let s = emu.run_to_halt(lab.insts().max(10_000_000)).expect("halts");
+            Table1Row {
+                suite: w.suite.to_string(),
+                name: w.name.to_string(),
+                description: w.description.to_string(),
+                insts: s.insts,
+            }
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 1. Experimental Workload")?;
+        writeln!(f, "{:-<78}", "")?;
+        writeln!(f, "{:<12} {:<8} {:>12}  {}", "Type", "App.", "Total Insts.", "Kernel")?;
+        let mut last = String::new();
+        for r in &self.rows {
+            let suite = if r.suite == last { String::new() } else { r.suite.clone() };
+            last = r.suite.clone();
+            writeln!(
+                f,
+                "{:<12} {:<8} {:>12}  {}",
+                suite, r.name, r.insts, r.description
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Table 2 — the simulated machine configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2 {
+    /// Rendered `(parameter, value)` rows.
+    pub rows: Vec<(String, String)>,
+}
+
+/// Regenerates Table 2 from the default configurations.
+pub fn table2() -> Table2 {
+    let m = MachineConfig::default_with_optimizer();
+    let h = m.hierarchy;
+    let rows = vec![
+        ("Fetch/Decode/Rename".into(), format!("{} insts/cycle", m.fetch_width)),
+        ("Retire".into(), format!("{} insts/cycle", m.retire_width)),
+        (
+            "BrPred".into(),
+            format!(
+                "{}-bit gshare, {}-entry BTB",
+                m.predictor.history_bits, m.predictor.btb_entries
+            ),
+        ),
+        (
+            "Pipeline".into(),
+            format!(
+                "{} cycles (min) for BR res (if not executed early)",
+                MachineConfig::default_paper().min_branch_penalty()
+            ),
+        ),
+        (
+            "Scheduler".into(),
+            format!("four {}-entry schedulers (int, complex int, fp, mem)", m.scheduler_entries),
+        ),
+        ("Inst Window".into(), format!("max. {} in-flight insts", m.rob_entries)),
+        (
+            "ExeUnits".into(),
+            format!(
+                "{} Simple IALUs, {} Complex IALU, {} FPALUs, {} Agen",
+                m.simple_int_fus, m.complex_int_fus, m.fp_fus, m.agen_fus
+            ),
+        ),
+        ("L1 I Cache".into(), format!("{}, {} cycle", h.l1i, h.l1i_latency)),
+        (
+            "L1 D Cache".into(),
+            format!("{}, {} ports, {} cycles", h.l1d, h.l1d_ports, h.l1d_latency),
+        ),
+        ("L2 Unified Cache".into(), format!("{}, {} cycles", h.l2, h.l2_latency)),
+        ("Memory".into(), format!("{} cycle latency", h.memory_latency)),
+        (
+            "Optimizer".into(),
+            format!(
+                "{} stages, Memory Bypass Cache of {} entries, 4 rd/4wr ports",
+                m.optimizer.extra_stages, m.optimizer.mbc_entries
+            ),
+        ),
+    ];
+    Table2 { rows }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2. Simulated Machine Configuration")?;
+        writeln!(f, "{:-<70}", "")?;
+        for (k, v) in &self.rows {
+            writeln!(f, "{k:<20} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Table 3 — effects of continuous optimization, per suite.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3 {
+    /// One row per suite plus the all-benchmark average.
+    pub rows: Vec<Table3Row>,
+}
+
+/// One Table 3 row (all values in percent).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Suite label (or "avg").
+    pub suite: String,
+    /// % of the instruction stream executed in the optimizer.
+    pub exec_early: f64,
+    /// % of mispredicted branches recovered at the optimizer.
+    pub recovered_mispredicts: f64,
+    /// % of loads+stores with addresses generated in the optimizer.
+    pub addr_generated: f64,
+    /// % of loads removed by RLE/SF.
+    pub loads_removed: f64,
+}
+
+/// Regenerates Table 3 from default-optimizer runs.
+pub fn table3(lab: &mut Lab) -> Table3 {
+    let runs = lab.run_all("opt", MachineConfig::default_with_optimizer());
+    let mut rows = Vec::new();
+    let mut all = contopt::OptStats::default();
+    for suite in [Suite::SpecInt, Suite::SpecFp, Suite::MediaBench] {
+        let mut agg = contopt::OptStats::default();
+        for (w, r) in runs.iter().filter(|(w, _)| w.suite == suite) {
+            let _ = w;
+            agg.merge(&r.optimizer);
+            all.merge(&r.optimizer);
+        }
+        rows.push(Table3Row {
+            suite: suite.to_string(),
+            exec_early: agg.pct_executed_early(),
+            recovered_mispredicts: agg.pct_mispredicts_recovered(),
+            addr_generated: agg.pct_mem_addr_generated(),
+            loads_removed: agg.pct_loads_removed(),
+        });
+    }
+    rows.push(Table3Row {
+        suite: "avg".into(),
+        exec_early: all.pct_executed_early(),
+        recovered_mispredicts: all.pct_mispredicts_recovered(),
+        addr_generated: all.pct_mem_addr_generated(),
+        loads_removed: all.pct_loads_removed(),
+    });
+    Table3 { rows }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 3. Effects of continuous optimization")?;
+        writeln!(f, "{:-<76}", "")?;
+        writeln!(
+            f,
+            "{:<12} {:>11} {:>20} {:>16} {:>12}",
+            "Benchmark", "exec. early", "recov. mispred. brs.", "ld/st addr. gen.", "lds removed"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} {:>10.1}% {:>19.1}% {:>15.1}% {:>11.1}%",
+                r.suite, r.exec_early, r.recovered_mispredicts, r.addr_generated, r.loads_removed
+            )?;
+        }
+        Ok(())
+    }
+}

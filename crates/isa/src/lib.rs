@@ -1,0 +1,51 @@
+//! # contopt-isa — the simulated instruction set
+//!
+//! An Alpha-like 64-bit load/store RISC ISA used by the continuous
+//! optimization simulator (Fahs, Rafacz, Patel & Lumetta, *Continuous
+//! Optimization*, ISCA 2005):
+//!
+//! * 32 integer registers ([`Reg`], `r31` hardwired to zero) and 32
+//!   floating-point registers ([`FReg`], `f31` hardwired to `0.0`);
+//! * integer operate, scaled-add (`s4addq`/`s8addq`), multiply, FP operate,
+//!   loads/stores of 1/2/4/8 bytes, `lda` address formation, and
+//!   compare-against-zero conditional branches — see [`Inst`];
+//! * evaluation semantics shared between the functional emulator and the
+//!   optimizer's early-execution ALUs ([`AluOp::eval`] et al.);
+//! * a label-resolving assembler ([`Asm`]) producing [`Program`]s.
+//!
+//! # Examples
+//!
+//! Build a tiny program that sums an array:
+//!
+//! ```
+//! use contopt_isa::{Asm, r};
+//!
+//! let mut a = Asm::new();
+//! let arr = a.data_quads(&[1, 2, 3, 4]);
+//! a.li(r(1), arr as i64);
+//! a.li(r(2), 4); // counter
+//! a.li(r(3), 0); // sum
+//! a.label("loop");
+//! a.ldq(r(4), r(1), 0);
+//! a.addq(r(3), r(4), r(3));
+//! a.lda(r(1), r(1), 8);
+//! a.subq(r(2), 1, r(2));
+//! a.bne(r(2), "loop");
+//! a.halt();
+//! let program = a.finish()?;
+//! assert_eq!(program.len(), 9);
+//! # Ok::<(), contopt_isa::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod asm;
+mod inst;
+mod opcode;
+mod reg;
+
+pub use asm::{Asm, AsmError, Program, CODE_BASE, DATA_BASE, STACK_TOP};
+pub use inst::{ExecClass, Inst, Operand, SrcRegs};
+pub use opcode::{AluOp, Cond, FpCmpOp, FpOp, MemSize};
+pub use reg::{f, r, ArchReg, FReg, Reg, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};

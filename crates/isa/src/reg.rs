@@ -1,0 +1,276 @@
+//! Architectural register names.
+//!
+//! The ISA follows the Alpha convention: 32 integer registers where `r31`
+//! reads as zero and discards writes, and 32 floating-point registers where
+//! `f31` reads as `0.0` and discards writes.
+//!
+//! For renaming purposes the two files share one flat architectural index
+//! space: integer registers occupy indices `0..32` and floating-point
+//! registers occupy `32..64` (see [`ArchReg`]).
+
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Total architectural registers across both files.
+pub const NUM_ARCH_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// An integer architectural register (`r0`–`r31`).
+///
+/// `r31` is hardwired to zero.
+///
+/// # Examples
+///
+/// ```
+/// use contopt_isa::Reg;
+/// assert!(Reg::R31.is_zero());
+/// assert_eq!(Reg::new(4).index(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired zero register `r31`.
+    pub const R31: Reg = Reg(31);
+    /// Conventional stack-pointer register (`r30`).
+    pub const SP: Reg = Reg(30);
+    /// Conventional return-address register (`r26`).
+    pub const RA: Reg = Reg(26);
+
+    /// Creates an integer register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn new(n: u8) -> Reg {
+        assert!(n < NUM_INT_REGS as u8, "integer register out of range: {n}");
+        Reg(n)
+    }
+
+    /// The register number (0–31).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register `r31`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point architectural register (`f0`–`f31`).
+///
+/// `f31` is hardwired to `0.0`.
+///
+/// # Examples
+///
+/// ```
+/// use contopt_isa::FReg;
+/// assert!(FReg::F31.is_zero());
+/// assert_eq!(FReg::new(2).index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// The hardwired zero register `f31`.
+    pub const F31: FReg = FReg(31);
+
+    /// Creates a floating-point register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn new(n: u8) -> FReg {
+        assert!(n < NUM_FP_REGS as u8, "fp register out of range: {n}");
+        FReg(n)
+    }
+
+    /// The register number (0–31).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register `f31`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A register in the flat architectural index space used by renaming.
+///
+/// Indices `0..32` are the integer registers, `32..64` the floating-point
+/// registers. Hardwired-zero registers map to indices 31 and 63.
+///
+/// # Examples
+///
+/// ```
+/// use contopt_isa::{ArchReg, Reg, FReg};
+/// assert_eq!(ArchReg::from(Reg::new(3)).index(), 3);
+/// assert_eq!(ArchReg::from(FReg::new(3)).index(), 35);
+/// assert!(ArchReg::from(Reg::R31).is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Creates an arch-reg from a flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 64`.
+    #[inline]
+    pub fn from_index(n: usize) -> ArchReg {
+        assert!(n < NUM_ARCH_REGS, "arch register out of range: {n}");
+        ArchReg(n as u8)
+    }
+
+    /// The flat index (0–63).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this register belongs to the integer file.
+    #[inline]
+    pub fn is_int(self) -> bool {
+        self.0 < NUM_INT_REGS as u8
+    }
+
+    /// Whether this register belongs to the floating-point file.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        !self.is_int()
+    }
+
+    /// Whether this is one of the hardwired zero registers (`r31`/`f31`).
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 31 || self.0 == 63
+    }
+
+    /// The integer register, if this index lies in the integer file.
+    #[inline]
+    pub fn as_int(self) -> Option<Reg> {
+        self.is_int().then(|| Reg(self.0))
+    }
+
+    /// The floating-point register, if this index lies in the FP file.
+    #[inline]
+    pub fn as_fp(self) -> Option<FReg> {
+        self.is_fp().then(|| FReg(self.0 - NUM_INT_REGS as u8))
+    }
+}
+
+impl From<Reg> for ArchReg {
+    fn from(r: Reg) -> ArchReg {
+        ArchReg(r.0)
+    }
+}
+
+impl From<FReg> for ArchReg {
+    fn from(f: FReg) -> ArchReg {
+        ArchReg(f.0 + NUM_INT_REGS as u8)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(r) = self.as_int() {
+            write!(f, "{r}")
+        } else {
+            write!(f, "{}", self.as_fp().expect("fp range"))
+        }
+    }
+}
+
+/// Convenience constructor: `r(n)` for integer register `n`.
+///
+/// # Examples
+///
+/// ```
+/// use contopt_isa::{r, Reg};
+/// assert_eq!(r(7), Reg::new(7));
+/// ```
+#[inline]
+pub fn r(n: u8) -> Reg {
+    Reg::new(n)
+}
+
+/// Convenience constructor: `f(n)` for floating-point register `n`.
+#[inline]
+pub fn f(n: u8) -> FReg {
+    FReg::new(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_registers() {
+        assert!(Reg::R31.is_zero());
+        assert!(!Reg::new(0).is_zero());
+        assert!(FReg::F31.is_zero());
+        assert!(ArchReg::from(Reg::R31).is_zero());
+        assert!(ArchReg::from(FReg::F31).is_zero());
+        assert!(!ArchReg::from(Reg::new(30)).is_zero());
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        for n in 0..32u8 {
+            let a = ArchReg::from(Reg::new(n));
+            assert!(a.is_int());
+            assert_eq!(a.as_int(), Some(Reg::new(n)));
+            assert_eq!(a.as_fp(), None);
+        }
+        for n in 0..32u8 {
+            let a = ArchReg::from(FReg::new(n));
+            assert!(a.is_fp());
+            assert_eq!(a.as_fp(), Some(FReg::new(n)));
+            assert_eq!(a.as_int(), None);
+            assert_eq!(a.index(), n as usize + 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_reg_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_out_of_range() {
+        let _ = ArchReg::from_index(64);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::new(5).to_string(), "r5");
+        assert_eq!(FReg::new(5).to_string(), "f5");
+        assert_eq!(ArchReg::from(FReg::new(5)).to_string(), "f5");
+        assert_eq!(ArchReg::from(Reg::new(5)).to_string(), "r5");
+    }
+}

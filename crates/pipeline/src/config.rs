@@ -1,0 +1,174 @@
+//! Machine configuration (Table 2 of the paper).
+
+use contopt::OptimizerConfig;
+use contopt_bpred::PredictorConfig;
+use contopt_mem::HierarchyConfig;
+
+/// Full configuration of the simulated machine.
+///
+/// [`MachineConfig::default_paper`] reproduces Table 2: 4-wide
+/// fetch/decode/rename, 6-wide retire, an 18-bit gshare + 1K BTB, a
+/// 20-cycle minimum branch-resolution loop, four 8-entry schedulers, a
+/// 160-instruction window, 4 simple + 1 complex integer ALUs, 2 FP ALUs,
+/// 2 address-generation units, and the three-level memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Instructions fetched, decoded, and renamed per cycle.
+    pub fetch_width: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: usize,
+    /// Reorder-buffer entries (maximum in-flight instructions).
+    pub rob_entries: usize,
+    /// Entries in *each* of the four schedulers (int, complex-int, fp, mem).
+    pub scheduler_entries: usize,
+    /// Front-end depth in cycles from fetch to rename, exclusive of the
+    /// optimizer's extra stages. Calibrated so the minimum branch
+    /// misprediction penalty on the baseline is 20 cycles.
+    pub front_depth: u64,
+    /// Cycles between dispatch and earliest issue (scheduler latency).
+    pub sched_delay: u64,
+    /// Register-read latency in cycles.
+    pub regread_delay: u64,
+    /// Cycles from branch resolution to the first redirected fetch.
+    pub redirect_delay: u64,
+    /// Simple (single-cycle) integer ALUs.
+    pub simple_int_fus: usize,
+    /// Complex integer ALUs (multiply).
+    pub complex_int_fus: usize,
+    /// Floating-point ALUs.
+    pub fp_fus: usize,
+    /// Address-generation units.
+    pub agen_fus: usize,
+    /// Complex-integer latency in cycles.
+    pub complex_latency: u64,
+    /// Floating-point latency in cycles.
+    pub fp_latency: u64,
+    /// Physical register file capacity.
+    pub preg_count: usize,
+    /// Memory hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+    /// Branch predictor parameters.
+    pub predictor: PredictorConfig,
+    /// Continuous-optimizer parameters.
+    pub optimizer: OptimizerConfig,
+    /// Safety bound on simulated cycles (0 = none).
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The paper's default ("balanced") machine, *without* the optimizer.
+    pub fn default_paper() -> MachineConfig {
+        MachineConfig {
+            fetch_width: 4,
+            retire_width: 6,
+            rob_entries: 160,
+            scheduler_entries: 8,
+            // fetch→rename 14 + sched 2 + regread 2 + exec 1 + redirect 1
+            // = 20-cycle minimum branch loop.
+            front_depth: 14,
+            sched_delay: 2,
+            regread_delay: 2,
+            redirect_delay: 1,
+            simple_int_fus: 4,
+            complex_int_fus: 1,
+            fp_fus: 2,
+            agen_fus: 2,
+            complex_latency: 7,
+            fp_latency: 4,
+            preg_count: 2048,
+            hierarchy: HierarchyConfig::default(),
+            predictor: PredictorConfig::default(),
+            optimizer: OptimizerConfig::baseline(),
+            max_cycles: 0,
+        }
+    }
+
+    /// The default machine with the continuous optimizer enabled
+    /// (2 extra rename stages, 128-entry MBC, 1-cycle feedback).
+    pub fn default_with_optimizer() -> MachineConfig {
+        MachineConfig {
+            optimizer: OptimizerConfig::default(),
+            ..MachineConfig::default_paper()
+        }
+    }
+
+    /// The fetch-bound machine of §5.3: scheduler entries doubled
+    /// (four 16-entry schedulers), making the front end the bottleneck.
+    pub fn fetch_bound() -> MachineConfig {
+        MachineConfig {
+            scheduler_entries: 16,
+            ..MachineConfig::default_paper()
+        }
+    }
+
+    /// The execution-bound machine of §5.3: fetch/decode/rename widened
+    /// from 4 to 8, making the execution core the bottleneck.
+    pub fn exec_bound() -> MachineConfig {
+        MachineConfig {
+            fetch_width: 8,
+            ..MachineConfig::default_paper()
+        }
+    }
+
+    /// Applies an optimizer configuration, returning the modified machine.
+    pub fn with_optimizer(mut self, opt: OptimizerConfig) -> MachineConfig {
+        self.optimizer = opt;
+        self
+    }
+
+    /// Minimum branch misprediction penalty in cycles for branches resolved
+    /// at execute (the paper's "20 cycles (min) for BR res", plus the
+    /// optimizer's extra stages when enabled).
+    pub fn min_branch_penalty(&self) -> u64 {
+        self.front_depth
+            + self.optimizer_extra_stages()
+            + self.sched_delay
+            + self.regread_delay
+            + 1
+            + self.redirect_delay
+    }
+
+    /// Minimum penalty for branches resolved *in the optimizer*.
+    pub fn early_branch_penalty(&self) -> u64 {
+        self.front_depth + self.optimizer_extra_stages() + self.redirect_delay
+    }
+
+    /// The optimizer's extra rename stages (0 when disabled).
+    pub fn optimizer_extra_stages(&self) -> u64 {
+        if self.optimizer.enabled {
+            self.optimizer.extra_stages
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig::default_paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_penalty_is_twenty() {
+        assert_eq!(MachineConfig::default_paper().min_branch_penalty(), 20);
+    }
+
+    #[test]
+    fn optimizer_adds_two_stages() {
+        let c = MachineConfig::default_with_optimizer();
+        assert_eq!(c.min_branch_penalty(), 22);
+        assert_eq!(c.early_branch_penalty(), 17, "post-rename cycles saved");
+    }
+
+    #[test]
+    fn machine_model_variants() {
+        assert_eq!(MachineConfig::fetch_bound().scheduler_entries, 16);
+        assert_eq!(MachineConfig::exec_bound().fetch_width, 8);
+        assert_eq!(MachineConfig::default_paper().rob_entries, 160);
+    }
+}

@@ -1,0 +1,74 @@
+//! Shared code-generation idioms for the synthetic benchmarks.
+
+use contopt_isa::{Asm, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Emits `s = xorshift64(s)` using `t` as scratch — the standard 13/7/17
+/// shift triple. Gives workloads deterministic pseudo-random control and
+/// data behaviour without any library support.
+pub(crate) fn emit_xorshift(a: &mut Asm, s: Reg, t: Reg) {
+    a.sll(s, 13, t);
+    a.xor(s, t, s);
+    a.srl(s, 7, t);
+    a.xor(s, t, s);
+    a.sll(s, 17, t);
+    a.xor(s, t, s);
+}
+
+/// Deterministic pseudo-random quadwords for data-section initialization.
+pub(crate) fn random_quads(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Deterministic pseudo-random bytes.
+pub(crate) fn random_bytes(seed: u64, n: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Deterministic pseudo-random doubles in `(lo, hi)`.
+pub(crate) fn random_f64s(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Deterministic pseudo-random quads bounded below `limit`.
+pub(crate) fn random_quads_below(seed: u64, n: usize, limit: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..limit)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contopt_emu::Emulator;
+    use contopt_isa::r;
+
+    #[test]
+    fn xorshift_matches_reference() {
+        let mut a = Asm::new();
+        a.li(r(1), 0x12345u64 as i64);
+        emit_xorshift(&mut a, r(1), r(2));
+        a.halt();
+        let mut emu = Emulator::new(a.finish().unwrap());
+        emu.run_to_halt(100).unwrap();
+        let mut s: u64 = 0x12345;
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        assert_eq!(emu.reg(r(1)), s);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_quads(7, 4), random_quads(7, 4));
+        assert_ne!(random_quads(7, 4), random_quads(8, 4));
+        assert_eq!(random_bytes(1, 8), random_bytes(1, 8));
+        let f = random_f64s(3, 16, -1.0, 1.0);
+        assert!(f.iter().all(|v| (-1.0..1.0).contains(v)));
+        let b = random_quads_below(5, 100, 50);
+        assert!(b.iter().all(|&v| v < 50));
+    }
+}

@@ -1,0 +1,314 @@
+//! SPECfp2000-shaped synthetic kernels (Table 1, middle block).
+//!
+//! Floating-point values are never tracked symbolically by the optimizer
+//! (the CP/RA tables cover integer registers only), so these kernels profit
+//! from continuous optimization through their *integer* shell: induction
+//! variables, array addressing (the paper reports 71.2% of SPECfp memory
+//! addresses generated early), and FP loads removed by the MBC (21.7%).
+//! `amp` is deliberately dominated by long dependent FP chains — the paper
+//! measured a speedup of exactly 1.00 for it.
+
+use crate::common::{random_f64s, random_quads_below};
+use contopt_isa::{f, r, Asm, Program};
+
+/// `amp` — ammp: molecular-dynamics force accumulation; long serially
+/// dependent FP multiply/add chains with a periodic divide, almost no
+/// optimizable integer work per iteration.
+pub fn ammp() -> Program {
+    const ATOMS: i64 = 256;
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let x = a.data_f64s(&random_f64s(0xa301, ATOMS as usize, 0.5, 2.0));
+    let y = a.data_f64s(&random_f64s(0xa302, ATOMS as usize, 0.5, 2.0));
+    let out = a.data_zeros(8);
+    a.li(r(9), 140); // timesteps
+    a.label("step");
+    a.li(r(1), x as i64);
+    a.li(r(2), y as i64);
+    a.li(r(3), ATOMS);
+    a.fmov(f(31), f(10)); // accumulated force = 0.0
+    a.label("pair");
+    a.ldt(f(1), r(1), 0);
+    a.ldt(f(2), r(2), 0);
+    a.subt(f(1), f(2), f(3)); // dr
+    a.mult(f(3), f(3), f(4)); // dr^2
+    a.mult(f(4), f(3), f(5)); // dr^3  (dependent chain)
+    a.addt(f(10), f(5), f(10)); // serial accumulation
+    a.mult(f(10), f(4), f(6));
+    a.addt(f(10), f(6), f(10));
+    a.lda(r(1), r(1), 8);
+    a.lda(r(2), r(2), 8);
+    a.subq(r(3), 1, r(3));
+    a.bne(r(3), "pair");
+    // Periodic normalization: a divide lengthens the chain further.
+    a.li(r(4), 1);
+    a.itof(r(4), f(7));
+    a.addt(f(10), f(7), f(8));
+    a.divt(f(10), f(8), f(10));
+    a.li(r(5), out as i64);
+    a.stt(f(10), r(5), 0);
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "step");
+    a.li(r(5), out as i64);
+    a.ldq(r(8), r(5), 0); // raw f64 bits as the checksum
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("amp assembles")
+}
+
+/// `app` — applu: a 3-point stencil sweep (the SSOR solver's relaxation
+/// step); regular strided addressing the optimizer fully precomputes.
+pub fn applu() -> Program {
+    const N: i64 = 1024;
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let u = a.data_f64s(&random_f64s(0xa991, N as usize, -1.0, 1.0));
+    let v = a.data_zeros(N as u64 * 8);
+    let coef = a.data_f64s(&[0.25, 0.5, 0.25]);
+    a.li(r(9), 40); // sweeps
+    a.label("sweep");
+    a.li(r(1), u as i64 + 8);
+    a.li(r(2), v as i64 + 8);
+    a.li(r(3), N - 2);
+    a.li(r(4), coef as i64);
+    a.ldt(f(1), r(4), 0);
+    a.ldt(f(2), r(4), 8);
+    a.ldt(f(3), r(4), 16);
+    a.fmov(f(31), f(7)); // previous relaxed value (Gauss-Seidel carry)
+    a.label("point");
+    a.ldt(f(4), r(1), -8);
+    a.ldt(f(5), r(1), 0);
+    a.ldt(f(6), r(1), 8);
+    a.mult(f(4), f(1), f(4));
+    a.mult(f(5), f(2), f(5));
+    a.mult(f(6), f(3), f(6));
+    a.addt(f(4), f(5), f(4));
+    a.addt(f(4), f(6), f(4));
+    a.mult(f(7), f(1), f(7));
+    a.addt(f(4), f(7), f(4)); // SSOR: depends on the previous point
+    a.fmov(f(4), f(7));
+    a.stt(f(4), r(2), 0);
+    a.lda(r(1), r(1), 8);
+    a.lda(r(2), r(2), 8);
+    a.subq(r(3), 1, r(3));
+    a.bne(r(3), "point");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "sweep");
+    a.li(r(1), v as i64 + 8 * (N / 2));
+    a.ldq(r(8), r(1), 0); // raw f64 bits as the checksum
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("app assembles")
+}
+
+/// `art` — art: neural-network recognition — dot products of f64 weight and
+/// input vectors with a winner-take-all compare.
+pub fn art() -> Program {
+    const DIM: i64 = 512;
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let w = a.data_f64s(&random_f64s(0xa547, DIM as usize, 0.0, 1.0));
+    let xv = a.data_f64s(&random_f64s(0xa548, DIM as usize, 0.0, 1.0));
+    a.li(r(9), 110); // match trials
+    a.li(r(8), 0); // winners
+    a.li(r(13), 0); // rejected outliers
+    a.label("trial");
+    a.li(r(1), w as i64);
+    a.li(r(2), xv as i64);
+    a.li(r(3), DIM / 2); // two-way unrolled
+    a.fmov(f(31), f(10));
+    a.fmov(f(31), f(11));
+    a.label("dot");
+    a.ldt(f(1), r(1), 0);
+    a.ldt(f(2), r(2), 0);
+    a.ldt(f(3), r(1), 8);
+    a.ldt(f(4), r(2), 8);
+    // Outlier rejection on the raw weight bits: a data-dependent branch the
+    // optimizer cannot resolve early.
+    a.ldq(r(6), r(1), 0);
+    a.and(r(6), 4, r(7));
+    a.beq(r(7), "keep");
+    a.addq(r(13), 1, r(13));
+    a.label("keep");
+    a.mult(f(1), f(2), f(5));
+    a.mult(f(3), f(4), f(6));
+    a.addt(f(10), f(5), f(10));
+    a.addt(f(11), f(6), f(11));
+    a.lda(r(1), r(1), 16);
+    a.lda(r(2), r(2), 16);
+    a.subq(r(3), 1, r(3));
+    a.bne(r(3), "dot");
+    a.addt(f(10), f(11), f(10));
+    // winner if dot > DIM/8
+    a.li(r(4), DIM / 8);
+    a.itof(r(4), f(7));
+    a.cmptlt(f(7), f(10), r(5));
+    a.beq(r(5), "lose");
+    a.addq(r(8), 1, r(8));
+    a.label("lose");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "trial");
+    a.addq(r(8), r(13), r(8));
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("art assembles")
+}
+
+/// `eqk` — equake: sparse matrix–vector product in CSR form — integer index
+/// loads (highly MBC-reusable across iterations) driving FP gathers.
+pub fn equake() -> Program {
+    const ROWS: i64 = 128;
+    const NNZ_PER_ROW: i64 = 8;
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let cols = a.data_quads(&random_quads_below(
+        0xe94e,
+        (ROWS * NNZ_PER_ROW) as usize,
+        ROWS as u64,
+    ));
+    let vals = a.data_f64s(&random_f64s(0xe94f, (ROWS * NNZ_PER_ROW) as usize, -1.0, 1.0));
+    let xv = a.data_f64s(&random_f64s(0xe950, ROWS as usize, -1.0, 1.0));
+    let yv = a.data_zeros(ROWS as u64 * 8);
+    a.li(r(9), 50); // time steps
+    a.label("step");
+    a.li(r(1), cols as i64);
+    a.li(r(2), vals as i64);
+    a.li(r(3), yv as i64);
+    a.li(r(4), ROWS);
+    a.li(r(15), xv as i64);
+    a.label("row");
+    a.fmov(f(31), f(10));
+    a.li(r(5), NNZ_PER_ROW);
+    a.label("nz");
+    a.ldq(r(6), r(1), 0); // column index
+    a.s8addq(r(6), r(15), r(7));
+    a.ldt(f(1), r(7), 0); // x[col]
+    a.ldt(f(2), r(2), 0); // A value
+    // Sparse-structure branch on the (random) column index parity — a
+    // data-dependent branch resolved only at execute.
+    a.and(r(6), 1, r(11));
+    a.beq(r(11), "skip_scale");
+    a.addt(f(1), f(1), f(1));
+    a.label("skip_scale");
+    a.mult(f(1), f(2), f(3));
+    a.addt(f(10), f(3), f(10));
+    a.lda(r(1), r(1), 8);
+    a.lda(r(2), r(2), 8);
+    a.subq(r(5), 1, r(5));
+    a.bne(r(5), "nz");
+    a.stt(f(10), r(3), 0);
+    a.lda(r(3), r(3), 8);
+    a.subq(r(4), 1, r(4));
+    a.bne(r(4), "row");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "step");
+    a.li(r(1), yv as i64);
+    a.ldq(r(8), r(1), 8 * (ROWS / 2)); // raw f64 bits as the checksum
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("eqk assembles")
+}
+
+/// `msa` — mesa: software rasterization — fixed-point span interpolation
+/// (integer-heavy, reassociation-friendly) with an FP shade per pixel.
+pub fn mesa() -> Program {
+    const SPAN: i64 = 64;
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let fb = a.data_zeros(SPAN as u64 * 8);
+    let shade = a.data_f64s(&random_f64s(0x3e5a, 16, 0.1, 1.0));
+    let steps = a.data_quads(&random_quads_below(0x3e5b, 64, 1 << 12));
+    a.li(r(9), 500); // spans
+    a.li(r(8), 0);
+    a.li(r(15), fb as i64);
+    a.li(r(16), shade as i64);
+    a.li(r(17), steps as i64);
+    a.label("span");
+    a.li(r(1), 0); // x
+    a.li(r(2), 1 << 16); // fixed-point color accumulator
+    // The interpolant step comes from per-primitive vertex data in memory,
+    // so the interpolation chain is data-dependent.
+    a.and(r(9), 63, r(3));
+    a.s8addq(r(3), r(17), r(3));
+    a.ldq(r(3), r(3), 0); // color step
+    a.label("pixel");
+    a.addq(r(2), r(3), r(2)); // interpolate
+    a.sra(r(2), 13, r(12)); // perspective correction term
+    a.addq(r(3), r(12), r(3));
+    a.and(r(3), 0xf_ffff, r(3));
+    a.srl(r(2), 12, r(4));
+    a.and(r(4), 15, r(4));
+    a.s8addq(r(4), r(16), r(5));
+    a.ldt(f(1), r(5), 0); // shade table
+    a.mult(f(1), f(1), f(2));
+    a.ftoi(f(2), r(6));
+    a.srl(r(2), 16, r(7));
+    a.addq(r(6), r(7), r(6));
+    a.s8addq(r(1), r(15), r(10));
+    a.stq(r(6), r(10), 0);
+    a.addq(r(8), r(6), r(8));
+    a.addq(r(1), 1, r(1));
+    a.subq(r(1), SPAN, r(11));
+    a.blt(r(11), "pixel");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "span");
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("msa assembles")
+}
+
+/// `mgd` — mgrid: multigrid restriction and prolongation — strided array
+/// addressing across grid levels, the paper's address-generation showcase.
+pub fn mgrid() -> Program {
+    const FINE: i64 = 512;
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let fine = a.data_f64s(&random_f64s(0x369d, FINE as usize, -1.0, 1.0));
+    let coarse = a.data_zeros((FINE as u64 / 2) * 8);
+    a.li(r(9), 120); // V-cycles
+    a.label("vcycle");
+    // Restriction: coarse[i] = 0.25*fine[2i-1] + 0.5*fine[2i] + 0.25*fine[2i+1]
+    a.li(r(1), fine as i64 + 16);
+    a.li(r(2), coarse as i64 + 8);
+    a.li(r(3), FINE / 2 - 2);
+    a.fmov(f(31), f(9)); // residual norm accumulator
+    a.label("restrict");
+    a.ldt(f(1), r(1), -8);
+    a.ldt(f(2), r(1), 0);
+    a.ldt(f(3), r(1), 8);
+    a.addt(f(1), f(3), f(4));
+    a.addt(f(2), f(2), f(5));
+    a.addt(f(4), f(5), f(4)); // 4x the average
+    a.addt(f(9), f(4), f(9)); // residual norm (serial accumulation)
+    a.stt(f(4), r(2), 0);
+    a.lda(r(1), r(1), 16); // stride 2 on the fine grid
+    a.lda(r(2), r(2), 8);
+    a.subq(r(3), 1, r(3));
+    a.bne(r(3), "restrict");
+    // Prolongation back: fine[2i] += coarse[i]
+    a.li(r(1), fine as i64 + 16);
+    a.li(r(2), coarse as i64 + 8);
+    a.li(r(3), FINE / 2 - 2);
+    a.label("prolong");
+    a.ldt(f(1), r(1), 0);
+    a.ldt(f(2), r(2), 0);
+    a.addt(f(1), f(2), f(1));
+    a.stt(f(1), r(1), 0);
+    a.lda(r(1), r(1), 16);
+    a.lda(r(2), r(2), 8);
+    a.subq(r(3), 1, r(3));
+    a.bne(r(3), "prolong");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "vcycle");
+    a.li(r(1), coarse as i64 + 8 * (FINE / 8));
+    a.ldq(r(8), r(1), 0); // raw f64 bits as the checksum
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("mgd assembles")
+}

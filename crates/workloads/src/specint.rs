@@ -1,0 +1,536 @@
+//! SPECint2000-shaped synthetic kernels (Table 1, top block).
+//!
+//! Each kernel reproduces the dominant code shape of its namesake: the
+//! dynamic mix of address arithmetic, short-reuse memory traffic, and
+//! data-dependent branches that determines how much the continuous
+//! optimizer can do. Every program stores a checksum to the first data
+//! quadword ([`contopt_isa::DATA_BASE`]) before halting so tests can verify
+//! architectural results.
+
+use crate::common::{emit_xorshift, random_bytes, random_quads, random_quads_below};
+use contopt_isa::{r, Asm, Program, Reg};
+
+/// `bzp` — bzip2: byte histogramming plus run-length detection over a
+/// pseudo-random buffer (the front end of the BWT compressor).
+pub fn bzip2() -> Program {
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let buf = a.data_bytes(&random_bytes(0xb21b, 4096));
+    let hist = a.data_zeros(256 * 8);
+    a.li(r(9), 10); // passes
+    a.li(r(8), 0); // runs found
+    a.li(r(11), 0x1d872b41); // rolling CRC state
+    a.label("outer");
+    a.li(r(1), buf as i64);
+    a.li(r(2), 4096);
+    a.li(r(3), hist as i64);
+    a.li(r(7), -1); // previous byte
+    a.label("byte");
+    a.ldbu(r(4), r(1), 0);
+    a.s8addq(r(4), r(3), r(5));
+    a.ldq(r(6), r(5), 0);
+    a.addq(r(6), 1, r(6));
+    a.stq(r(6), r(5), 0);
+    a.subq(r(4), r(7), r(10));
+    a.bne(r(10), "norun");
+    a.addq(r(8), 1, r(8));
+    a.label("norun");
+    // Rolling CRC-style mix of the loaded byte (data-dependent work the
+    // optimizer cannot fold).
+    a.xor(r(11), r(4), r(11));
+    a.srl(r(11), 3, r(12));
+    a.xor(r(11), r(12), r(11));
+    a.sll(r(11), 9, r(12));
+    a.xor(r(11), r(12), r(11));
+    a.mov(r(4), r(7));
+    a.lda(r(1), r(1), 1);
+    a.subq(r(2), 1, r(2));
+    a.bne(r(2), "byte");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "outer");
+    // Checksum: runs + hist[0] + CRC.
+    a.li(r(3), hist as i64);
+    a.ldq(r(4), r(3), 0);
+    a.addq(r(8), r(4), r(8));
+    a.addq(r(8), r(11), r(8));
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("bzp assembles")
+}
+
+/// `era` — crafty: bitboard manipulation with a software population count,
+/// the move-generation inner loop of the chess engine.
+pub fn crafty() -> Program {
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let boards = a.data_quads(&random_quads(0xc8af, 512));
+    let m1 = 0x5555_5555_5555_5555u64 as i64;
+    let m2 = 0x3333_3333_3333_3333u64 as i64;
+    let m4 = 0x0f0f_0f0f_0f0f_0f0fu64 as i64;
+    a.li(r(20), m1);
+    a.li(r(21), m2);
+    a.li(r(22), m4);
+    a.li(r(9), 40); // passes
+    a.li(r(8), 0); // total popcount
+    a.label("outer");
+    a.li(r(1), boards as i64);
+    a.li(r(2), 512);
+    a.label("board");
+    a.ldq(r(4), r(1), 0);
+    // popcount(r4) -> r4
+    a.srl(r(4), 1, r(5));
+    a.and(r(5), r(20), r(5));
+    a.subq(r(4), r(5), r(4));
+    a.and(r(4), r(21), r(5));
+    a.srl(r(4), 2, r(4));
+    a.and(r(4), r(21), r(4));
+    a.addq(r(4), r(5), r(4));
+    a.srl(r(4), 4, r(5));
+    a.addq(r(4), r(5), r(4));
+    a.and(r(4), r(22), r(4));
+    a.mulq(r(4), 0x0101_0101_0101_0101u64 as i64, r(4));
+    a.srl(r(4), 56, r(4));
+    // material-balance branch
+    a.subq(r(4), 32, r(5));
+    a.ble(r(5), "light");
+    a.addq(r(8), r(4), r(8));
+    a.br("next");
+    a.label("light");
+    a.subq(r(8), r(4), r(8));
+    a.label("next");
+    a.lda(r(1), r(1), 8);
+    a.subq(r(2), 1, r(2));
+    a.bne(r(2), "board");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "outer");
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("era assembles")
+}
+
+/// `eon` — eon: fixed-point vector math (dot products and normalization),
+/// the probabilistic ray tracer's geometry kernel.
+pub fn eon() -> Program {
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let vecs = a.data_quads(&random_quads_below(0xe08, 768, 1 << 20)); // 256 vec3s
+    a.li(r(9), 60); // passes
+    a.li(r(8), 0); // accumulated shade
+    a.label("outer");
+    a.li(r(1), vecs as i64);
+    a.li(r(2), 255); // pairs (i, i+1)
+    a.label("vec");
+    a.ldq(r(3), r(1), 0);
+    a.ldq(r(4), r(1), 8);
+    a.ldq(r(5), r(1), 16);
+    a.ldq(r(10), r(1), 24);
+    a.ldq(r(11), r(1), 32);
+    a.ldq(r(12), r(1), 40);
+    a.mulq(r(3), r(10), r(3));
+    a.mulq(r(4), r(11), r(4));
+    a.mulq(r(5), r(12), r(5));
+    a.addq(r(3), r(4), r(3));
+    a.addq(r(3), r(5), r(3));
+    a.sra(r(3), 20, r(3)); // fixed-point renormalize
+    a.bge(r(3), "front");
+    a.subq(Reg::R31, r(3), r(3)); // facing away: flip
+    a.label("front");
+    a.addq(r(8), r(3), r(8));
+    a.lda(r(1), r(1), 24);
+    a.subq(r(2), 1, r(2));
+    a.bne(r(2), "vec");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "outer");
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("eon assembles")
+}
+
+/// `gap` — gap: a bytecode interpreter dispatch loop (computed jumps through
+/// a handler table), the group-theory system's evaluator shape.
+pub fn gap() -> Program {
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    // Bytecode: ops 0..4 (add, sub, double, halve) over an accumulator.
+    let code =
+        a.data_bytes(&random_bytes(0x6a9, 2048).iter().map(|b| b % 4).collect::<Vec<_>>());
+    let table = a.data_zeros(4 * 8); // handler addresses, written at startup
+    a.br("start");
+    // Handlers (defined first so `label_addr` can materialize them below).
+    a.label("op_add");
+    a.addq(r(8), 3, r(8));
+    a.br("advance");
+    a.label("op_sub");
+    a.subq(r(8), 1, r(8));
+    a.br("advance");
+    a.label("op_dbl");
+    a.sll(r(8), 1, r(8));
+    a.and(r(8), 0xffff, r(8));
+    a.br("advance");
+    a.label("op_hlv");
+    a.srl(r(8), 1, r(8));
+    a.addq(r(8), 1, r(8));
+    a.br("advance");
+    a.label("start");
+    a.li(r(9), 20); // interpreter restarts
+    a.li(r(8), 1); // accumulator
+    a.li(r(1), table as i64);
+    for (i, lbl) in ["op_add", "op_sub", "op_dbl", "op_hlv"].iter().enumerate() {
+        let addr = a.label_addr(lbl).expect("handler defined above") as i64;
+        a.li(r(4), addr);
+        a.stq(r(4), r(1), 8 * i as i64);
+    }
+    a.label("outer");
+    a.li(r(2), code as i64);
+    a.li(r(3), 2048);
+    a.label("dispatch");
+    a.ldbu(r(5), r(2), 0);
+    a.s8addq(r(5), r(1), r(6));
+    a.ldq(r(6), r(6), 0);
+    a.jmp(Reg::R31, r(6));
+    a.label("advance");
+    a.lda(r(2), r(2), 1);
+    a.subq(r(3), 1, r(3));
+    a.bne(r(3), "dispatch");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "outer");
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("gap assembles")
+}
+
+/// `gcc` — gcc: a token-classification state machine, a ladder of
+/// data-dependent compare-and-branch over a token stream.
+pub fn gcc() -> Program {
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let toks = a.data_bytes(&random_bytes(0x9cc, 3072).iter().map(|b| b % 7).collect::<Vec<_>>());
+    a.li(r(9), 30);
+    a.li(r(8), 0); // state
+    a.li(r(12), 0); // counter
+    a.label("outer");
+    a.li(r(1), toks as i64);
+    a.li(r(2), 3072);
+    a.label("tok");
+    a.ldbu(r(4), r(1), 0);
+    a.subq(r(4), 3, r(5));
+    a.blt(r(5), "small");
+    // tokens 3..6: state transition
+    a.addq(r(8), r(4), r(8));
+    a.and(r(8), 15, r(8));
+    a.br("advance");
+    a.label("small");
+    a.subq(r(4), 1, r(5));
+    a.blt(r(5), "zero");
+    a.addq(r(12), 1, r(12));
+    a.br("advance");
+    a.label("zero");
+    a.sll(r(8), 1, r(8));
+    a.and(r(8), 15, r(8));
+    a.label("advance");
+    a.lda(r(1), r(1), 1);
+    a.subq(r(2), 1, r(2));
+    a.bne(r(2), "tok");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "outer");
+    a.addq(r(8), r(12), r(8));
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("gcc assembles")
+}
+
+/// `mcf` — mcf: the network simplex's `sort_basket` quicksort (§5.2 of the
+/// paper analyses exactly this function) plus arc-list pointer chasing.
+/// Quicksort's redundant memory accesses fill the MBC; once a sub-array is
+/// small enough, every access forwards.
+pub fn mcf() -> Program {
+    const N: i64 = 512;
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let pristine = a.data_quads(&random_quads_below(0x3cf, N as usize, 1 << 30));
+    let arr = a.data_zeros(N as u64 * 8);
+    let stack = a.data_zeros(128 * 16);
+    let next = a.data_quads(
+        // A permutation cycle for pointer chasing: next[i] = (i * 7 + 1) % N.
+        &(0..N as u64)
+            .map(|i| (i * 7 + 1) % N as u64)
+            .collect::<Vec<_>>(),
+    );
+    a.li(r(25), 6); // outer rounds
+    a.li(r(24), 0); // checksum accumulator
+    a.label("round");
+    // Re-randomize: copy pristine -> arr.
+    a.li(r(1), pristine as i64);
+    a.li(r(2), arr as i64);
+    a.li(r(3), N);
+    a.label("copy");
+    a.ldq(r(4), r(1), 0);
+    a.stq(r(4), r(2), 0);
+    a.lda(r(1), r(1), 8);
+    a.lda(r(2), r(2), 8);
+    a.subq(r(3), 1, r(3));
+    a.bne(r(3), "copy");
+    // Iterative quicksort over arr[0..N].
+    // Stack holds (lo, hi) index pairs; r20 = stack ptr.
+    a.li(r(20), stack as i64);
+    a.li(r(4), 0);
+    a.li(r(5), N - 1);
+    a.stq(r(4), r(20), 0);
+    a.stq(r(5), r(20), 8);
+    a.lda(r(20), r(20), 16);
+    a.label("qs_loop");
+    a.li(r(1), stack as i64);
+    a.subq(r(20), r(1), r(1));
+    a.beq(r(1), "qs_done");
+    a.lda(r(20), r(20), -16);
+    a.ldq(r(4), r(20), 0); // lo
+    a.ldq(r(5), r(20), 8); // hi
+    a.subq(r(5), r(4), r(1));
+    a.ble(r(1), "qs_loop"); // segment of size <= 1
+    // pivot = arr[hi]
+    a.li(r(10), arr as i64);
+    a.s8addq(r(5), r(10), r(11));
+    a.ldq(r(12), r(11), 0); // pivot
+    a.subq(r(4), 1, r(13)); // i = lo - 1
+    a.mov(r(4), r(14)); // j = lo
+    a.label("part");
+    a.s8addq(r(14), r(10), r(15));
+    a.ldq(r(16), r(15), 0); // arr[j]
+    a.subq(r(16), r(12), r(17));
+    a.bgt(r(17), "noswap");
+    a.addq(r(13), 1, r(13));
+    a.s8addq(r(13), r(10), r(18));
+    a.ldq(r(19), r(18), 0);
+    a.stq(r(16), r(18), 0);
+    a.stq(r(19), r(15), 0);
+    a.label("noswap");
+    a.addq(r(14), 1, r(14));
+    a.subq(r(14), r(5), r(17));
+    a.blt(r(17), "part");
+    // place pivot: swap arr[i+1], arr[hi]
+    a.addq(r(13), 1, r(13));
+    a.s8addq(r(13), r(10), r(18));
+    a.ldq(r(19), r(18), 0);
+    a.stq(r(12), r(18), 0);
+    a.stq(r(19), r(11), 0);
+    // push (lo, i-1) and (i+1, hi)
+    a.subq(r(13), 1, r(15));
+    a.stq(r(4), r(20), 0);
+    a.stq(r(15), r(20), 8);
+    a.lda(r(20), r(20), 16);
+    a.addq(r(13), 1, r(15));
+    a.stq(r(15), r(20), 0);
+    a.stq(r(5), r(20), 8);
+    a.lda(r(20), r(20), 16);
+    a.br("qs_loop");
+    a.label("qs_done");
+    // Arc-list pointer chase: sum a cycle through `next`.
+    a.li(r(1), next as i64);
+    a.li(r(2), 0); // current index
+    a.li(r(3), N);
+    a.label("chase");
+    a.s8addq(r(2), r(1), r(4));
+    a.ldq(r(2), r(4), 0);
+    a.addq(r(24), r(2), r(24));
+    a.subq(r(3), 1, r(3));
+    a.bne(r(3), "chase");
+    // Fold the median element into the checksum.
+    a.li(r(10), arr as i64);
+    a.ldq(r(4), r(10), 8 * (N / 2));
+    a.addq(r(24), r(4), r(24));
+    a.subq(r(25), 1, r(25));
+    a.bne(r(25), "round");
+    a.li(r(1), chk as i64);
+    a.stq(r(24), r(1), 0);
+    a.halt();
+    a.finish().expect("mcf assembles")
+}
+
+/// `prl` — perlbmk: string hashing and hash-table probing, the interpreter's
+/// symbol-table hot loop.
+pub fn perlbmk() -> Program {
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let text = a.data_bytes(&random_bytes(0x9e71, 4096));
+    let table = a.data_zeros(256 * 8);
+    a.li(r(9), 20);
+    a.li(r(8), 0); // hits
+    a.label("outer");
+    a.li(r(1), text as i64);
+    a.li(r(2), 512); // strings of 8 bytes
+    a.li(r(15), table as i64);
+    a.label("string");
+    a.li(r(3), 0); // h
+    a.li(r(4), 8);
+    a.label("char");
+    a.ldbu(r(5), r(1), 0);
+    // h = h*31 + c  (strength-reducible: h*32 - h + c)
+    a.sll(r(3), 5, r(6));
+    a.subq(r(6), r(3), r(3));
+    a.addq(r(3), r(5), r(3));
+    a.lda(r(1), r(1), 1);
+    a.subq(r(4), 1, r(4));
+    a.bne(r(4), "char");
+    // probe table[h & 255]
+    a.and(r(3), 255, r(5));
+    a.s8addq(r(5), r(15), r(5));
+    a.ldq(r(6), r(5), 0);
+    a.subq(r(6), r(3), r(7));
+    a.bne(r(7), "miss");
+    a.addq(r(8), 1, r(8));
+    a.label("miss");
+    a.stq(r(3), r(5), 0);
+    a.subq(r(2), 1, r(2));
+    a.bne(r(2), "string");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "outer");
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("prl assembles")
+}
+
+/// `twf` — twolf: simulated-annealing placement — swap two cells, compute a
+/// wire-length delta, accept or reject on a pseudo-random threshold.
+pub fn twolf() -> Program {
+    const CELLS: u64 = 256;
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let pos = a.data_quads(&random_quads_below(0x201f, CELLS as usize, 4096));
+    a.li(r(9), 8000); // annealing steps
+    a.li(r(8), 0); // accepted
+    a.li(r(18), 0x7357_5eedu64 as i64); // rng state
+    a.li(r(15), pos as i64);
+    a.label("step");
+    emit_xorshift(&mut a, r(18), r(19));
+    a.and(r(18), (CELLS - 1) as i64, r(1)); // cell a
+    a.srl(r(18), 20, r(2));
+    a.and(r(2), (CELLS - 1) as i64, r(2)); // cell b
+    a.s8addq(r(1), r(15), r(3));
+    a.s8addq(r(2), r(15), r(4));
+    a.ldq(r(5), r(3), 0);
+    a.ldq(r(6), r(4), 0);
+    // delta = |pa - pb| compared against a decaying threshold
+    a.subq(r(5), r(6), r(7));
+    a.bge(r(7), "abs_done");
+    a.subq(Reg::R31, r(7), r(7));
+    a.label("abs_done");
+    a.srl(r(18), 40, r(10));
+    a.and(r(10), 2047, r(10));
+    a.subq(r(7), r(10), r(11));
+    a.bgt(r(11), "reject");
+    // accept: swap
+    a.stq(r(6), r(3), 0);
+    a.stq(r(5), r(4), 0);
+    a.addq(r(8), 1, r(8));
+    a.label("reject");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "step");
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("twf assembles")
+}
+
+/// `vor` — vortex: object-database record traversal — fixed-offset field
+/// loads off a record base, following index links between records.
+pub fn vortex() -> Program {
+    const RECS: u64 = 256;
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    // Records of 4 quads: {key, val, flags, next-index}.
+    let mut recs = Vec::with_capacity(RECS as usize * 4);
+    let keys = random_quads_below(0x70e7, RECS as usize, 1 << 16);
+    for i in 0..RECS {
+        recs.push(keys[i as usize]);
+        recs.push(keys[i as usize].wrapping_mul(3));
+        recs.push(i & 7);
+        recs.push((i * 13 + 5) % RECS);
+    }
+    let base = a.data_quads(&recs);
+    a.li(r(9), 70); // traversals
+    a.li(r(8), 0);
+    a.li(r(15), base as i64);
+    a.label("trav");
+    a.li(r(1), 0); // current record index
+    a.li(r(2), RECS as i64);
+    a.label("rec");
+    a.sll(r(1), 5, r(3)); // *32 bytes
+    a.addq(r(3), r(15), r(3));
+    a.ldq(r(4), r(3), 0); // key
+    a.ldq(r(5), r(3), 8); // val
+    a.ldq(r(6), r(3), 16); // flags
+    a.beq(r(6), "plain");
+    a.addq(r(4), r(5), r(4));
+    a.label("plain");
+    a.addq(r(8), r(4), r(8));
+    a.ldq(r(1), r(3), 24); // next index
+    a.subq(r(2), 1, r(2));
+    a.bne(r(2), "rec");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "trav");
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("vor assembles")
+}
+
+/// `vpr` — vpr: maze routing over a 2-D grid — neighbor cost loads with
+/// bounds branches and a best-direction select.
+pub fn vpr() -> Program {
+    const DIM: i64 = 64;
+    let mut a = Asm::new();
+    let chk = a.data_zeros(8);
+    let grid = a.data_bytes(&random_bytes(0x0e9a, (DIM * DIM) as usize));
+    a.li(r(9), 7); // routing waves
+    a.li(r(8), 0); // total cost
+    a.li(r(15), grid as i64);
+    a.label("wave");
+    a.li(r(1), 1); // y
+    a.label("row");
+    a.li(r(2), 1); // x
+    a.label("col");
+    // idx = y*DIM + x
+    a.sll(r(1), 6, r(3));
+    a.addq(r(3), r(2), r(3));
+    a.addq(r(3), r(15), r(3));
+    a.ldbu(r(4), r(3), 0); // center
+    a.ldbu(r(5), r(3), 1); // east
+    a.ldbu(r(6), r(3), -1); // west
+    a.ldbu(r(7), r(3), DIM); // south
+    a.ldbu(r(10), r(3), -DIM); // north
+    // best = min(e, w, s, n)
+    a.subq(r(5), r(6), r(11));
+    a.ble(r(11), "ew");
+    a.mov(r(6), r(5));
+    a.label("ew");
+    a.subq(r(7), r(10), r(11));
+    a.ble(r(11), "sn");
+    a.mov(r(10), r(7));
+    a.label("sn");
+    a.subq(r(5), r(7), r(11));
+    a.ble(r(11), "pick");
+    a.mov(r(7), r(5));
+    a.label("pick");
+    a.addq(r(4), r(5), r(4));
+    a.and(r(4), 255, r(4));
+    a.stb(r(4), r(3), 0);
+    a.addq(r(8), r(4), r(8));
+    a.addq(r(2), 1, r(2));
+    a.subq(r(2), DIM - 1, r(11));
+    a.blt(r(11), "col");
+    a.addq(r(1), 1, r(1));
+    a.subq(r(1), DIM - 1, r(11));
+    a.blt(r(11), "row");
+    a.subq(r(9), 1, r(9));
+    a.bne(r(9), "wave");
+    a.li(r(1), chk as i64);
+    a.stq(r(8), r(1), 0);
+    a.halt();
+    a.finish().expect("vpr assembles")
+}

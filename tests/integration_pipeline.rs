@@ -1,0 +1,237 @@
+//! Cross-crate integration tests of the timing model, including a
+//! property-based mini-fuzzer that runs randomly generated programs through
+//! the baseline and optimized machines. The optimizer's strict value
+//! checking turns every run into a deep correctness check: any value it
+//! derives that disagrees with the functional oracle panics.
+
+use contopt::OptimizerConfig;
+use contopt_isa::{r, Asm, Program};
+use contopt_pipeline::{simulate, MachineConfig};
+use proptest::prelude::*;
+
+fn counted_loop(n: i64, body: impl Fn(&mut Asm)) -> Program {
+    let mut a = Asm::new();
+    let scratch = a.data_zeros(256);
+    a.li(r(20), scratch as i64);
+    a.li(r(21), n);
+    a.label("loop");
+    body(&mut a);
+    a.subq(r(21), 1, r(21));
+    a.bne(r(21), "loop");
+    a.halt();
+    a.finish().expect("assembles")
+}
+
+#[test]
+fn identical_retirement_across_machines() {
+    let p = counted_loop(500, |a| {
+        a.ldq(r(1), r(20), 0);
+        a.addq(r(1), r(21), r(1));
+        a.stq(r(1), r(20), 0);
+    });
+    let base = simulate(MachineConfig::default_paper(), p.clone(), 1_000_000);
+    let opt = simulate(MachineConfig::default_with_optimizer(), p.clone(), 1_000_000);
+    let fb = simulate(
+        MachineConfig::default_paper().with_optimizer(OptimizerConfig::feedback_only()),
+        p,
+        1_000_000,
+    );
+    assert_eq!(base.pipeline.retired, opt.pipeline.retired);
+    assert_eq!(base.pipeline.retired, fb.pipeline.retired);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let w = contopt_workloads::build("twf").unwrap();
+    let a = simulate(
+        MachineConfig::default_with_optimizer(),
+        w.program.clone(),
+        100_000,
+    );
+    let b = simulate(
+        MachineConfig::default_with_optimizer(),
+        w.program.clone(),
+        100_000,
+    );
+    assert_eq!(a.pipeline.cycles, b.pipeline.cycles);
+    assert_eq!(a.optimizer, b.optimizer);
+}
+
+#[test]
+fn mispredict_penalty_matches_table2() {
+    assert_eq!(MachineConfig::default_paper().min_branch_penalty(), 20);
+    assert_eq!(
+        MachineConfig::default_with_optimizer().min_branch_penalty(),
+        22
+    );
+    assert!(
+        MachineConfig::default_with_optimizer().early_branch_penalty()
+            < MachineConfig::default_paper().min_branch_penalty()
+    );
+}
+
+#[test]
+fn wider_exec_bound_machine_is_not_slower() {
+    let w = contopt_workloads::build("mgd").unwrap();
+    let base = simulate(MachineConfig::default_paper(), w.program.clone(), 200_000);
+    let wide = simulate(MachineConfig::exec_bound(), w.program.clone(), 200_000);
+    assert!(
+        wide.pipeline.cycles <= base.pipeline.cycles + base.pipeline.cycles / 20,
+        "8-wide fetch should not slow down: {} vs {}",
+        wide.pipeline.cycles,
+        base.pipeline.cycles
+    );
+}
+
+#[test]
+fn bigger_schedulers_do_not_hurt() {
+    let w = contopt_workloads::build("mcf").unwrap();
+    let base = simulate(MachineConfig::default_paper(), w.program.clone(), 200_000);
+    let fb = simulate(MachineConfig::fetch_bound(), w.program.clone(), 200_000);
+    assert!(fb.pipeline.cycles <= base.pipeline.cycles + base.pipeline.cycles / 20);
+}
+
+#[test]
+fn ipc_never_exceeds_retire_width() {
+    for name in ["mgd", "untst", "gap"] {
+        let w = contopt_workloads::build(name).unwrap();
+        let r = simulate(MachineConfig::default_with_optimizer(), w.program, 150_000);
+        assert!(r.ipc() <= 6.0, "{name} IPC {} exceeds retire width", r.ipc());
+    }
+}
+
+#[test]
+fn optimizer_reduces_ooo_dispatch() {
+    let w = contopt_workloads::build("untst").unwrap();
+    let base = simulate(MachineConfig::default_paper(), w.program.clone(), 300_000);
+    let opt = simulate(MachineConfig::default_with_optimizer(), w.program, 300_000);
+    assert!(
+        opt.pipeline.dispatched_to_ooo < base.pipeline.dispatched_to_ooo,
+        "early execution must relieve the out-of-order core"
+    );
+    assert_eq!(
+        opt.pipeline.dispatched_to_ooo + opt.pipeline.bypassed_ooo,
+        opt.pipeline.retired
+    );
+}
+
+// ---- property-based mini-fuzzer -------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Addq(u8, i64, u8),
+    Subq(u8, u8, u8),
+    Sll(u8, u8, u8),
+    Xor(u8, u8, u8),
+    Mulq(u8, i64, u8),
+    S8Addq(u8, u8, u8),
+    Li(u8, i64),
+    Mov(u8, u8),
+    Store(u8, i64),
+    Load(u8, i64),
+    SkipIfZero(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let reg = 1u8..16;
+    prop_oneof![
+        (reg.clone(), -64i64..64, reg.clone()).prop_map(|(a, k, c)| Op::Addq(a, k, c)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Op::Subq(a, b, c)),
+        (reg.clone(), 0u8..8, reg.clone()).prop_map(|(a, k, c)| Op::Sll(a, k, c)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Op::Xor(a, b, c)),
+        (reg.clone(), -16i64..17, reg.clone()).prop_map(|(a, k, c)| Op::Mulq(a, k, c)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Op::S8Addq(a, b, c)),
+        (reg.clone(), -1000i64..1000).prop_map(|(c, k)| Op::Li(c, k)),
+        (reg.clone(), reg.clone()).prop_map(|(a, c)| Op::Mov(a, c)),
+        (reg.clone(), 0i64..24).prop_map(|(a, k)| Op::Store(a, k * 8)),
+        (reg.clone(), 0i64..24).prop_map(|(c, k)| Op::Load(c, k * 8)),
+        reg.prop_map(Op::SkipIfZero),
+    ]
+}
+
+fn assemble(ops: &[Op], iterations: i64) -> Program {
+    let mut a = Asm::new();
+    let buf = a.data_zeros(256);
+    a.li(r(20), buf as i64);
+    a.li(r(21), iterations);
+    a.label("loop");
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Addq(x, k, c) => {
+                a.addq(r(x), k, r(c));
+            }
+            Op::Subq(x, y, c) => {
+                a.subq(r(x), r(y), r(c));
+            }
+            Op::Sll(x, k, c) => {
+                a.sll(r(x), k as i64, r(c));
+            }
+            Op::Xor(x, y, c) => {
+                a.xor(r(x), r(y), r(c));
+            }
+            Op::Mulq(x, k, c) => {
+                a.mulq(r(x), k, r(c));
+            }
+            Op::S8Addq(x, y, c) => {
+                a.s8addq(r(x), r(y), r(c));
+            }
+            Op::Li(c, k) => {
+                a.li(r(c), k);
+            }
+            Op::Mov(x, c) => {
+                a.mov(r(x), r(c));
+            }
+            Op::Store(x, disp) => {
+                a.stq(r(x), r(20), disp);
+            }
+            Op::Load(c, disp) => {
+                a.ldq(r(c), r(20), disp);
+            }
+            Op::SkipIfZero(x) => {
+                let lbl = format!("skip_{i}");
+                a.bne(r(x), &lbl);
+                a.addq(r(17), 1, r(17));
+                a.label(&lbl);
+            }
+        }
+    }
+    a.subq(r(21), 1, r(21));
+    a.bne(r(21), "loop");
+    a.halt();
+    a.finish().expect("generated program assembles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random loops run identically (and without strict-check panics) on
+    /// the baseline, the default optimizer, feedback-only, and the deepest
+    /// dependence-depth configuration.
+    #[test]
+    fn fuzz_random_loops(ops in proptest::collection::vec(op_strategy(), 1..24),
+                         iters in 1i64..40) {
+        let p = assemble(&ops, iters);
+        let base = simulate(MachineConfig::default_paper(), p.clone(), 400_000);
+        let opt = simulate(MachineConfig::default_with_optimizer(), p.clone(), 400_000);
+        prop_assert_eq!(base.pipeline.retired, opt.pipeline.retired);
+        let deep = MachineConfig::default_paper().with_optimizer(OptimizerConfig {
+            add_chain_depth: 3,
+            mem_chain_depth: 1,
+            ..OptimizerConfig::default()
+        });
+        let d = simulate(deep, p.clone(), 400_000);
+        prop_assert_eq!(d.pipeline.retired, opt.pipeline.retired);
+        let fb = simulate(
+            MachineConfig::default_paper().with_optimizer(OptimizerConfig::feedback_only()),
+            p,
+            400_000,
+        );
+        prop_assert_eq!(fb.pipeline.retired, opt.pipeline.retired);
+        // Statistics invariants hold on arbitrary programs.
+        let s = opt.optimizer;
+        prop_assert!(s.executed_early <= s.insts);
+        prop_assert!(s.loads_removed <= s.loads);
+        prop_assert!(s.mem_addr_generated <= s.mem_ops);
+        prop_assert!(s.mispredicts_recovered_early <= s.mispredicted_branches);
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end tests over the Table 1 workload suite: every benchmark runs
+//! to completion on every machine configuration the paper evaluates, with
+//! identical retirement counts (the timing models never change
+//! architectural behaviour) and with the optimizer's strict value checker
+//! active throughout.
+
+use contopt::OptimizerConfig;
+use contopt_emu::Emulator;
+use contopt_pipeline::{simulate, MachineConfig};
+use contopt_workloads::{suite, Suite, CHECKSUM_ADDR};
+
+const CAP: u64 = 120_000; // instruction cap keeps the full matrix fast
+
+#[test]
+fn all_workloads_retire_identically_on_all_machines() {
+    let configs = [
+        ("baseline", MachineConfig::default_paper()),
+        ("optimizer", MachineConfig::default_with_optimizer()),
+        (
+            "feedback-only",
+            MachineConfig::default_paper().with_optimizer(OptimizerConfig::feedback_only()),
+        ),
+        ("fetch-bound", MachineConfig::fetch_bound()),
+        ("exec-bound", MachineConfig::exec_bound()),
+    ];
+    for w in suite() {
+        let mut retired = Vec::new();
+        for (name, cfg) in configs {
+            let rep = simulate(cfg, w.program.clone(), CAP);
+            retired.push((name, rep.pipeline.retired));
+        }
+        let first = retired[0].1;
+        assert!(first > 0);
+        for (name, n) in &retired {
+            assert_eq!(*n, first, "{}: {name} retired a different count", w.name);
+        }
+    }
+}
+
+#[test]
+fn optimizer_checksums_match_functional_execution() {
+    // The timing model replays the oracle stream, so memory results are by
+    // construction those of the emulator; check the checksum plumbing
+    // anyway by running the emulator standalone for a few benchmarks.
+    for name in ["mcf", "untst", "g721d", "vpr"] {
+        let w = contopt_workloads::build(name).unwrap();
+        let mut emu = Emulator::new(w.program.clone());
+        emu.run_to_halt(5_000_000).unwrap();
+        let chk = emu.mem().read_u64(CHECKSUM_ADDR);
+        assert_ne!(chk, 0, "{name} checksum");
+        // Determinism across reconstruction:
+        let mut emu2 = Emulator::new(w.program.clone());
+        emu2.run_to_halt(5_000_000).unwrap();
+        assert_eq!(chk, emu2.mem().read_u64(CHECKSUM_ADDR));
+    }
+}
+
+#[test]
+fn suite_speedup_ordering_matches_the_paper() {
+    // The paper's headline shape: mediabench benefits most; `amp` is flat.
+    let mut means = std::collections::HashMap::new();
+    for s in [Suite::SpecInt, Suite::SpecFp, Suite::MediaBench] {
+        let mut prod = 1.0f64;
+        let mut n = 0u32;
+        for w in suite().into_iter().filter(|w| w.suite == s) {
+            let base = simulate(MachineConfig::default_paper(), w.program.clone(), CAP);
+            let opt = simulate(MachineConfig::default_with_optimizer(), w.program, CAP);
+            prod *= opt.speedup_over(&base);
+            n += 1;
+        }
+        means.insert(s, prod.powf(1.0 / n as f64));
+    }
+    assert!(
+        means[&Suite::MediaBench] > means[&Suite::SpecInt],
+        "mediabench must benefit most: {:?}",
+        means
+    );
+    assert!(means[&Suite::MediaBench] > 1.05);
+    for (_, m) in means {
+        assert!(m > 0.95 && m < 1.4, "suite mean out of plausible range: {m}");
+    }
+}
+
+#[test]
+fn amp_is_flat_mcf_and_untst_stand_out() {
+    let speedup = |name: &str| {
+        let w = contopt_workloads::build(name).unwrap();
+        let base = simulate(MachineConfig::default_paper(), w.program.clone(), CAP);
+        let opt = simulate(MachineConfig::default_with_optimizer(), w.program, CAP);
+        opt.speedup_over(&base)
+    };
+    let amp = speedup("amp");
+    assert!((0.97..1.05).contains(&amp), "paper: amp = 1.00, got {amp:.3}");
+    let mcf = speedup("mcf");
+    assert!(mcf > 1.10, "paper: mcf is SPECint's outlier, got {mcf:.3}");
+    let untst = speedup("untst");
+    assert!(untst > 1.10, "paper: untst is the best case, got {untst:.3}");
+}
+
+#[test]
+fn workload_mix_is_diverse() {
+    // The optimizer statistics should differ meaningfully across suites —
+    // a degenerate suite (everything identical) would invalidate Table 3.
+    let mut early = Vec::new();
+    for w in suite() {
+        let rep = simulate(MachineConfig::default_with_optimizer(), w.program, 60_000);
+        early.push(rep.optimizer.pct_executed_early());
+    }
+    let min = early.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = early.iter().cloned().fold(0.0, f64::max);
+    assert!(max - min > 15.0, "suite lacks diversity: {min:.1}..{max:.1}");
+}
