@@ -2,17 +2,21 @@
 //! the representatives and timed on the MBC-heavy `untst`.
 
 use contopt_bench::{representatives, timed_speedup};
-use contopt::OptimizerConfig;
-use contopt_pipeline::MachineConfig;
+use contopt_sim::{EarlyExec, MachineConfig, PassSet, RleSf};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const SIZES: [usize; 6] = [16, 32, 64, 128, 256, 512];
 
 fn cfg(entries: usize) -> MachineConfig {
-    MachineConfig::default_paper().with_optimizer(OptimizerConfig {
-        mbc_entries: entries,
-        ..OptimizerConfig::default()
-    })
+    let passes = PassSet::new()
+        .with(contopt_sim::CpRa::default())
+        .with(RleSf {
+            entries,
+            ..RleSf::default()
+        })
+        .with(contopt_sim::ValueFeedback::default())
+        .with(EarlyExec);
+    MachineConfig::default_paper().with_optimizer(passes.into())
 }
 
 fn bench(c: &mut Criterion) {
@@ -26,7 +30,7 @@ fn bench(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("ablation_mbc");
     g.sample_size(10);
-    let w = contopt_workloads::build("untst").unwrap();
+    let w = contopt_sim::workloads::build("untst").unwrap();
     for n in [16, 128, 512] {
         g.bench_function(format!("entries{n}"), |b| {
             b.iter(|| timed_speedup(&w, cfg(n)))

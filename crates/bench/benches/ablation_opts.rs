@@ -3,19 +3,48 @@
 //! speedup table over the representatives and timed.
 
 use contopt_bench::{representatives, timed_speedup};
-use contopt::OptimizerConfig;
-use contopt_pipeline::MachineConfig;
+use contopt_sim::{MachineConfig, OptimizerConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn variants() -> Vec<(&'static str, OptimizerConfig)> {
     let d = OptimizerConfig::default();
     vec![
         ("full", d),
-        ("no_rle_sf", OptimizerConfig { enable_rle_sf: false, ..d }),
-        ("no_reassoc", OptimizerConfig { enable_reassociation: false, ..d }),
-        ("no_brinfer", OptimizerConfig { enable_branch_inference: false, ..d }),
-        ("no_feedback", OptimizerConfig { value_feedback: false, ..d }),
-        ("flush_mbc_on_unknown_store", OptimizerConfig { flush_mbc_on_unknown_store: true, ..d }),
+        (
+            "no_rle_sf",
+            OptimizerConfig {
+                enable_rle_sf: false,
+                ..d
+            },
+        ),
+        (
+            "no_reassoc",
+            OptimizerConfig {
+                enable_reassociation: false,
+                ..d
+            },
+        ),
+        (
+            "no_brinfer",
+            OptimizerConfig {
+                enable_branch_inference: false,
+                ..d
+            },
+        ),
+        (
+            "no_feedback",
+            OptimizerConfig {
+                value_feedback: false,
+                ..d
+            },
+        ),
+        (
+            "flush_mbc_on_unknown_store",
+            OptimizerConfig {
+                flush_mbc_on_unknown_store: true,
+                ..d
+            },
+        ),
         ("discrete_256", OptimizerConfig::discrete(256)),
     ]
 }
@@ -33,7 +62,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_opts");
     g.sample_size(10);
     for (name, cfg) in variants() {
-        let w = contopt_workloads::build("untst").unwrap();
+        let w = contopt_sim::workloads::build("untst").unwrap();
         g.bench_function(name, |b| {
             b.iter(|| timed_speedup(&w, MachineConfig::default_paper().with_optimizer(cfg)))
         });

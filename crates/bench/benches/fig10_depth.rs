@@ -3,8 +3,7 @@
 
 use contopt_bench::{representatives, timed_speedup, PRINT_INSTS};
 use contopt_experiments::{fig10, Lab};
-use contopt::OptimizerConfig;
-use contopt_pipeline::MachineConfig;
+use contopt_sim::{CpRa, MachineConfig, PassSet};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -15,12 +14,17 @@ fn bench(c: &mut Criterion) {
     for w in representatives() {
         g.bench_function(format!("depth3/{}", w.name), |b| {
             b.iter(|| {
+                let passes = PassSet::new()
+                    .with(CpRa {
+                        add_chain_depth: 3,
+                        ..CpRa::default()
+                    })
+                    .with(contopt_sim::RleSf::default())
+                    .with(contopt_sim::ValueFeedback::default())
+                    .with(contopt_sim::EarlyExec);
                 timed_speedup(
                     &w,
-                    MachineConfig::default_paper().with_optimizer(OptimizerConfig {
-                        add_chain_depth: 3,
-                        ..OptimizerConfig::default()
-                    }),
+                    MachineConfig::default_paper().with_optimizer(passes.into()),
                 )
             })
         });

@@ -3,8 +3,7 @@
 
 use contopt_bench::{representatives, timed_speedup, PRINT_INSTS};
 use contopt_experiments::{fig12, Lab};
-use contopt::OptimizerConfig;
-use contopt_pipeline::MachineConfig;
+use contopt_sim::{MachineConfig, OptimizerConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {

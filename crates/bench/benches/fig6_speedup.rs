@@ -4,7 +4,7 @@
 
 use contopt_bench::{representatives, timed_speedup, PRINT_INSTS};
 use contopt_experiments::{fig6, Lab};
-use contopt_pipeline::MachineConfig;
+use contopt_sim::MachineConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {

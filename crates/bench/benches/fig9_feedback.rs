@@ -3,8 +3,7 @@
 
 use contopt_bench::{representatives, timed_speedup, PRINT_INSTS};
 use contopt_experiments::{fig9, Lab};
-use contopt::OptimizerConfig;
-use contopt_pipeline::MachineConfig;
+use contopt_sim::{MachineConfig, Pass, PassSet};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -15,9 +14,12 @@ fn bench(c: &mut Criterion) {
     for w in representatives() {
         g.bench_function(format!("feedback_only/{}", w.name), |b| {
             b.iter(|| {
+                let feedback_alone: PassSet = [Pass::value_feedback(), Pass::early_exec()]
+                    .into_iter()
+                    .collect();
                 timed_speedup(
                     &w,
-                    MachineConfig::default_paper().with_optimizer(OptimizerConfig::feedback_only()),
+                    MachineConfig::default_paper().with_optimizer(feedback_alone.into()),
                 )
             })
         });

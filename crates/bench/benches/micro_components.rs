@@ -2,15 +2,15 @@
 //! cache accesses, gshare prediction, functional emulation, and
 //! rename-stage optimization throughput.
 
-use contopt::{sym_add_imm, Optimizer, OptimizerConfig, RenameReq, SymValue};
-use contopt_bpred::{Predictor, PredictorConfig};
-use contopt_emu::{Emulator, Step};
-use contopt_mem::{Cache, CacheConfig};
+use contopt_sim::bpred::{Predictor, PredictorConfig};
+use contopt_sim::emu::{Emulator, Step};
+use contopt_sim::mem::{Cache, CacheConfig};
+use contopt_sim::{sym_add_imm, Optimizer, OptimizerConfig, RenameReq, SymValue};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     c.bench_function("symval/fold_chain", |b| {
-        let base = SymValue::reg(contopt::PhysReg::from_index(5));
+        let base = SymValue::reg(contopt_sim::PhysReg::from_index(5));
         b.iter(|| {
             let mut s = base;
             for k in 0..64i64 {
@@ -46,7 +46,7 @@ fn bench(c: &mut Criterion) {
     });
 
     c.bench_function("emu/interpret_loop", |b| {
-        let w = contopt_workloads::build("twf").unwrap();
+        let w = contopt_sim::workloads::build("twf").unwrap();
         b.iter(|| {
             let mut emu = Emulator::new(w.program.clone());
             emu.run_to_halt(10_000).ok();
@@ -55,7 +55,7 @@ fn bench(c: &mut Criterion) {
     });
 
     c.bench_function("optimizer/rename_stream", |b| {
-        let w = contopt_workloads::build("mcf").unwrap();
+        let w = contopt_sim::workloads::build("mcf").unwrap();
         let mut emu = Emulator::new(w.program.clone());
         let mut stream = Vec::new();
         while stream.len() < 4096 {
@@ -66,14 +66,15 @@ fn bench(c: &mut Criterion) {
         }
         b.iter(|| {
             let mut opt = Optimizer::new(OptimizerConfig::default(), 65536, |_| 0);
-            let mut cycle = 0;
-            for chunk in stream.chunks(4) {
+            for (cycle, chunk) in stream.chunks(4).enumerate() {
                 let reqs: Vec<RenameReq> = chunk
                     .iter()
-                    .map(|&d| RenameReq { d, mispredicted: false })
+                    .map(|&d| RenameReq {
+                        d,
+                        mispredicted: false,
+                    })
                     .collect();
-                black_box(opt.rename_bundle(cycle, &reqs));
-                cycle += 1;
+                black_box(opt.rename_bundle(cycle as u64, &reqs));
             }
             opt.stats().executed_early
         })

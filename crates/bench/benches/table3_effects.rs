@@ -4,7 +4,7 @@
 
 use contopt_bench::{representatives, timed_run, PRINT_INSTS};
 use contopt_experiments::{table3, Lab};
-use contopt_pipeline::MachineConfig;
+use contopt_sim::MachineConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {

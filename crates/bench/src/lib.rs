@@ -4,13 +4,14 @@
 //! paper's tables and figures. Every bench first prints the full artifact
 //! once (at a reduced instruction budget, outside the measured region),
 //! then times representative per-suite simulations so `cargo bench` both
-//! *reproduces* and *measures*.
+//! *reproduces* and *measures*. All simulation goes through the
+//! [`contopt_sim`] facade ([`SimSession`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use contopt_pipeline::{simulate, MachineConfig, RunReport};
-use contopt_workloads::Workload;
+use contopt_sim::workloads::Workload;
+use contopt_sim::{MachineConfig, Report, SimSession};
 
 /// Instruction budget used when printing a full figure inside a bench.
 pub const PRINT_INSTS: u64 = 150_000;
@@ -25,21 +26,31 @@ pub const REPRESENTATIVES: [&str; 3] = ["mcf", "mgd", "untst"];
 pub fn representatives() -> Vec<Workload> {
     REPRESENTATIVES
         .iter()
-        .map(|n| contopt_workloads::build(n).expect("representative exists"))
+        .map(|n| contopt_sim::workloads::build(n).expect("representative exists"))
         .collect()
+}
+
+/// Builds a session for `w` under `cfg` at the timed budget.
+fn session(w: &Workload, cfg: MachineConfig) -> SimSession {
+    SimSession::builder()
+        .machine(cfg)
+        .program(w.program.clone())
+        .insts(TIMED_INSTS)
+        .build()
+        .expect("bench configurations are structurally valid")
 }
 
 /// Runs one baseline/optimized pair at the timed budget and returns the
 /// speedup (the quantity every figure plots).
 pub fn timed_speedup(w: &Workload, opt_cfg: MachineConfig) -> f64 {
-    let base = simulate(MachineConfig::default_paper(), w.program.clone(), TIMED_INSTS);
-    let opt = simulate(opt_cfg, w.program.clone(), TIMED_INSTS);
+    let base = session(w, MachineConfig::default_paper()).run();
+    let opt = session(w, opt_cfg).run();
     opt.speedup_over(&base)
 }
 
 /// Runs a single configuration at the timed budget.
-pub fn timed_run(w: &Workload, cfg: MachineConfig) -> RunReport {
-    simulate(cfg, w.program.clone(), TIMED_INSTS)
+pub fn timed_run(w: &Workload, cfg: MachineConfig) -> Report {
+    session(w, cfg).run()
 }
 
 #[cfg(test)]
@@ -48,7 +59,7 @@ mod tests {
 
     #[test]
     fn representatives_cover_all_suites() {
-        use contopt_workloads::Suite;
+        use contopt_sim::workloads::Suite;
         let reps = representatives();
         assert_eq!(reps.len(), 3);
         let suites: Vec<Suite> = reps.iter().map(|w| w.suite).collect();
@@ -59,7 +70,7 @@ mod tests {
 
     #[test]
     fn timed_speedup_is_finite() {
-        let w = contopt_workloads::build("twf").unwrap();
+        let w = contopt_sim::workloads::build("twf").unwrap();
         let s = timed_speedup(&w, MachineConfig::default_with_optimizer());
         assert!(s.is_finite() && s > 0.5 && s < 3.0);
     }

@@ -1,0 +1,209 @@
+//! An offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! This environment has no access to a crates registry, so the workspace
+//! ships this small stand-in instead of the real crate. It implements the
+//! slice of the criterion 0.5 API the `contopt-bench` benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`], and [`criterion_main!`] — with a simple
+//! warmup-then-measure loop reporting the median, minimum, and maximum
+//! per-iteration wall time. Swapping back to the real criterion is a
+//! one-line change in the workspace manifest.
+//!
+//! Measurement model: each `iter` closure runs for a warmup pass, then
+//! `sample_size` timed samples (default 10) of adaptively chosen batch
+//! sizes targeting a few milliseconds per sample. No statistics beyond
+//! median/min/max are attempted — this is a smoke-and-trend harness, not a
+//! rigorous one.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-implementation of [`std::hint::black_box`] under criterion's name.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Creates a driver, honouring a `name` filter argument the way
+    /// `cargo bench -- <filter>` passes one.
+    pub fn from_args() -> Criterion {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion { filter }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&self.filter, &id, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+            parent: self,
+        }
+    }
+
+    /// Called by [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&self.parent.filter, &full, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`] exactly once.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + batch-size calibration: aim for >=2ms per sample so the
+        // timer resolution does not dominate.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let batch =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(filter: &Option<String>, id: &str, samples: usize, mut f: F) {
+    if let Some(pat) = filter {
+        if !id.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size: samples,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no measurement)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        fmt_dur(lo),
+        fmt_dur(median),
+        fmt_dur(hi)
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::from_args();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + 2));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3)
+            .bench_function("mul", |b| b.iter(|| black_box(3u64) * 3));
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_dur(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_dur(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_dur(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

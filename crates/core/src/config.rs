@@ -44,6 +44,16 @@ pub struct OptimizerConfig {
     pub enable_reassociation: bool,
     /// Enable branch-direction value inference (`beq` taken ⇒ reg = 0).
     pub enable_branch_inference: bool,
+    /// Execute fully-known instructions on the rename-stage ALUs and
+    /// resolve fully-known branches/jumps there (the paper's early
+    /// execution, §3.3). With this off the optimizer still derives and
+    /// records symbolic knowledge (constants enter the RAT, addresses
+    /// generate early, the MBC is maintained), but no instruction
+    /// *completes* at rename: every instruction with architectural work —
+    /// including eliminable moves and forwardable loads — is dispatched
+    /// to the out-of-order core. Corresponds to the
+    /// [`EarlyExec`](crate::passes::EarlyExec) pass unit.
+    pub enable_early_exec: bool,
     /// Discrete (offline-style) optimization per §3.4: when non-zero, the
     /// optimization tables are invalidated every `discrete_interval`
     /// instructions, modeling trace-at-a-time frameworks such as rePLay or
@@ -67,6 +77,7 @@ impl Default for OptimizerConfig {
             enable_rle_sf: true,
             enable_reassociation: true,
             enable_branch_inference: true,
+            enable_early_exec: true,
             discrete_interval: 0,
         }
     }
@@ -110,6 +121,62 @@ impl OptimizerConfig {
     /// instruction's derivation (its own plus the chained allowance).
     pub(crate) fn max_serial_adds(&self) -> u32 {
         self.add_chain_depth + 1
+    }
+
+    /// The canonical form of this configuration: fields that cannot affect
+    /// behaviour under the master switches are reset to their defaults, so
+    /// two configurations that simulate identically compare equal.
+    ///
+    /// This is the equality domain of the [`crate::passes::PassSet`]
+    /// bridges: `OptimizerConfig::from(PassSet::from(cfg))` reproduces
+    /// `cfg.normalized()` exactly for the disabled baseline and for every
+    /// configuration with at least one active feature. The one degenerate
+    /// case outside that domain is a *cost-only* optimizer (`enabled`
+    /// with no feature switched on but `extra_stages > 0`, paying pipeline
+    /// stages to do nothing): it has no pass-list representation and
+    /// decomposes to the empty (baseline) set.
+    pub fn normalized(&self) -> OptimizerConfig {
+        let defaults = OptimizerConfig::default();
+        let featureless = !self.optimize && !self.value_feedback && !self.enable_early_exec;
+        if !self.enabled || (featureless && self.extra_stages == 0) {
+            // A disabled optimizer is a plain renamer; nothing else matters.
+            return OptimizerConfig {
+                enabled: false,
+                optimize: false,
+                value_feedback: false,
+                feedback_delay: defaults.feedback_delay,
+                extra_stages: 0,
+                add_chain_depth: 0,
+                mem_chain_depth: 0,
+                mbc_entries: defaults.mbc_entries,
+                flush_mbc_on_unknown_store: false,
+                enable_rle_sf: false,
+                enable_reassociation: false,
+                enable_branch_inference: false,
+                enable_early_exec: false,
+                discrete_interval: 0,
+            };
+        }
+        let mut c = *self;
+        if !c.optimize {
+            c.enable_rle_sf = false;
+            c.enable_reassociation = false;
+            c.enable_branch_inference = false;
+            c.discrete_interval = 0;
+        }
+        if !c.enable_reassociation {
+            // The serial-addition budget bounds reassociation chains.
+            c.add_chain_depth = 0;
+        }
+        if !c.enable_rle_sf {
+            c.mbc_entries = defaults.mbc_entries;
+            c.flush_mbc_on_unknown_store = false;
+            c.mem_chain_depth = 0;
+        }
+        if !c.value_feedback {
+            c.feedback_delay = defaults.feedback_delay;
+        }
+        c
     }
 }
 

@@ -25,9 +25,40 @@
 //! ([`PregFile`]) because optimization extends register lifetimes past the
 //! classic deallocation point (§3.1).
 //!
+//! Each optimization is a pluggable pass unit behind the [`OptPass`]
+//! trait (see the [`passes`] module); a [`PassSet`] compiles down to the
+//! flat [`OptimizerConfig`] the rename engine executes, and the two
+//! bridge losslessly in both directions.
+//!
 //! # Examples
 //!
-//! Rename a tiny stream and watch constant propagation execute it early:
+//! Drive a whole simulation through the `contopt_sim` builder facade —
+//! the passes registered here are this crate's pass units:
+//!
+//! ```
+//! use contopt_sim::{Pass, SimSession};
+//! use contopt_sim::isa::{Asm, r};
+//!
+//! let mut a = Asm::new();
+//! a.li(r(1), 40);
+//! a.addq(r(1), 2, r(2));
+//! a.halt();
+//!
+//! let session = SimSession::builder()
+//!     .program(a.finish()?)
+//!     .passes([Pass::cp_ra(), Pass::rle_sf(), Pass::value_feedback(), Pass::early_exec()])
+//!     .build()?;
+//! let report = session.run();
+//! // Both instructions arrive in one 4-wide rename packet: the `li`
+//! // executes on the rename-stage ALUs, while the dependent add is
+//! // serial-addition-limited (§3.1) and goes to the OoO core.
+//! assert_eq!(report.optimizer.executed_early, 1);
+//! assert_eq!(report.optimizer.chain_limited, 1);
+//! assert_eq!(report.pipeline.dispatched_to_ooo, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Or use the rename/optimize unit directly, one bundle at a time:
 //!
 //! ```
 //! use contopt::{Optimizer, OptimizerConfig, RenameReq, RenamedClass};
@@ -60,6 +91,7 @@ mod config;
 mod feedback;
 mod mbc;
 mod optimizer;
+pub mod passes;
 mod preg;
 mod rat;
 mod stats;
@@ -69,6 +101,7 @@ pub use config::OptimizerConfig;
 pub use feedback::{Feedback, FeedbackQueue};
 pub use mbc::{Mbc, MbcStats};
 pub use optimizer::{Optimizer, RenameReq, Renamed, RenamedClass};
+pub use passes::{CpRa, EarlyExec, OptPass, Pass, PassId, PassSet, RleSf, ValueFeedback};
 pub use preg::{PhysReg, PregFile};
 pub use rat::SymRat;
 pub use stats::OptStats;

@@ -197,7 +197,10 @@ mod tests {
         let (mut mbc, mut pregs, p) = setup();
         mbc.insert(0x1004, MemSize::Long, SymValue::reg(p), &mut pregs);
         assert!(mbc.lookup(0x1004, MemSize::Long).is_some());
-        assert!(mbc.lookup(0x1000, MemSize::Long).is_none(), "offset differs");
+        assert!(
+            mbc.lookup(0x1000, MemSize::Long).is_none(),
+            "offset differs"
+        );
         assert!(mbc.lookup(0x1004, MemSize::Word).is_none(), "size differs");
     }
 

@@ -1,14 +1,14 @@
-//! The continuous optimizer: CP/RA + RLE/SF + value feedback + early
-//! execution, integrated with register renaming.
+//! The rename/optimize engine driving the pluggable pass pipeline.
 //!
-//! [`Optimizer::rename_bundle`] processes one rename packet exactly as §3 of
-//! the paper describes: each instruction reads symbolic source values from
-//! the [`SymRat`], the CP/RA step folds constants and reassociates
-//! `(base << scale) + offset` forms, the RLE/SF step matches known-address
-//! loads against the [`Mbc`], and instructions whose inputs are fully known
-//! execute on the rename-stage ALUs. Serial-addition chains and chained
-//! memory accesses within a bundle are bounded per the configuration
-//! (§6.2).
+//! [`Optimizer::rename_bundle`] processes one rename packet exactly as §3
+//! of the paper describes; the per-optimization logic lives in the pass
+//! modules ([`crate::passes::cp_ra`], [`crate::passes::rle_sf`],
+//! [`crate::passes::early_exec`], [`crate::passes::feedback`]) and is
+//! switched by the effective [`OptimizerConfig`] compiled from the
+//! registered [`crate::passes::PassSet`]. This module owns the shared
+//! engine state — the physical register file, the symbolic RAT, the
+//! Memory Bypass Cache, the feedback queue, and the per-bundle
+//! serial-dependence bookkeeping (§6.2).
 //!
 //! Every value the optimizer derives is checked against the functional
 //! oracle (the paper's "strict expression and value checking"); a mismatch
@@ -22,9 +22,9 @@ use crate::mbc::{Mbc, MbcStats};
 use crate::preg::{PhysReg, PregFile};
 use crate::rat::SymRat;
 use crate::stats::OptStats;
-use crate::symval::{sym_add, sym_add_imm, sym_scaled_add, sym_shl, sym_sub, Folded, SymValue};
+use crate::symval::SymValue;
 use contopt_emu::DynInst;
-use contopt_isa::{AluOp, ArchReg, Inst, MemSize, Operand};
+use contopt_isa::{ArchReg, Inst};
 
 /// Where a renamed instruction goes after the rename/optimize stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,29 +84,32 @@ pub struct RenameReq {
     pub mispredicted: bool,
 }
 
+/// A source operand as the optimizer sees it: its current mapping, its
+/// symbolic value, and the in-bundle serial costs behind that symbol.
 #[derive(Debug, Clone, Copy)]
-struct SrcView {
-    map: PhysReg,
-    sym: SymValue,
+pub(crate) struct SrcView {
+    pub(crate) map: PhysReg,
+    pub(crate) sym: SymValue,
     /// Serial rename-stage additions behind this symbol within the current
     /// bundle (0 when the producer is outside the bundle or did no ALU
     /// work).
-    adds: u32,
+    pub(crate) adds: u32,
     /// Serial MBC accesses behind this symbol within the current bundle.
-    mbcs: u32,
+    pub(crate) mbcs: u32,
 }
 
-struct Bundle {
+/// Per-bundle serial-dependence bookkeeping (§6.2).
+pub(crate) struct Bundle {
     /// arch-reg index → slot that wrote it in this bundle.
-    writer: [Option<u8>; contopt_isa::NUM_ARCH_REGS],
-    adds: Vec<u32>,
-    mbcs: Vec<u32>,
+    pub(crate) writer: [Option<u8>; contopt_isa::NUM_ARCH_REGS],
+    pub(crate) adds: Vec<u32>,
+    pub(crate) mbcs: Vec<u32>,
     /// Aligned addresses written into the MBC this bundle.
-    mbc_written: Vec<u64>,
+    pub(crate) mbc_written: Vec<u64>,
 }
 
 impl Bundle {
-    fn new() -> Bundle {
+    pub(crate) fn new() -> Bundle {
         Bundle {
             writer: [None; contopt_isa::NUM_ARCH_REGS],
             adds: Vec::new(),
@@ -115,14 +118,14 @@ impl Bundle {
         }
     }
 
-    fn costs(&self, a: ArchReg) -> (u32, u32) {
+    pub(crate) fn costs(&self, a: ArchReg) -> (u32, u32) {
         match self.writer[a.index()] {
             Some(s) => (self.adds[s as usize], self.mbcs[s as usize]),
             None => (0, 0),
         }
     }
 
-    fn record(&mut self, dst: Option<ArchReg>, adds: u32, mbcs: u32) {
+    pub(crate) fn record(&mut self, dst: Option<ArchReg>, adds: u32, mbcs: u32) {
         let slot = self.adds.len() as u8;
         self.adds.push(adds);
         self.mbcs.push(mbcs);
@@ -136,19 +139,20 @@ impl Bundle {
 ///
 /// Owns the physical register file, the symbolic RAT, the Memory Bypass
 /// Cache, and the value-feedback path. With [`OptimizerConfig::baseline`]
-/// it degrades to a plain register renamer, so one unit serves both the
-/// baseline and the optimized machine.
+/// (an empty [`crate::passes::PassSet`]) it degrades to a plain register
+/// renamer, so one unit serves both the baseline and the optimized
+/// machine.
 #[derive(Debug, Clone)]
 pub struct Optimizer {
-    cfg: OptimizerConfig,
-    pregs: PregFile,
-    rat: SymRat,
-    mbc: Mbc,
-    feedback: FeedbackQueue,
-    stats: OptStats,
+    pub(crate) cfg: OptimizerConfig,
+    pub(crate) pregs: PregFile,
+    pub(crate) rat: SymRat,
+    pub(crate) mbc: Mbc,
+    pub(crate) feedback: FeedbackQueue,
+    pub(crate) stats: OptStats,
     /// Oracle architectural value of each physical register; used only for
     /// strict value checking, never to drive an optimization.
-    oracle: Vec<u64>,
+    pub(crate) oracle: Vec<u64>,
 }
 
 impl Optimizer {
@@ -223,28 +227,6 @@ impl Optimizer {
         self.pregs.release(p);
     }
 
-    /// Reports a completed execution result; it will reach the optimization
-    /// tables after the configured transmission delay.
-    pub fn complete(&mut self, p: PhysReg, value: u64, cycle: u64) {
-        if self.cfg.enabled && self.cfg.value_feedback {
-            // Hold a claim while the value is in flight so the tag cannot be
-            // reallocated before the CAM update.
-            self.pregs.add_ref(p);
-            self.feedback.push(p, value, cycle, self.cfg.feedback_delay);
-        }
-    }
-
-    /// Applies all feedback that has arrived by `now` to the RAT and MBC.
-    pub fn apply_feedback(&mut self, now: u64) {
-        let msgs: Vec<_> = self.feedback.drain_ready(now).collect();
-        for f in msgs {
-            let n = self.rat.feed_back(f.preg, f.value, &mut self.pregs)
-                + self.mbc.feed_back(f.preg, f.value, &mut self.pregs);
-            self.stats.feedback_integrations += n;
-            self.pregs.release(f.preg); // in-flight claim
-        }
-    }
-
     /// Renames (and, when enabled, optimizes) one bundle of up to
     /// rename-width instructions. Returns the renamed instructions in
     /// order; stops short if the physical register pool is exhausted
@@ -274,9 +256,9 @@ impl Optimizer {
         out
     }
 
-    // ---- internals -----------------------------------------------------
+    // ---- shared engine internals ----------------------------------------
 
-    fn view(&self, a: ArchReg, bundle: &Bundle) -> SrcView {
+    pub(crate) fn view(&self, a: ArchReg, bundle: &Bundle) -> SrcView {
         let (adds, mbcs) = bundle.costs(a);
         SrcView {
             map: self.rat.map(a),
@@ -288,7 +270,7 @@ impl Optimizer {
 
     /// Downgrades a source to its plain mapping (ignoring in-bundle symbolic
     /// state) — used when the serial-addition budget is exceeded.
-    fn plain(v: &SrcView) -> SrcView {
+    pub(crate) fn plain(v: &SrcView) -> SrcView {
         SrcView {
             map: v.map,
             sym: SymValue::reg(v.map),
@@ -297,19 +279,28 @@ impl Optimizer {
         }
     }
 
-    fn optimizing(&self) -> bool {
+    pub(crate) fn optimizing(&self) -> bool {
         self.cfg.enabled && self.cfg.optimize
     }
 
     /// In feedback-only mode, symbolic expressions may not be derived; only
     /// fully-known results (from fed-back values and immediates) are used.
-    fn allow_expr(&self) -> bool {
+    pub(crate) fn allow_expr(&self) -> bool {
         self.optimizing() && self.cfg.enable_reassociation
     }
 
-    fn verify(&self, what: &str, d: &DynInst, got: u64) {
+    /// Whether fully-known results may complete on the rename-stage ALUs
+    /// (the [`crate::passes::EarlyExec`] pass is registered).
+    pub(crate) fn early_exec_ok(&self) -> bool {
+        self.cfg.enabled && self.cfg.enable_early_exec
+    }
+
+    pub(crate) fn verify(&self, what: &str, d: &DynInst, got: u64) {
         let want = d.result.unwrap_or_else(|| {
-            panic!("strict check: {what} produced a value for {} which has none", d.inst)
+            panic!(
+                "strict check: {what} produced a value for {} which has none",
+                d.inst
+            )
         });
         assert_eq!(
             got, want,
@@ -318,14 +309,14 @@ impl Optimizer {
         );
     }
 
-    fn alloc_dst(&mut self, d: &DynInst) -> PhysReg {
+    pub(crate) fn alloc_dst(&mut self, d: &DynInst) -> PhysReg {
         let p = self.pregs.alloc().expect("caller checked can_rename");
         self.oracle[p.index()] = d.result.unwrap_or(0);
         p
     }
 
     /// Take consumer references on the dependence registers.
-    fn hold_srcs(&mut self, srcs: &[PhysReg]) {
+    pub(crate) fn hold_srcs(&mut self, srcs: &[PhysReg]) {
         for &p in srcs {
             self.pregs.add_ref(p);
         }
@@ -334,7 +325,7 @@ impl Optimizer {
     /// Builds the [`Renamed`] record. Consumer references on `srcs` must
     /// already have been taken (via [`Self::hold_srcs`]) *before* any RAT or
     /// MBC mutation that could release those registers.
-    fn renamed(
+    pub(crate) fn renamed(
         &mut self,
         d: &DynInst,
         class: RenamedClass,
@@ -383,7 +374,7 @@ impl Optimizer {
     /// destination with a self-referencing symbol. Dependences on
     /// known-valued sources are still dropped (constant propagation into
     /// otherwise-unoptimizable instructions).
-    fn process_plain(
+    pub(crate) fn process_plain(
         &mut self,
         d: &DynInst,
         class: RenamedClass,
@@ -409,622 +400,45 @@ impl Optimizer {
         self.renamed(d, class, srcs, dst, dst_new)
     }
 
-    fn process_alu(
+    /// Plain renaming that additionally records a *derived* known value for
+    /// the destination: used when a pass derives a constant but the
+    /// EarlyExec pass is absent, so the instruction still executes in the
+    /// core while younger instructions see the knowledge (verified against
+    /// the oracle before it enters the RAT). `adds` is the serial
+    /// rename-adder cost of the derivation, charged to the bundle so chain
+    /// budgets stay honest.
+    pub(crate) fn process_plain_known(
         &mut self,
-        req: &RenameReq,
-        op: AluOp,
-        ra: contopt_isa::Reg,
-        rb: Operand,
-        _rc: contopt_isa::Reg,
+        d: &DynInst,
+        class: RenamedClass,
+        value: u64,
+        adds: u32,
         bundle: &mut Bundle,
     ) -> Renamed {
-        let d = &req.d;
-        if !self.cfg.enabled {
-            let class = if op.is_simple() {
-                RenamedClass::SimpleInt
-            } else {
-                RenamedClass::ComplexInt
-            };
-            return self.process_plain(d, class, bundle);
-        }
-
-        let va = self.view(ArchReg::from(ra), bundle);
-        let vb = match rb {
-            Operand::Reg(r) => Some(self.view(ArchReg::from(r), bundle)),
-            Operand::Imm(_) => None,
-        };
-
-        // First attempt with full symbolic views; retry with plain views if
-        // the serial-addition budget is exceeded.
-        let attempt = self.fold_alu(op, &va, rb, &vb);
-        let budget = self.cfg.max_serial_adds();
-        let (folded, va, vb) = match attempt {
-            Some((f, inherited)) if inherited + f.used_add as u32 > budget => {
-                self.stats.chain_limited += 1;
-                let pa = Self::plain(&va);
-                let pb = vb.as_ref().map(Self::plain);
-                let f2 = self.fold_alu(op, &pa, rb, &pb).map(|(f, _)| f);
-                (f2, pa, pb)
-            }
-            Some((f, _)) => (Some(f), va, vb),
-            None => (None, va, vb),
-        };
-
-        // In feedback-only mode, only fully-known results may be used.
-        let folded = match folded {
-            Some(f) if f.value.known().is_none() && !self.allow_expr() => None,
-            other => other,
-        };
-
-        let dst_arch = d.inst.dst();
-        let reduced_mul = op == AluOp::Mulq && folded.is_some();
-        if reduced_mul {
-            self.stats.strength_reductions += 1;
-        }
-
-        match folded {
-            Some(f) => match f.value {
-                SymValue::Known(v) if op.is_simple() || reduced_mul => {
-                    // Early execution on the rename-stage ALUs.
-                    if dst_arch.is_some() {
-                        self.verify("early alu", d, v);
-                        let p = self.alloc_dst(d);
-                        self.rat
-                            .write(dst_arch.unwrap(), p, SymValue::Known(v), &mut self.pregs);
-                        self.stats.executed_early += 1;
-                        bundle.record(dst_arch, va.adds.max(vb.map_or(0, |x| x.adds)) + 1, 0);
-                        let mut r =
-                            self.renamed(d, RenamedClass::Done, vec![], Some(p), true);
-                        r.early_value = Some(v);
-                        return r;
-                    }
-                    // Result discarded (dst is a zero register): nothing to do.
-                    bundle.record(None, 0, 0);
-                    self.stats.executed_early += 1;
-                    self.renamed(d, RenamedClass::Done, vec![], None, false)
-                }
-                SymValue::Known(_) => {
-                    // Known result but multi-cycle op (non-reduced multiply
-                    // of two constants): must still execute in the core.
-                    self.process_plain(d, RenamedClass::ComplexInt, bundle)
-                }
-                e @ SymValue::Expr { base, .. } => {
-                    let Some(dst_a) = dst_arch else {
-                        // Zero-register destination: no architectural effect.
-                        bundle.record(None, 0, 0);
-                        return self.renamed(d, RenamedClass::Done, vec![], None, false);
-                    };
-                    if e.is_plain_reg() {
-                        // Move elimination: remap the destination onto the
-                        // producer; no execution needed.
-                        self.rat.write(dst_a, base, e, &mut self.pregs);
-                        self.stats.moves_eliminated += 1;
-                        self.stats.executed_early += 1;
-                        bundle.record(dst_arch, 0, 0);
-                        return self.renamed(d, RenamedClass::Done, vec![], Some(base), false);
-                    }
-                    // Simplified: the instruction now computes
-                    // (base << scale) + offset — a single-cycle form whose
-                    // only dependence is the (earlier) base producer.
-                    self.hold_srcs(&[base]);
-                    let p = self.alloc_dst(d);
-                    self.rat.write(dst_a, p, e, &mut self.pregs);
-                    let total = va.adds.max(vb.map_or(0, |x| x.adds)) + f.used_add as u32;
-                    bundle.record(dst_arch, total, 0);
-                    self.renamed(d, RenamedClass::SimpleInt, vec![base], Some(p), true)
-                }
-            },
-            None => {
-                let class = if op.is_simple() {
-                    RenamedClass::SimpleInt
-                } else {
-                    RenamedClass::ComplexInt
-                };
-                self.process_plain(d, class, bundle)
+        let mut srcs = Vec::new();
+        for a in d.inst.srcs().into_iter().flatten() {
+            let v = self.view(a, bundle);
+            if v.sym.known().is_none() {
+                srcs.push(v.map);
             }
         }
-    }
-
-    /// The CP/RA fold for an ALU op. Returns the folded value plus the
-    /// maximum in-bundle serial-add cost inherited from the sources whose
-    /// symbols were consumed.
-    fn fold_alu(
-        &self,
-        op: AluOp,
-        va: &SrcView,
-        rb: Operand,
-        vb: &Option<SrcView>,
-    ) -> Option<(Folded, u32)> {
-        let sa = va.sym;
-        let (sb, b_adds) = match (rb, vb) {
-            (Operand::Imm(k), _) => (SymValue::Known(k as u64), 0),
-            (Operand::Reg(_), Some(v)) => (v.sym, v.adds),
-            (Operand::Reg(_), None) => unreachable!("register operand without view"),
-        };
-        let inherited = va.adds.max(b_adds);
-        let f = match op {
-            AluOp::Addq => match rb {
-                Operand::Imm(k) => Some(sym_add_imm(sa, k)),
-                Operand::Reg(_) => sym_add(sa, sb),
-            },
-            AluOp::Subq => match rb {
-                Operand::Imm(k) => Some(sym_add_imm(sa, k.wrapping_neg())),
-                Operand::Reg(_) => sym_sub(sa, sb),
-            },
-            AluOp::S4Addq => sym_scaled_add(sa, 2, sb),
-            AluOp::S8Addq => sym_scaled_add(sa, 3, sb),
-            AluOp::Sll => match sb.known() {
-                Some(k) if k < 64 => sym_shl(sa, k as u32),
-                _ => None,
-            },
-            AluOp::Mulq => {
-                // Strength reduction: multiply by a power of two.
-                let (val, konst) = match (sa.known(), sb.known()) {
-                    (_, Some(k)) => (sa, Some(k)),
-                    (Some(k), _) => (sb, Some(k)),
-                    _ => (sa, None),
-                };
-                match konst {
-                    Some(k) if k.is_power_of_two() => sym_shl(val, k.trailing_zeros()),
-                    _ => None,
-                }
-            }
-            _ => {
-                // Generic simple ops: executable only with fully known
-                // inputs.
-                match (sa.known(), sb.known()) {
-                    (Some(a), Some(b)) => Some(Folded {
-                        value: SymValue::Known(op.eval(a, b)),
-                        used_add: true,
-                    }),
-                    _ => None,
-                }
-            }
-        };
-        f.map(|f| (f, inherited))
-    }
-
-    fn process_lda(
-        &mut self,
-        req: &RenameReq,
-        _rc: contopt_isa::Reg,
-        rb: contopt_isa::Reg,
-        disp: i64,
-        bundle: &mut Bundle,
-    ) -> Renamed {
-        let d = &req.d;
-        if !self.cfg.enabled {
-            return self.process_plain(d, RenamedClass::SimpleInt, bundle);
-        }
-        let vb = self.view(ArchReg::from(rb), bundle);
-        let budget = self.cfg.max_serial_adds();
-        let mut f = sym_add_imm(vb.sym, disp);
-        let mut inherited = vb.adds;
-        if inherited + f.used_add as u32 > budget {
-            self.stats.chain_limited += 1;
-            f = sym_add_imm(SymValue::reg(vb.map), disp);
-            inherited = 0;
-        }
-        if f.value.known().is_none() && !self.allow_expr() {
-            return self.process_plain(d, RenamedClass::SimpleInt, bundle);
-        }
-        let dst_arch = d.inst.dst();
-        match f.value {
-            SymValue::Known(v) => {
-                let Some(dst_a) = dst_arch else {
-                    bundle.record(None, 0, 0);
-                    self.stats.executed_early += 1;
-                    return self.renamed(d, RenamedClass::Done, vec![], None, false);
-                };
-                self.verify("early lda", d, v);
-                let p = self.alloc_dst(d);
-                self.rat.write(dst_a, p, SymValue::Known(v), &mut self.pregs);
-                self.stats.executed_early += 1;
-                bundle.record(dst_arch, inherited + 1, 0);
-                let mut r = self.renamed(d, RenamedClass::Done, vec![], Some(p), true);
-                r.early_value = Some(v);
-                r
-            }
-            e @ SymValue::Expr { base, .. } => {
-                let Some(dst_a) = dst_arch else {
-                    bundle.record(None, 0, 0);
-                    return self.renamed(d, RenamedClass::Done, vec![], None, false);
-                };
-                if e.is_plain_reg() {
-                    // `mov` (lda 0(rb)): eliminated through reassociation.
-                    self.rat.write(dst_a, base, e, &mut self.pregs);
-                    self.stats.moves_eliminated += 1;
-                    self.stats.executed_early += 1;
-                    bundle.record(dst_arch, 0, 0);
-                    return self.renamed(d, RenamedClass::Done, vec![], Some(base), false);
-                }
-                self.hold_srcs(&[base]);
-                let p = self.alloc_dst(d);
-                self.rat.write(dst_a, p, e, &mut self.pregs);
-                bundle.record(dst_arch, inherited + f.used_add as u32, 0);
-                self.renamed(d, RenamedClass::SimpleInt, vec![base], Some(p), true)
-            }
-        }
-    }
-
-    /// Resolves a memory op's address symbolically; returns
-    /// `(address-symbol, inherited adds, inherited mbc accesses)`.
-    fn fold_addr(&mut self, base: contopt_isa::Reg, disp: i64, bundle: &Bundle) -> (SymValue, u32, u32) {
-        let vb = self.view(ArchReg::from(base), bundle);
-        if !self.cfg.enabled {
-            return (SymValue::reg(vb.map), 0, 0);
-        }
-        let f = sym_add_imm(vb.sym, disp);
-        let budget = self.cfg.max_serial_adds();
-        if vb.adds + f.used_add as u32 > budget {
-            self.stats.chain_limited += 1;
-            return (SymValue::reg(vb.map), 0, 0);
-        }
-        (f.value, vb.adds, vb.mbcs)
-    }
-
-    fn process_load(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
-        let d = &req.d;
-        self.stats.mem_ops += 1;
-        self.stats.loads += 1;
-        let (rb, disp) = d.inst.mem_addr_spec().expect("load has address spec");
-        let size = d.inst.mem_size().expect("load has size");
-        let is_fp = matches!(d.inst, Inst::FLd { .. });
-        let (addr_sym, inh_adds, inh_mbcs) = self.fold_addr(rb, disp, bundle);
-        let addr_known = addr_sym.known();
-
-        if let Some(a) = addr_known {
-            assert_eq!(
-                Some(a),
-                d.eff_addr,
-                "strict check: early address {a:#x} != oracle {:?} for `{}`",
-                d.eff_addr,
-                d.inst
-            );
-            self.stats.mem_addr_generated += 1;
-        }
-
-        let dst_arch = d.inst.dst();
-
-        // RLE/SF: only with a known address, the feature enabled, and the
-        // intra-bundle memory-chain budget unspent.
-        if let Some(a) = addr_known {
-            if self.optimizing() && self.cfg.enable_rle_sf && dst_arch.is_some() {
-                let chained = inh_mbcs + 1 > self.cfg.mem_chain_depth + 1
-                    || (bundle.mbc_written.iter().any(|&w| w == (a & !7))
-                        && self.cfg.mem_chain_depth == 0);
-                if chained {
-                    self.stats.mem_chain_limited += 1;
-                } else if let Some(data) = self.mbc.lookup(a, size) {
-                    if let Some(r) = self.try_forward(req, a, size, data, is_fp, inh_mbcs, bundle)
-                    {
-                        return r;
-                    }
-                }
-                // Miss (or rejected forward): install this load's
-                // destination for future reuse.
+        self.hold_srcs(&srcs);
+        let (dst, dst_new) = match d.inst.dst() {
+            Some(a) => {
+                self.verify("derived known", d, value);
                 let p = self.alloc_dst(d);
                 self.rat
-                    .write(dst_arch.unwrap(), p, SymValue::reg(p), &mut self.pregs);
-                self.mbc.insert(a, size, SymValue::reg(p), &mut self.pregs);
-                bundle.mbc_written.push(a & !7);
-                bundle.record(dst_arch, inh_adds, inh_mbcs + 1);
-                let mut r = self.renamed(d, RenamedClass::Load, vec![], Some(p), true);
-                r.addr_known = true;
-                return r;
-            }
-        }
-
-        // Ordinary load (unknown address, or RLE/SF unavailable).
-        let srcs = if addr_known.is_some() {
-            vec![]
-        } else {
-            vec![self.rat.map(ArchReg::from(rb))]
-        };
-        self.hold_srcs(&srcs);
-        let (dst, dst_new) = match dst_arch {
-            Some(a) => {
-                let p = self.alloc_dst(d);
-                self.rat.write(a, p, SymValue::reg(p), &mut self.pregs);
+                    .write(a, p, SymValue::Known(value), &mut self.pregs);
                 (Some(p), true)
             }
             None => (None, false),
         };
-        bundle.record(dst_arch, 0, 0);
-        let mut r = self.renamed(d, RenamedClass::Load, srcs, dst, dst_new);
-        r.addr_known = addr_known.is_some();
-        r
+        bundle.record(d.inst.dst(), adds, 0);
+        self.renamed(d, class, srcs, dst, dst_new)
     }
 
-    /// Attempts to forward MBC `data` into the load; returns `None` (after
-    /// invalidating the stale entry) if strict value checking rejects it.
-    fn try_forward(
-        &mut self,
-        req: &RenameReq,
-        addr: u64,
-        size: MemSize,
-        data: SymValue,
-        is_fp: bool,
-        inh_mbcs: u32,
-        bundle: &mut Bundle,
-    ) -> Option<Renamed> {
-        let d = &req.d;
-        let dst_a = d.inst.dst().expect("forwarding checked dst");
-        // The stored register value, evaluated with the oracle.
-        let stored = data.eval_with(|p| self.oracle[p.index()]);
-        let loaded = extend(truncate(stored, size), size, signedness(&d.inst));
-        if Some(loaded) != d.result {
-            // Stale entry (speculative unknown-address store wrote this
-            // location since) or a width-change mismatch: reject.
-            self.stats.mbc_rejects += 1;
-            self.mbc.invalidate(addr, &mut self.pregs);
-            return None;
-        }
-        match data {
-            SymValue::Known(_) => {
-                // The load's value is fully known: executed in the optimizer.
-                let p = self.alloc_dst(d);
-                self.rat
-                    .write(dst_a, p, SymValue::Known(loaded), &mut self.pregs);
-                self.stats.loads_removed += 1;
-                self.stats.executed_early += 1;
-                bundle.record(d.inst.dst(), 1, inh_mbcs + 1);
-                let mut r = self.renamed(d, RenamedClass::Done, vec![], Some(p), true);
-                r.early_value = Some(loaded);
-                r.load_removed = true;
-                r.addr_known = true;
-                Some(r)
-            }
-            e @ SymValue::Expr { base, .. } if e.is_plain_reg() => {
-                // Pure move: the destination aliases the forwarding register.
-                self.rat.write(dst_a, base, e, &mut self.pregs);
-                self.stats.loads_removed += 1;
-                self.stats.executed_early += 1;
-                bundle.record(d.inst.dst(), 0, inh_mbcs + 1);
-                let mut r = self.renamed(d, RenamedClass::Done, vec![], Some(base), false);
-                r.load_removed = true;
-                r.addr_known = true;
-                Some(r)
-            }
-            e @ SymValue::Expr { base, .. } => {
-                if is_fp || size != MemSize::Quad {
-                    // A non-trivial integer expression cannot be forwarded
-                    // into an FP register or through a width change; leave
-                    // the entry and fall back to a normal (known-address)
-                    // load.
-                    return None;
-                }
-                // The load becomes the single-cycle expression
-                // (base << scale) + offset: removed from the memory system.
-                self.hold_srcs(&[base]);
-                let p = self.alloc_dst(d);
-                self.rat.write(dst_a, p, e, &mut self.pregs);
-                self.stats.loads_removed += 1;
-                bundle.record(d.inst.dst(), 1, inh_mbcs + 1);
-                let mut r = self.renamed(d, RenamedClass::SimpleInt, vec![base], Some(p), true);
-                r.load_removed = true;
-                r.addr_known = true;
-                Some(r)
-            }
-        }
-    }
-
-    fn process_store(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
-        let d = &req.d;
-        self.stats.mem_ops += 1;
-        let (rb, disp) = d.inst.mem_addr_spec().expect("store has address spec");
-        let size = d.inst.mem_size().expect("store has size");
-        let (addr_sym, _inh_adds, _inh_mbcs) = self.fold_addr(rb, disp, bundle);
-        let addr_known = addr_sym.known();
-
-        // Data source view.
-        let data_arch = d.inst.srcs()[0].expect("store has a data source");
-        let data_view = self.view(data_arch, bundle);
-        let data_sym = if self.cfg.enabled && self.cfg.optimize {
-            data_view.sym
-        } else {
-            SymValue::reg(data_view.map)
-        };
-
-        let mut srcs = Vec::new();
-        if data_sym.known().is_none() {
-            srcs.push(data_view.map);
-        }
-        if addr_known.is_none() {
-            srcs.push(self.rat.map(ArchReg::from(rb)));
-        }
-        self.hold_srcs(&srcs);
-
-        if let Some(a) = addr_known {
-            assert_eq!(
-                Some(a),
-                d.eff_addr,
-                "strict check: early store address {a:#x} != oracle {:?}",
-                d.eff_addr
-            );
-            self.stats.mem_addr_generated += 1;
-            if self.optimizing() && self.cfg.enable_rle_sf {
-                // Store forwarding: record the data's symbolic value. Use
-                // the mapping register when the symbol is a non-trivial
-                // expression of the *data* register (the stored value equals
-                // the register's value, which the mapping names directly).
-                let recorded = match data_sym {
-                    k @ SymValue::Known(_) => k,
-                    e @ SymValue::Expr { .. } if e.is_plain_reg() => e,
-                    _ => SymValue::reg(data_view.map),
-                };
-                self.mbc.insert(a, size, recorded, &mut self.pregs);
-                bundle.mbc_written.push(a & !7);
-            }
-        } else if self.optimizing() && self.cfg.enable_rle_sf && self.cfg.flush_mbc_on_unknown_store
-        {
-            self.mbc.flush(&mut self.pregs);
-        }
-
-        bundle.record(None, 0, 0);
-        let mut r = self.renamed(d, RenamedClass::Store, srcs, None, false);
-        r.addr_known = addr_known.is_some();
-        r
-    }
-
-    fn process_branch(
-        &mut self,
-        req: &RenameReq,
-        cond: contopt_isa::Cond,
-        ra: contopt_isa::Reg,
-        bundle: &mut Bundle,
-    ) -> Renamed {
-        let d = &req.d;
-        if req.mispredicted {
-            self.stats.mispredicted_branches += 1;
-        }
-        if !self.cfg.enabled {
-            bundle.record(None, 0, 0);
-            let map = self.rat.map(ArchReg::from(ra));
-            self.hold_srcs(&[map]);
-            return self.renamed(d, RenamedClass::SimpleInt, vec![map], None, false);
-        }
-        let va = self.view(ArchReg::from(ra), bundle);
-        let budget = self.cfg.max_serial_adds();
-        let usable = va.adds <= budget;
-        if let (Some(v), true) = (va.sym.known(), usable) {
-            // Early branch resolution on the rename-stage ALUs.
-            assert_eq!(
-                cond.eval(v),
-                d.taken,
-                "strict check: branch `{}` resolved {} but oracle says {}",
-                d.inst,
-                cond.eval(v),
-                d.taken
-            );
-            self.stats.branches_resolved_early += 1;
-            self.stats.executed_early += 1;
-            if req.mispredicted {
-                self.stats.mispredicts_recovered_early += 1;
-            }
-            bundle.record(None, va.adds, 0);
-            let mut r = self.renamed(d, RenamedClass::Done, vec![], None, false);
-            r.resolved_early = true;
-            return r;
-        }
-        // Unresolved: executes in the core. Branch-direction inference may
-        // still reveal the register's value to younger instructions.
-        let srcs = vec![va.map];
-        self.hold_srcs(&srcs);
-        if self.optimizing() && self.cfg.enable_branch_inference && cond.implies_zero(d.taken) {
-            self.rat
-                .update_sym(ArchReg::from(ra), SymValue::Known(0), &mut self.pregs);
-            self.stats.branch_inferences += 1;
-        }
-        bundle.record(None, 0, 0);
-        self.renamed(d, RenamedClass::SimpleInt, srcs, None, false)
-    }
-
-    fn process_call(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
-        let d = &req.d;
-        let link = d.pc.wrapping_add(4);
-        let dst_arch = d.inst.dst();
-        match d.inst {
-            Inst::Bsr { .. } => {
-                if self.optimizing() {
-                    // The link value is architecturally known.
-                    let (dst, dst_new) = match dst_arch {
-                        Some(a) => {
-                            self.verify("bsr link", d, link);
-                            let p = self.alloc_dst(d);
-                            self.rat.write(a, p, SymValue::Known(link), &mut self.pregs);
-                            (Some(p), true)
-                        }
-                        None => (None, false),
-                    };
-                    self.stats.executed_early += 1;
-                    bundle.record(dst_arch, 0, 0);
-                    let mut r = self.renamed(d, RenamedClass::Done, vec![], dst, dst_new);
-                    r.early_value = dst.map(|_| link);
-                    r
-                } else {
-                    self.process_plain(d, RenamedClass::SimpleInt, bundle)
-                }
-            }
-            Inst::Jmp { ra, .. } => {
-                if req.mispredicted {
-                    self.stats.mispredicted_branches += 1;
-                }
-                if !self.cfg.enabled {
-                    return self.process_plain(d, RenamedClass::SimpleInt, bundle);
-                }
-                let va = self.view(ArchReg::from(ra), bundle);
-                let target_known = self.optimizing() && va.sym.known().is_some();
-                if target_known {
-                    assert_eq!(
-                        va.sym.known(),
-                        Some(d.next_pc),
-                        "strict check: jump target mismatch"
-                    );
-                }
-                if !target_known {
-                    self.hold_srcs(&[va.map]);
-                }
-                let (dst, dst_new) = match dst_arch {
-                    Some(a) => {
-                        let p = self.alloc_dst(d);
-                        let sym = if self.optimizing() {
-                            SymValue::Known(link)
-                        } else {
-                            SymValue::reg(p)
-                        };
-                        self.rat.write(a, p, sym, &mut self.pregs);
-                        (Some(p), true)
-                    }
-                    None => (None, false),
-                };
-                bundle.record(dst_arch, 0, 0);
-                if target_known {
-                    self.stats.executed_early += 1;
-                    if req.mispredicted {
-                        self.stats.mispredicts_recovered_early += 1;
-                    }
-                    let mut r = self.renamed(d, RenamedClass::Done, vec![], dst, dst_new);
-                    r.resolved_early = true;
-                    r.early_value = dst.map(|_| link);
-                    r
-                } else {
-                    self.renamed(d, RenamedClass::SimpleInt, vec![va.map], dst, dst_new)
-                }
-            }
-            _ => unreachable!("process_call on non-call"),
-        }
-    }
-
-    fn process_fp(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
+    pub(crate) fn process_fp(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
         self.process_plain(&req.d, RenamedClass::Fp, bundle)
-    }
-}
-
-fn signedness(inst: &Inst) -> bool {
-    matches!(inst, Inst::Ld { signed: true, .. })
-}
-
-#[inline]
-fn truncate(v: u64, size: MemSize) -> u64 {
-    match size {
-        MemSize::Byte => v & 0xff,
-        MemSize::Word => v & 0xffff,
-        MemSize::Long => v & 0xffff_ffff,
-        MemSize::Quad => v,
-    }
-}
-
-#[inline]
-fn extend(raw: u64, size: MemSize, signed: bool) -> u64 {
-    if !signed {
-        return raw;
-    }
-    match size {
-        MemSize::Byte => raw as u8 as i8 as i64 as u64,
-        MemSize::Word => raw as u16 as i16 as i64 as u64,
-        MemSize::Long => raw as u32 as i32 as i64 as u64,
-        MemSize::Quad => raw,
     }
 }
 
@@ -1057,7 +471,13 @@ mod tests {
         let mut out = Vec::new();
         for (cycle, &d) in ds.iter().enumerate() {
             let r = opt
-                .rename_bundle(cycle as u64, &[RenameReq { d, mispredicted: false }])
+                .rename_bundle(
+                    cycle as u64,
+                    &[RenameReq {
+                        d,
+                        mispredicted: false,
+                    }],
+                )
                 .remove(0);
             if let (Some(p), true) = (r.dst, r.dst_new) {
                 opt.complete(p, d.result.unwrap_or(0), cycle as u64 + lat);
@@ -1178,7 +598,10 @@ mod tests {
         let mut opt = opt_default();
         let rs = rename_all(&mut opt, &stream(a), 100);
         assert!(rs[1].addr_known);
-        assert!(rs[1].srcs.is_empty(), "address embedded, no agen dependence");
+        assert!(
+            rs[1].srcs.is_empty(),
+            "address embedded, no agen dependence"
+        );
         assert_eq!(opt.stats().mem_addr_generated, 1);
     }
 
@@ -1239,10 +662,62 @@ mod tests {
         a.halt();
         let mut opt = Optimizer::new(OptimizerConfig::baseline(), 4096, |_| 0);
         let rs = rename_all(&mut opt, &stream(a), 100);
-        assert!(rs.iter().take(3).all(|x| x.class == RenamedClass::SimpleInt));
+        assert!(rs
+            .iter()
+            .take(3)
+            .all(|x| x.class == RenamedClass::SimpleInt));
         assert!(rs.iter().take(3).all(|x| x.dst_new));
         assert_eq!(opt.stats().executed_early, 0);
         assert_eq!(opt.stats().moves_eliminated, 0);
+    }
+
+    #[test]
+    fn early_exec_pass_gates_rename_stage_completion() {
+        // With every pass but EarlyExec registered, the optimizer still
+        // derives symbols and generates addresses, but no instruction
+        // completes at rename: no early ALU results, no early branch
+        // resolution, no move elimination, and no MBC load forwarding.
+        use crate::passes::{Pass, PassSet};
+        let cfg: OptimizerConfig = [Pass::cp_ra(), Pass::rle_sf(), Pass::value_feedback()]
+            .into_iter()
+            .collect::<PassSet>()
+            .into();
+        assert!(!cfg.enable_early_exec);
+        let mut a = Asm::new();
+        let buf = a.data_zeros(16);
+        a.li(r(1), 40);
+        a.addq(r(1), 2, r(2));
+        a.mov(r(2), r(4)); // move elimination candidate
+        a.li(r(5), buf as i64);
+        for _ in 0..4 {
+            a.nop(); // let value feedback convert r5 to a known constant
+        }
+        a.stq(r(2), r(5), 0); // store-forwarding candidate...
+        a.ldq(r(6), r(5), 0); // ...reloaded immediately
+        a.ldq(r(7), r(5), 0); // and a redundant reload
+        a.li(r(3), 0);
+        a.beq(r(3), "t");
+        a.nop();
+        a.label("t");
+        a.halt();
+        let mut opt = Optimizer::new(cfg, 4096, |_| 0);
+        let rs = rename_all(&mut opt, &stream(a), 1);
+        let s = opt.stats();
+        assert_eq!(s.executed_early, 0, "nothing completes early");
+        assert_eq!(s.branches_resolved_early, 0);
+        assert_eq!(s.loads_removed, 0, "forwarding requires EarlyExec");
+        assert_eq!(s.moves_eliminated, 0, "move elim requires EarlyExec");
+        assert!(
+            s.mem_addr_generated > 0,
+            "fed-back knowledge still generates addresses"
+        );
+        assert!(rs.iter().all(|x| x.early_value.is_none()));
+        assert!(rs.iter().all(|x| !x.resolved_early && !x.load_removed));
+        // Every instruction with architectural work went to the core; only
+        // the inherently no-op nops and halt may bypass it (the branch is
+        // taken, so the trailing nop never executes).
+        let done = rs.iter().filter(|x| x.class == RenamedClass::Done).count();
+        assert_eq!(done, 5, "only the four nops and halt bypass the core");
     }
 
     #[test]
@@ -1257,10 +732,16 @@ mod tests {
         let ds = stream(a);
         let reqs: Vec<RenameReq> = ds
             .iter()
-            .map(|&d| RenameReq { d, mispredicted: false })
+            .map(|&d| RenameReq {
+                d,
+                mispredicted: false,
+            })
             .collect();
         let renamed = opt.rename_bundle(0, &reqs);
-        assert!(renamed.len() < reqs.len(), "pool exhaustion must stop rename");
+        assert!(
+            renamed.len() < reqs.len(),
+            "pool exhaustion must stop rename"
+        );
         assert!(!renamed.is_empty(), "some registers were free");
     }
 
@@ -1280,11 +761,20 @@ mod tests {
         let ds = stream(c);
         let mut opt = opt_default();
         // First bundle: li alone. Second bundle: the four adds together.
-        let first = opt.rename_bundle(0, &[RenameReq { d: ds[0], mispredicted: false }]);
+        let first = opt.rename_bundle(
+            0,
+            &[RenameReq {
+                d: ds[0],
+                mispredicted: false,
+            }],
+        );
         assert_eq!(first[0].class, RenamedClass::Done);
         let reqs: Vec<RenameReq> = ds[1..5]
             .iter()
-            .map(|&d| RenameReq { d, mispredicted: false })
+            .map(|&d| RenameReq {
+                d,
+                mispredicted: false,
+            })
             .collect();
         let adds = opt.rename_bundle(1, &reqs);
         assert_eq!(adds[0].class, RenamedClass::Done, "head of the chain folds");
@@ -1353,9 +843,6 @@ mod tests {
         // Live registers: the 64 RAT mappings (+ sym bases + MBC pins),
         // bounded well below the pool size; crucially it must not grow with
         // the dynamic instruction count (50 iterations x 6 insts).
-        assert!(
-            after < before + 80,
-            "references leak: {before} -> {after}"
-        );
+        assert!(after < before + 80, "references leak: {before} -> {after}");
     }
 }

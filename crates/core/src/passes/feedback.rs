@@ -1,0 +1,36 @@
+//! Value feedback — the [`super::ValueFeedback`] pass (paper §4).
+//!
+//! Execution results return to the optimization tables after a
+//! transmission delay ([`crate::FeedbackQueue`], Figure 12 sweeps the
+//! delay) and CAM-convert symbolic RAT and MBC entries whose base is the
+//! completing physical register into known constants. A claim is held on
+//! the register while its value is in flight so the tag cannot be
+//! reallocated before the CAM update (§3.1's reference-counting argument
+//! extended to the feedback path).
+
+use crate::optimizer::Optimizer;
+use crate::preg::PhysReg;
+
+impl Optimizer {
+    /// Reports a completed execution result; it will reach the optimization
+    /// tables after the configured transmission delay.
+    pub fn complete(&mut self, p: PhysReg, value: u64, cycle: u64) {
+        if self.cfg.enabled && self.cfg.value_feedback {
+            // Hold a claim while the value is in flight so the tag cannot be
+            // reallocated before the CAM update.
+            self.pregs.add_ref(p);
+            self.feedback.push(p, value, cycle, self.cfg.feedback_delay);
+        }
+    }
+
+    /// Applies all feedback that has arrived by `now` to the RAT and MBC.
+    pub fn apply_feedback(&mut self, now: u64) {
+        let msgs: Vec<_> = self.feedback.drain_ready(now).collect();
+        for f in msgs {
+            let n = self.rat.feed_back(f.preg, f.value, &mut self.pregs)
+                + self.mbc.feed_back(f.preg, f.value, &mut self.pregs);
+            self.stats.feedback_integrations += n;
+            self.pregs.release(f.preg); // in-flight claim
+        }
+    }
+}

@@ -217,7 +217,7 @@ mod tests {
         let p = pregs.alloc().unwrap();
         rat.write(a, p, SymValue::reg(p), &mut pregs);
         pregs.release(p); // producer completes
-        // b's symbol references p (reassociation).
+                          // b's symbol references p (reassociation).
         let q = pregs.alloc().unwrap();
         rat.write(
             b,

@@ -88,9 +88,7 @@ impl SymValue {
                 base,
                 scale,
                 offset,
-            } if base == p => Some(SymValue::Known(
-                (v << scale).wrapping_add(offset as u64),
-            )),
+            } if base == p => Some(SymValue::Known((v << scale).wrapping_add(offset as u64))),
             _ => None,
         }
     }
@@ -326,18 +324,28 @@ mod tests {
                 offset: 5
             }
         );
-        assert!(sym_sub(SymValue::Known(5), e).is_none(), "cannot negate a base");
-        assert!(sym_add(e, e).is_none(), "two symbolic bases not representable");
+        assert!(
+            sym_sub(SymValue::Known(5), e).is_none(),
+            "cannot negate a base"
+        );
+        assert!(
+            sym_add(e, e).is_none(),
+            "two symbolic bases not representable"
+        );
     }
 
     #[test]
     fn both_known_executes() {
         assert_eq!(
-            sym_add(SymValue::Known(3), SymValue::Known(4)).unwrap().value,
+            sym_add(SymValue::Known(3), SymValue::Known(4))
+                .unwrap()
+                .value,
             SymValue::Known(7)
         );
         assert_eq!(
-            sym_sub(SymValue::Known(3), SymValue::Known(4)).unwrap().value,
+            sym_sub(SymValue::Known(3), SymValue::Known(4))
+                .unwrap()
+                .value,
             SymValue::Known(u64::MAX)
         );
     }

@@ -35,5 +35,5 @@ mod machine;
 mod mem_image;
 
 pub use dyninst::DynInst;
-pub use machine::{Emulator, EmuError, RunSummary, Step};
+pub use machine::{EmuError, Emulator, RunSummary, Step};
 pub use mem_image::MemImage;

@@ -180,10 +180,7 @@ impl Emulator {
             return Ok(Step::Halted);
         }
         let pc = self.pc;
-        let inst = *self
-            .program
-            .inst_at(pc)
-            .ok_or(EmuError::UnmappedPc(pc))?;
+        let inst = *self.program.inst_at(pc).ok_or(EmuError::UnmappedPc(pc))?;
 
         let mut result: Option<u64> = None;
         let mut eff_addr: Option<u64> = None;
@@ -510,11 +507,8 @@ mod tests {
         a.halt();
         let mut emu = Emulator::new(a.finish().unwrap());
         let mut recs = Vec::new();
-        loop {
-            match emu.step().unwrap() {
-                Step::Inst(d) => recs.push(d),
-                Step::Halted => break,
-            }
+        while let Step::Inst(d) = emu.step().unwrap() {
+            recs.push(d);
         }
         assert_eq!(recs.len(), 3); // li, beq, halt
         let br = &recs[1];

@@ -39,8 +39,8 @@ impl MemImage {
     }
 
     #[inline]
-    fn page(&self, addr: u64) -> Option<&Box<[u8]>> {
-        self.pages.get(&(addr >> PAGE_SHIFT))
+    fn page(&self, addr: u64) -> Option<&[u8]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| p.as_ref())
     }
 
     #[inline]

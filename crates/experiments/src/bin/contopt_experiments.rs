@@ -8,6 +8,7 @@
 use contopt_experiments::{
     fig10, fig11, fig12, fig6, fig8, fig9, table1, table2, table3, Lab, DEFAULT_INSTS,
 };
+use contopt_sim::ToJson;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,7 +36,7 @@ fn main() {
             if want($flag) {
                 let r = $result;
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&r).expect("serializes"));
+                    println!("{}", r.to_json().pretty());
                 } else {
                     println!("{r}");
                 }

@@ -1,10 +1,14 @@
 //! Regenerators for the paper's evaluation figures (6, 8, 9, 10, 11, 12).
+//!
+//! Every optimizer variant is expressed as a pass list compiled through
+//! [`PassSet`] — the ablations are combinations of the same four pass
+//! units, not bespoke presets.
 
 use crate::lab::{Lab, SuiteMeans};
-use contopt::OptimizerConfig;
-use contopt_pipeline::MachineConfig;
-use contopt_workloads::Suite;
-use serde::Serialize;
+use contopt_sim::workloads::Suite;
+use contopt_sim::{
+    CpRa, JsonValue, MachineConfig, OptimizerConfig, Pass, PassSet, RleSf, ToJson, ValueFeedback,
+};
 use std::fmt;
 
 fn base() -> MachineConfig {
@@ -15,14 +19,45 @@ fn opt() -> MachineConfig {
     MachineConfig::default_with_optimizer()
 }
 
+/// The full pass pipeline as a list (identical to
+/// [`OptimizerConfig::default`]).
+fn full_passes() -> PassSet {
+    [
+        Pass::cp_ra(),
+        Pass::rle_sf(),
+        Pass::value_feedback(),
+        Pass::early_exec(),
+    ]
+    .into_iter()
+    .collect()
+}
+
 /// Figure 6 — speedup of continuous optimization over the baseline, per
 /// benchmark, with per-suite averages.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6 {
     /// `(suite, name, speedup)` per benchmark, in Table 1 order.
     pub rows: Vec<(String, String, f64)>,
     /// Per-suite geometric means.
     pub means: SuiteMeans,
+}
+
+impl ToJson for Fig6 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            (
+                "rows",
+                JsonValue::arr(self.rows.iter().map(|(suite, name, s)| {
+                    JsonValue::obj([
+                        ("suite", suite.as_str().into()),
+                        ("name", name.as_str().into()),
+                        ("speedup", (*s).into()),
+                    ])
+                })),
+            ),
+            ("means", self.means.to_json()),
+        ])
+    }
 }
 
 /// Regenerates Figure 6.
@@ -45,7 +80,10 @@ fn bar(f: &mut fmt::Formatter<'_>, label: &str, v: f64) -> fmt::Result {
 
 impl fmt::Display for Fig6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 6. Speedup of continuous optimization over baseline")?;
+        writeln!(
+            f,
+            "Figure 6. Speedup of continuous optimization over baseline"
+        )?;
         writeln!(f, "(bars start at 0.9; geometric-mean suite averages)")?;
         let mut last = String::new();
         for (suite, name, v) in &self.rows {
@@ -69,7 +107,7 @@ impl fmt::Display for Fig6 {
 }
 
 /// Speedup bars for a multi-configuration figure, one row per suite.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SuiteFigure {
     /// Figure title.
     pub title: String,
@@ -86,8 +124,14 @@ impl SuiteFigure {
             means.push(lab.suite_speedups(key, *cfg, "base", base()));
         }
         let bars = [
-            (Suite::SpecInt.to_string(), means.iter().map(|m| m.specint).collect()),
-            (Suite::SpecFp.to_string(), means.iter().map(|m| m.specfp).collect()),
+            (
+                Suite::SpecInt.to_string(),
+                means.iter().map(|m| m.specint).collect(),
+            ),
+            (
+                Suite::SpecFp.to_string(),
+                means.iter().map(|m| m.specfp).collect(),
+            ),
             (
                 Suite::MediaBench.to_string(),
                 means.iter().map(|m| m.mediabench).collect(),
@@ -108,6 +152,27 @@ impl SuiteFigure {
             .find(|(name, _)| *name == s.to_string())
             .expect("suite present")
             .1
+    }
+}
+
+impl ToJson for SuiteFigure {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("title", self.title.as_str().into()),
+            (
+                "labels",
+                JsonValue::arr(self.labels.iter().map(|l| l.as_str().into())),
+            ),
+            (
+                "bars",
+                JsonValue::arr(self.bars.iter().map(|(suite, vals)| {
+                    JsonValue::obj([
+                        ("suite", suite.as_str().into()),
+                        ("speedups", JsonValue::arr(vals.iter().map(|&v| v.into()))),
+                    ])
+                })),
+            ),
+        ])
     }
 }
 
@@ -137,13 +202,13 @@ pub fn fig8(lab: &mut Lab) -> SuiteFigure {
         ("fetch bound", MachineConfig::fetch_bound()),
         (
             "fetch bound+opt",
-            MachineConfig::fetch_bound().with_optimizer(OptimizerConfig::default()),
+            MachineConfig::fetch_bound().with_optimizer(full_passes().into()),
         ),
         ("opt", opt()),
         ("exec bound", MachineConfig::exec_bound()),
         (
             "exec bound+opt",
-            MachineConfig::exec_bound().with_optimizer(OptimizerConfig::default()),
+            MachineConfig::exec_bound().with_optimizer(full_passes().into()),
         ),
     ];
     SuiteFigure::collect(
@@ -155,11 +220,11 @@ pub fn fig8(lab: &mut Lab) -> SuiteFigure {
 
 /// Figure 9 — value feedback alone versus feedback plus optimization.
 pub fn fig9(lab: &mut Lab) -> SuiteFigure {
+    let feedback_alone: PassSet = [Pass::value_feedback(), Pass::early_exec()]
+        .into_iter()
+        .collect();
     let configs = [
-        (
-            "feedback",
-            base().with_optimizer(OptimizerConfig::feedback_only()),
-        ),
+        ("feedback", base().with_optimizer(feedback_alone.into())),
         ("feedback+opt", opt()),
     ];
     SuiteFigure::collect(
@@ -172,11 +237,18 @@ pub fn fig9(lab: &mut Lab) -> SuiteFigure {
 /// Figure 10 — sensitivity to intra-bundle dependence depth.
 pub fn fig10(lab: &mut Lab) -> SuiteFigure {
     let mk = |add: u32, mem: u32| {
-        base().with_optimizer(OptimizerConfig {
-            add_chain_depth: add,
-            mem_chain_depth: mem,
-            ..OptimizerConfig::default()
-        })
+        let passes = PassSet::new()
+            .with(CpRa {
+                add_chain_depth: add,
+                ..CpRa::default()
+            })
+            .with(RleSf {
+                mem_chain_depth: mem,
+                ..RleSf::default()
+            })
+            .with(ValueFeedback::default())
+            .with(contopt_sim::EarlyExec);
+        base().with_optimizer(passes.into())
     };
     let configs = [
         ("depth 0", opt()),
@@ -193,17 +265,8 @@ pub fn fig10(lab: &mut Lab) -> SuiteFigure {
 
 /// Figure 11 — sensitivity to the optimizer's extra pipeline stages.
 pub fn fig11(lab: &mut Lab) -> SuiteFigure {
-    let mk = |stages: u64| {
-        base().with_optimizer(OptimizerConfig {
-            extra_stages: stages,
-            ..OptimizerConfig::default()
-        })
-    };
-    let configs = [
-        ("delay 0", mk(0)),
-        ("delay 2", opt()),
-        ("delay 4", mk(4)),
-    ];
+    let mk = |stages: u64| base().with_optimizer(full_passes().extra_stages(stages).into());
+    let configs = [("delay 0", mk(0)), ("delay 2", opt()), ("delay 4", mk(4))];
     SuiteFigure::collect("Figure 11. Optimizer latency sensitivity", lab, &configs)
 }
 

@@ -1,8 +1,8 @@
 //! The experiment runner: simulates workloads under machine configurations
 //! and caches results so figures sharing a configuration don't re-simulate.
 
-use contopt_pipeline::{simulate, MachineConfig, RunReport};
-use contopt_workloads::{suite, Suite, Workload};
+use contopt_sim::workloads::{suite, Suite, Workload};
+use contopt_sim::{JsonValue, MachineConfig, Report, SimSession, ToJson};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -10,16 +10,16 @@ use std::sync::Arc;
 /// naturally below this).
 pub const DEFAULT_INSTS: u64 = 2_000_000;
 
-/// Runs simulations and memoizes their reports.
+/// Runs simulations through [`SimSession`] and memoizes their reports.
 ///
 /// # Examples
 ///
 /// ```no_run
 /// use contopt_experiments::Lab;
-/// use contopt_pipeline::MachineConfig;
+/// use contopt_sim::MachineConfig;
 ///
 /// let mut lab = Lab::new(2_000_000);
-/// let w = contopt_workloads::build("untst").unwrap();
+/// let w = contopt_sim::workloads::build("untst").unwrap();
 /// let base = lab.run("base", MachineConfig::default_paper(), &w);
 /// let opt = lab.run("opt", MachineConfig::default_with_optimizer(), &w);
 /// println!("untst speedup: {:.3}", opt.speedup_over(&base));
@@ -27,7 +27,7 @@ pub const DEFAULT_INSTS: u64 = 2_000_000;
 pub struct Lab {
     insts: u64,
     workloads: Vec<Workload>,
-    cache: HashMap<(String, &'static str), Arc<RunReport>>,
+    cache: HashMap<(String, &'static str), Arc<Report>>,
 }
 
 impl Lab {
@@ -53,19 +53,25 @@ impl Lab {
     /// Simulates `w` under `cfg`, memoized by `(key, workload name)`.
     ///
     /// The caller-chosen `key` must uniquely identify `cfg` within this lab.
-    pub fn run(&mut self, key: &str, cfg: MachineConfig, w: &Workload) -> Arc<RunReport> {
+    pub fn run(&mut self, key: &str, cfg: MachineConfig, w: &Workload) -> Arc<Report> {
         let k = (key.to_string(), w.name);
         if let Some(r) = self.cache.get(&k) {
             return Arc::clone(r);
         }
-        let report = Arc::new(simulate(cfg, w.program.clone(), self.insts));
+        let session = SimSession::builder()
+            .machine(cfg)
+            .program(w.program.clone())
+            .insts(self.insts)
+            .build()
+            .expect("lab configurations are structurally valid");
+        let report = Arc::new(session.run());
         self.cache.insert(k, Arc::clone(&report));
         report
     }
 
     /// Runs every workload under `cfg`; returns `(workload, report)` pairs
     /// in Table 1 order.
-    pub fn run_all(&mut self, key: &str, cfg: MachineConfig) -> Vec<(Workload, Arc<RunReport>)> {
+    pub fn run_all(&mut self, key: &str, cfg: MachineConfig) -> Vec<(Workload, Arc<Report>)> {
         let ws = self.workloads.clone();
         ws.into_iter()
             .map(|w| {
@@ -102,7 +108,7 @@ impl Lab {
 }
 
 /// Geometric-mean speedups per suite.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SuiteMeans {
     /// SPECint geometric mean.
     pub specint: f64,
@@ -116,6 +122,17 @@ impl SuiteMeans {
     /// Geometric mean across the three suite means.
     pub fn overall(&self) -> f64 {
         (self.specint * self.specfp * self.mediabench).cbrt()
+    }
+}
+
+impl ToJson for SuiteMeans {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("specint", self.specint.into()),
+            ("specfp", self.specfp.into()),
+            ("mediabench", self.mediabench.into()),
+            ("overall", self.overall().into()),
+        ])
     }
 }
 
@@ -148,7 +165,7 @@ mod tests {
     #[test]
     fn lab_memoizes() {
         let mut lab = Lab::new(50_000);
-        let w = contopt_workloads::build("twf").unwrap();
+        let w = contopt_sim::workloads::build("twf").unwrap();
         let a = lab.run("base", MachineConfig::default_paper(), &w);
         let b = lab.run("base", MachineConfig::default_paper(), &w);
         assert!(Arc::ptr_eq(&a, &b), "second run must come from the cache");

@@ -18,6 +18,10 @@
 //!
 //! The `contopt-experiments` binary drives them:
 //! `cargo run --release -p contopt-experiments -- --all`.
+//!
+//! Everything here runs through the [`contopt_sim`] facade: the [`Lab`]
+//! builds one `SimSession` per (configuration, workload) pair and caches
+//! the unified reports, and every optimizer variant is a pass list.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,21 +1,20 @@
 //! Regenerators for the paper's tables (1, 2, and 3).
 
 use crate::lab::Lab;
-use contopt_emu::Emulator;
-use contopt_pipeline::MachineConfig;
-use contopt_workloads::Suite;
-use serde::Serialize;
+use contopt_sim::emu::Emulator;
+use contopt_sim::workloads::Suite;
+use contopt_sim::{JsonValue, MachineConfig, OptStats, ToJson};
 use std::fmt;
 
 /// Table 1 — the experimental workload and its dynamic instruction counts.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1 {
     /// One row per benchmark.
     pub rows: Vec<Table1Row>,
 }
 
 /// One Table 1 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Suite label.
     pub suite: String,
@@ -25,6 +24,23 @@ pub struct Table1Row {
     pub description: String,
     /// Committed dynamic instructions.
     pub insts: u64,
+}
+
+impl ToJson for Table1Row {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("suite", self.suite.as_str().into()),
+            ("name", self.name.as_str().into()),
+            ("description", self.description.as_str().into()),
+            ("insts", self.insts.into()),
+        ])
+    }
+}
+
+impl ToJson for Table1 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([("rows", self.rows.to_json())])
+    }
 }
 
 /// Regenerates Table 1 by running every workload functionally.
@@ -50,10 +66,18 @@ impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table 1. Experimental Workload")?;
         writeln!(f, "{:-<78}", "")?;
-        writeln!(f, "{:<12} {:<8} {:>12}  {}", "Type", "App.", "Total Insts.", "Kernel")?;
+        writeln!(
+            f,
+            "{:<12} {:<8} {:>12}  Kernel",
+            "Type", "App.", "Total Insts."
+        )?;
         let mut last = String::new();
         for r in &self.rows {
-            let suite = if r.suite == last { String::new() } else { r.suite.clone() };
+            let suite = if r.suite == last {
+                String::new()
+            } else {
+                r.suite.clone()
+            };
             last = r.suite.clone();
             writeln!(
                 f,
@@ -66,10 +90,24 @@ impl fmt::Display for Table1 {
 }
 
 /// Table 2 — the simulated machine configuration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2 {
     /// Rendered `(parameter, value)` rows.
     pub rows: Vec<(String, String)>,
+}
+
+impl ToJson for Table2 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([(
+            "rows",
+            JsonValue::arr(self.rows.iter().map(|(k, v)| {
+                JsonValue::obj([
+                    ("parameter", k.as_str().into()),
+                    ("value", v.as_str().into()),
+                ])
+            })),
+        )])
+    }
 }
 
 /// Regenerates Table 2 from the default configurations.
@@ -77,7 +115,10 @@ pub fn table2() -> Table2 {
     let m = MachineConfig::default_with_optimizer();
     let h = m.hierarchy;
     let rows = vec![
-        ("Fetch/Decode/Rename".into(), format!("{} insts/cycle", m.fetch_width)),
+        (
+            "Fetch/Decode/Rename".into(),
+            format!("{} insts/cycle", m.fetch_width),
+        ),
         ("Retire".into(), format!("{} insts/cycle", m.retire_width)),
         (
             "BrPred".into(),
@@ -95,9 +136,15 @@ pub fn table2() -> Table2 {
         ),
         (
             "Scheduler".into(),
-            format!("four {}-entry schedulers (int, complex int, fp, mem)", m.scheduler_entries),
+            format!(
+                "four {}-entry schedulers (int, complex int, fp, mem)",
+                m.scheduler_entries
+            ),
         ),
-        ("Inst Window".into(), format!("max. {} in-flight insts", m.rob_entries)),
+        (
+            "Inst Window".into(),
+            format!("max. {} in-flight insts", m.rob_entries),
+        ),
         (
             "ExeUnits".into(),
             format!(
@@ -105,13 +152,22 @@ pub fn table2() -> Table2 {
                 m.simple_int_fus, m.complex_int_fus, m.fp_fus, m.agen_fus
             ),
         ),
-        ("L1 I Cache".into(), format!("{}, {} cycle", h.l1i, h.l1i_latency)),
+        (
+            "L1 I Cache".into(),
+            format!("{}, {} cycle", h.l1i, h.l1i_latency),
+        ),
         (
             "L1 D Cache".into(),
             format!("{}, {} ports, {} cycles", h.l1d, h.l1d_ports, h.l1d_latency),
         ),
-        ("L2 Unified Cache".into(), format!("{}, {} cycles", h.l2, h.l2_latency)),
-        ("Memory".into(), format!("{} cycle latency", h.memory_latency)),
+        (
+            "L2 Unified Cache".into(),
+            format!("{}, {} cycles", h.l2, h.l2_latency),
+        ),
+        (
+            "Memory".into(),
+            format!("{} cycle latency", h.memory_latency),
+        ),
         (
             "Optimizer".into(),
             format!(
@@ -135,14 +191,14 @@ impl fmt::Display for Table2 {
 }
 
 /// Table 3 — effects of continuous optimization, per suite.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3 {
     /// One row per suite plus the all-benchmark average.
     pub rows: Vec<Table3Row>,
 }
 
 /// One Table 3 row (all values in percent).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Suite label (or "avg").
     pub suite: String,
@@ -156,15 +212,32 @@ pub struct Table3Row {
     pub loads_removed: f64,
 }
 
+impl ToJson for Table3Row {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("suite", self.suite.as_str().into()),
+            ("exec_early", self.exec_early.into()),
+            ("recovered_mispredicts", self.recovered_mispredicts.into()),
+            ("addr_generated", self.addr_generated.into()),
+            ("loads_removed", self.loads_removed.into()),
+        ])
+    }
+}
+
+impl ToJson for Table3 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([("rows", self.rows.to_json())])
+    }
+}
+
 /// Regenerates Table 3 from default-optimizer runs.
 pub fn table3(lab: &mut Lab) -> Table3 {
     let runs = lab.run_all("opt", MachineConfig::default_with_optimizer());
     let mut rows = Vec::new();
-    let mut all = contopt::OptStats::default();
+    let mut all = OptStats::default();
     for suite in [Suite::SpecInt, Suite::SpecFp, Suite::MediaBench] {
-        let mut agg = contopt::OptStats::default();
-        for (w, r) in runs.iter().filter(|(w, _)| w.suite == suite) {
-            let _ = w;
+        let mut agg = OptStats::default();
+        for (_, r) in runs.iter().filter(|(w, _)| w.suite == suite) {
             agg.merge(&r.optimizer);
             all.merge(&r.optimizer);
         }

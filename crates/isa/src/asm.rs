@@ -639,7 +639,10 @@ mod tests {
         a.label("x");
         a.nop();
         a.label("x");
-        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]

@@ -355,7 +355,11 @@ impl fmt::Display for Inst {
                 rb,
                 disp,
             } => {
-                let s = if signed && size != MemSize::Quad { "s" } else { "" }; // ldq is inherently full-width
+                let s = if signed && size != MemSize::Quad {
+                    "s"
+                } else {
+                    ""
+                }; // ldq is inherently full-width
                 write!(f, "ld{}{s} {disp}({rb}) -> {rc}", size.suffix())
             }
             Inst::St { size, ra, rb, disp } => {

@@ -172,7 +172,7 @@ impl ArchReg {
     /// The integer register, if this index lies in the integer file.
     #[inline]
     pub fn as_int(self) -> Option<Reg> {
-        self.is_int().then(|| Reg(self.0))
+        self.is_int().then_some(Reg(self.0))
     }
 
     /// The floating-point register, if this index lies in the FP file.

@@ -25,7 +25,10 @@ impl CacheConfig {
     /// Panics if the line size is not a power of two or the capacity is not
     /// an integer number of sets.
     pub fn new(size_bytes: u64, ways: u64, line_bytes: u64) -> CacheConfig {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways >= 1, "need at least one way");
         let lines = size_bytes / line_bytes;
         assert_eq!(lines % ways, 0, "capacity must divide evenly into sets");

@@ -171,6 +171,7 @@ impl Machine {
         RunReport {
             pipeline: self.stats,
             optimizer: self.opt.stats(),
+            mbc: self.opt.mbc_stats(),
             predictor: self.pred.stats(),
             memory: self.hier.stats(),
         }
@@ -304,10 +305,18 @@ impl Machine {
         // occupancy may transiently exceed the nominal capacity by less than
         // one rename bundle — hence the saturating arithmetic.
         let mut sched_free = [
-            self.cfg.scheduler_entries.saturating_sub(self.scheds[0].len()),
-            self.cfg.scheduler_entries.saturating_sub(self.scheds[1].len()),
-            self.cfg.scheduler_entries.saturating_sub(self.scheds[2].len()),
-            self.cfg.scheduler_entries.saturating_sub(self.scheds[3].len()),
+            self.cfg
+                .scheduler_entries
+                .saturating_sub(self.scheds[0].len()),
+            self.cfg
+                .scheduler_entries
+                .saturating_sub(self.scheds[1].len()),
+            self.cfg
+                .scheduler_entries
+                .saturating_sub(self.scheds[2].len()),
+            self.cfg
+                .scheduler_entries
+                .saturating_sub(self.scheds[3].len()),
         ];
         let mut reqs: Vec<RenameReq> = Vec::new();
         for f in self.fetch_queue.iter().take(self.cfg.fetch_width) {
@@ -339,7 +348,10 @@ impl Machine {
         }
         let renamed = self.opt.rename_bundle(self.cycle, &reqs);
         for ren in renamed {
-            let f = self.fetch_queue.pop_front().expect("renamed what we peeked");
+            let f = self
+                .fetch_queue
+                .pop_front()
+                .expect("renamed what we peeked");
             self.dispatch(f, ren);
         }
     }
@@ -619,7 +631,10 @@ mod tests {
             1_000_000,
         );
         let pct = rep.optimizer.pct_executed_early();
-        assert!(pct > 10.0, "expected substantial early execution, got {pct:.1}%");
+        assert!(
+            pct > 10.0,
+            "expected substantial early execution, got {pct:.1}%"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Pipeline-level statistics and the run report.
 
-use contopt::OptStats;
+use contopt::{MbcStats, OptStats};
 use contopt_bpred::PredictorStats;
 use contopt_mem::HierarchyStats;
 
@@ -51,6 +51,8 @@ pub struct RunReport {
     pub pipeline: PipelineStats,
     /// Optimizer counters (Table 3 inputs).
     pub optimizer: OptStats,
+    /// Memory Bypass Cache counters (lookups, hits, inserts, flushes).
+    pub mbc: MbcStats,
     /// Branch predictor counters.
     pub predictor: PredictorStats,
     /// Cache hierarchy counters.
@@ -77,13 +79,23 @@ impl RunReport {
         let mut out = String::new();
         let p = &self.pipeline;
         let o = &self.optimizer;
-        let _ = writeln!(out, "cycles {:>12}   retired {:>12}   IPC {:.3}", p.cycles, p.retired, p.ipc());
+        let _ = writeln!(
+            out,
+            "cycles {:>12}   retired {:>12}   IPC {:.3}",
+            p.cycles,
+            p.retired,
+            p.ipc()
+        );
         let _ = writeln!(
             out,
             "dispatched to OoO {:>10}   bypassed {:>10} ({:.1}%)",
             p.dispatched_to_ooo,
             p.bypassed_ooo,
-            if p.retired > 0 { 100.0 * p.bypassed_ooo as f64 / p.retired as f64 } else { 0.0 }
+            if p.retired > 0 {
+                100.0 * p.bypassed_ooo as f64 / p.retired as f64
+            } else {
+                0.0
+            }
         );
         let _ = writeln!(
             out,
@@ -92,6 +104,11 @@ impl RunReport {
             o.pct_mispredicts_recovered(),
             o.pct_mem_addr_generated(),
             o.pct_loads_removed()
+        );
+        let _ = writeln!(
+            out,
+            "MBC: {} lookups, {} hits, {} inserts, {} flushes",
+            self.mbc.lookups, self.mbc.hits, self.mbc.inserts, self.mbc.flushes
         );
         let _ = writeln!(
             out,

@@ -1,0 +1,87 @@
+//! Typed validation errors for the session builder.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Everything [`crate::SimBuilder::build`] can reject.
+///
+/// The builder never panics on bad input: every structural impossibility
+/// in a requested machine becomes one of these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The machine's fetch/rename width is zero — no bundle can ever form.
+    ZeroRenameWidth,
+    /// The machine's retire width is zero — nothing could ever retire.
+    ZeroRetireWidth,
+    /// The reorder buffer has no entries.
+    ZeroRobEntries,
+    /// The value-feedback transmission delay exceeds the ROB depth: every
+    /// result would arrive after its consumers have long left the window,
+    /// which is never a meaningful configuration.
+    FeedbackDelayExceedsRob {
+        /// Configured transmission delay in cycles.
+        delay: u64,
+        /// Reorder-buffer entries.
+        rob: usize,
+    },
+    /// An explicitly empty pass list was given. Use the default machine
+    /// (no `passes` call) for the baseline instead — an empty list is
+    /// almost always a bug in scenario construction.
+    EmptyPasses,
+    /// The physical register file cannot hold even the architectural state
+    /// plus one rename.
+    PregFileTooSmall {
+        /// Registers required (architectural registers + 1).
+        need: usize,
+        /// Registers configured.
+        have: usize,
+    },
+    /// RLE/SF is enabled but the Memory Bypass Cache has zero entries.
+    ZeroMbcEntries,
+    /// The dynamic instruction budget is zero.
+    ZeroInstructionBudget,
+    /// No workload or program was supplied.
+    MissingWorkload,
+    /// The named workload is not in the Table 1 suite.
+    UnknownWorkload(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ZeroRenameWidth => write!(f, "fetch/rename width must be at least 1"),
+            Error::ZeroRetireWidth => write!(f, "retire width must be at least 1"),
+            Error::ZeroRobEntries => write!(f, "reorder buffer must have at least 1 entry"),
+            Error::FeedbackDelayExceedsRob { delay, rob } => write!(
+                f,
+                "value-feedback delay ({delay} cycles) exceeds the ROB depth ({rob} entries)"
+            ),
+            Error::EmptyPasses => write!(
+                f,
+                "empty pass list; omit `passes` entirely for the baseline machine"
+            ),
+            Error::PregFileTooSmall { need, have } => write!(
+                f,
+                "physical register file too small: need at least {need}, have {have}"
+            ),
+            Error::ZeroMbcEntries => {
+                write!(
+                    f,
+                    "RLE/SF is enabled but the Memory Bypass Cache has 0 entries"
+                )
+            }
+            Error::ZeroInstructionBudget => {
+                write!(f, "instruction budget must be at least 1")
+            }
+            Error::MissingWorkload => {
+                write!(f, "no workload: call `workload(name)` or `program(p)`")
+            }
+            Error::UnknownWorkload(name) => {
+                write!(f, "unknown workload `{name}` (not in the Table 1 suite)")
+            }
+        }
+    }
+}
+
+impl StdError for Error {}

@@ -1,0 +1,206 @@
+//! The unified run report.
+
+use crate::json::JsonValue;
+use contopt::{MbcStats, OptStats};
+use contopt_bpred::PredictorStats;
+use contopt_mem::HierarchyStats;
+use contopt_pipeline::{PipelineStats, RunReport};
+use std::fmt;
+
+/// Everything one simulation run measured, in one place: the cycle-level
+/// pipeline counters, the optimizer's Table 3 counters, the Memory Bypass
+/// Cache counters, the branch predictor, and the cache hierarchy.
+///
+/// This subsumes the per-crate stats blocks ([`PipelineStats`],
+/// [`OptStats`], [`MbcStats`], …) the way the paper's evaluation reads
+/// them together; each remains accessible as a field for detailed
+/// analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Core pipeline counters (cycles, retired, stalls, redirects).
+    pub pipeline: PipelineStats,
+    /// Optimizer counters (Table 3 inputs).
+    pub optimizer: OptStats,
+    /// Memory Bypass Cache counters.
+    pub mbc: MbcStats,
+    /// Branch predictor counters.
+    pub predictor: PredictorStats,
+    /// Cache hierarchy counters.
+    pub memory: HierarchyStats,
+    /// The dynamic-instruction budget the session ran under.
+    pub insts_budget: u64,
+}
+
+impl Report {
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.pipeline.ipc()
+    }
+
+    /// Speedup of this run over a baseline run of the same program.
+    pub fn speedup_over(&self, baseline: &Report) -> f64 {
+        debug_assert_eq!(
+            self.pipeline.retired, baseline.pipeline.retired,
+            "speedup requires identical instruction streams"
+        );
+        baseline.pipeline.cycles as f64 / self.pipeline.cycles as f64
+    }
+
+    /// A multi-line human-readable summary of the run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use contopt_sim::Report;
+    /// let text = Report::default().summary();
+    /// assert!(text.contains("cycles"));
+    /// assert!(text.contains("MBC"));
+    /// ```
+    pub fn summary(&self) -> String {
+        // One formatter: delegate to the pipeline-level report.
+        self.as_run_report().summary()
+    }
+
+    /// The pipeline-crate view of the same statistics.
+    fn as_run_report(&self) -> RunReport {
+        RunReport {
+            pipeline: self.pipeline,
+            optimizer: self.optimizer,
+            mbc: self.mbc,
+            predictor: self.predictor,
+            memory: self.memory,
+        }
+    }
+
+    /// Serializes the full report as JSON.
+    pub fn to_json(&self) -> JsonValue {
+        let p = &self.pipeline;
+        let o = &self.optimizer;
+        JsonValue::obj([
+            (
+                "pipeline",
+                JsonValue::obj([
+                    ("cycles", p.cycles.into()),
+                    ("retired", p.retired.into()),
+                    ("ipc", p.ipc().into()),
+                    ("dispatched_to_ooo", p.dispatched_to_ooo.into()),
+                    ("bypassed_ooo", p.bypassed_ooo.into()),
+                    ("dcache_loads", p.dcache_loads.into()),
+                    ("loads_bypassed", p.loads_bypassed.into()),
+                    ("rob_stall_cycles", p.rob_stall_cycles.into()),
+                    ("sched_stall_cycles", p.sched_stall_cycles.into()),
+                    ("mispredict_stall_cycles", p.mispredict_stall_cycles.into()),
+                    ("early_redirects", p.early_redirects.into()),
+                    ("late_redirects", p.late_redirects.into()),
+                ]),
+            ),
+            (
+                "optimizer",
+                JsonValue::obj([
+                    ("insts", o.insts.into()),
+                    ("executed_early", o.executed_early.into()),
+                    ("pct_executed_early", o.pct_executed_early().into()),
+                    ("branches_resolved_early", o.branches_resolved_early.into()),
+                    ("mispredicted_branches", o.mispredicted_branches.into()),
+                    (
+                        "mispredicts_recovered_early",
+                        o.mispredicts_recovered_early.into(),
+                    ),
+                    ("mem_addr_generated", o.mem_addr_generated.into()),
+                    ("loads_removed", o.loads_removed.into()),
+                    ("moves_eliminated", o.moves_eliminated.into()),
+                    ("strength_reductions", o.strength_reductions.into()),
+                    ("branch_inferences", o.branch_inferences.into()),
+                    ("feedback_integrations", o.feedback_integrations.into()),
+                    ("mbc_rejects", o.mbc_rejects.into()),
+                    ("chain_limited", o.chain_limited.into()),
+                    ("trace_resets", o.trace_resets.into()),
+                ]),
+            ),
+            (
+                "mbc",
+                JsonValue::obj([
+                    ("lookups", self.mbc.lookups.into()),
+                    ("hits", self.mbc.hits.into()),
+                    ("inserts", self.mbc.inserts.into()),
+                    ("flushes", self.mbc.flushes.into()),
+                ]),
+            ),
+            (
+                "predictor",
+                JsonValue::obj([
+                    ("cond_predictions", self.predictor.cond_predictions.into()),
+                    (
+                        "cond_mispredictions",
+                        self.predictor.cond_mispredictions.into(),
+                    ),
+                    ("cond_accuracy", self.predictor.cond_accuracy().into()),
+                ]),
+            ),
+            (
+                "memory",
+                JsonValue::obj([
+                    ("l1i_miss_rate", self.memory.l1i.miss_rate().into()),
+                    ("l1d_miss_rate", self.memory.l1d.miss_rate().into()),
+                    ("l2_miss_rate", self.memory.l2.miss_rate().into()),
+                ]),
+            ),
+            ("insts_budget", self.insts_budget.into()),
+        ])
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+impl From<RunReport> for Report {
+    fn from(r: RunReport) -> Report {
+        Report {
+            pipeline: r.pipeline,
+            optimizer: r.optimizer,
+            mbc: r.mbc,
+            predictor: r.predictor,
+            memory: r.memory,
+            insts_budget: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_key_metrics() {
+        let mut r = Report::default();
+        r.pipeline.cycles = 10;
+        r.pipeline.retired = 20;
+        let text = r.summary();
+        assert!(text.contains("IPC 2.000"));
+        assert!(text.contains("loads removed"));
+        assert!(text.contains("L1D"));
+        assert!(text.contains("MBC"));
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let mut a = Report::default();
+        let mut b = Report::default();
+        a.pipeline.cycles = 80;
+        a.pipeline.retired = 100;
+        b.pipeline.cycles = 100;
+        b.pipeline.retired = 100;
+        assert!((a.speedup_over(&b) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_has_all_sections() {
+        let j = Report::default().to_json().to_string();
+        for key in ["pipeline", "optimizer", "mbc", "predictor", "memory"] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The session builder and the session itself.
+
+use crate::error::Error;
+use crate::report::Report;
+use contopt::{OptimizerConfig, Pass, PassSet};
+use contopt_isa::{Program, NUM_ARCH_REGS};
+use contopt_pipeline::{Machine, MachineConfig};
+
+/// Default dynamic-instruction budget per run.
+pub const DEFAULT_INSTS: u64 = 1_000_000;
+
+#[derive(Debug)]
+enum OptSpec {
+    /// Use whatever the machine configuration carries (baseline for
+    /// [`MachineConfig::default_paper`]).
+    Machine,
+    /// A flat configuration (or a bridged [`PassSet`]).
+    Config(OptimizerConfig),
+    /// A pass list registered via [`SimBuilder::passes`] /
+    /// [`SimBuilder::pass_set`].
+    Passes(PassSet),
+    /// An explicitly empty pass list — rejected at build time.
+    EmptyPasses,
+}
+
+#[derive(Debug, Clone)]
+enum WorkloadSpec {
+    None,
+    Named(String),
+    Program(Program),
+}
+
+/// Builder for a [`SimSession`] — the single entry point for configuring
+/// a simulation: machine model, optimization passes, workload, and
+/// instruction budget.
+///
+/// # Examples
+///
+/// ```
+/// use contopt_sim::{Pass, SimSession};
+///
+/// let session = SimSession::builder()
+///     .workload("untst")
+///     .passes([Pass::cp_ra(), Pass::rle_sf(), Pass::value_feedback(), Pass::early_exec()])
+///     .insts(50_000)
+///     .build()?;
+/// let report = session.run();
+/// assert!(report.optimizer.executed_early > 0);
+/// # Ok::<(), contopt_sim::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct SimBuilder {
+    machine: MachineConfig,
+    opt: OptSpec,
+    workload: WorkloadSpec,
+    insts: u64,
+}
+
+impl Default for SimBuilder {
+    fn default() -> SimBuilder {
+        SimBuilder {
+            machine: MachineConfig::default_paper(),
+            opt: OptSpec::Machine,
+            workload: WorkloadSpec::None,
+            insts: DEFAULT_INSTS,
+        }
+    }
+}
+
+impl SimBuilder {
+    /// Starts from the paper's default machine (Table 2, optimizer off).
+    pub fn new() -> SimBuilder {
+        SimBuilder::default()
+    }
+
+    /// Sets the machine model (fetch width, window, FUs, memory, …). The
+    /// optimizer configuration it carries is used unless overridden by
+    /// [`optimizer`](Self::optimizer) or [`passes`](Self::passes).
+    pub fn machine(mut self, cfg: MachineConfig) -> SimBuilder {
+        self.machine = cfg;
+        self
+    }
+
+    /// Sets the optimizer from a flat [`OptimizerConfig`] or anything that
+    /// bridges into one (e.g. a [`PassSet`]).
+    pub fn optimizer(mut self, cfg: impl Into<OptimizerConfig>) -> SimBuilder {
+        self.opt = OptSpec::Config(cfg.into());
+        self
+    }
+
+    /// Registers the optimization passes to run, replacing any previous
+    /// optimizer choice. The paper's ablations are pass lists:
+    /// `[Pass::cp_ra(), Pass::early_exec()]` is CP/RA alone,
+    /// `[Pass::value_feedback(), Pass::early_exec()]` is Figure 9's
+    /// "feedback alone", and so on. An explicitly empty list is rejected
+    /// at build time ([`Error::EmptyPasses`]) — omit this call entirely
+    /// for the baseline machine.
+    pub fn passes(mut self, passes: impl IntoIterator<Item = Pass>) -> SimBuilder {
+        let set: PassSet = passes.into_iter().collect();
+        self.opt = if set.is_empty() {
+            OptSpec::EmptyPasses
+        } else {
+            OptSpec::Passes(set)
+        };
+        self
+    }
+
+    /// Registers a full [`PassSet`] (which may carry custom passes and the
+    /// engine-level extra-stages / discrete-interval options).
+    pub fn pass_set(mut self, set: PassSet) -> SimBuilder {
+        self.opt = if set.is_empty() {
+            OptSpec::EmptyPasses
+        } else {
+            OptSpec::Passes(set)
+        };
+        self
+    }
+
+    /// Selects a Table 1 workload by its short name (`"mcf"`, `"untst"`…).
+    pub fn workload(mut self, name: impl Into<String>) -> SimBuilder {
+        self.workload = WorkloadSpec::Named(name.into());
+        self
+    }
+
+    /// Supplies an assembled program directly.
+    pub fn program(mut self, program: Program) -> SimBuilder {
+        self.workload = WorkloadSpec::Program(program);
+        self
+    }
+
+    /// Sets the dynamic-instruction budget (default 1,000,000).
+    pub fn insts(mut self, insts: u64) -> SimBuilder {
+        self.insts = insts;
+        self
+    }
+
+    /// Validates the configuration and produces a runnable session.
+    pub fn build(self) -> Result<SimSession, Error> {
+        let mut cfg = self.machine;
+        match self.opt {
+            OptSpec::Machine => {}
+            OptSpec::Config(o) => cfg.optimizer = o,
+            OptSpec::Passes(set) => cfg.optimizer = set.to_config(),
+            OptSpec::EmptyPasses => return Err(Error::EmptyPasses),
+        }
+
+        if cfg.fetch_width == 0 {
+            return Err(Error::ZeroRenameWidth);
+        }
+        if cfg.retire_width == 0 {
+            return Err(Error::ZeroRetireWidth);
+        }
+        if cfg.rob_entries == 0 {
+            return Err(Error::ZeroRobEntries);
+        }
+        let need = NUM_ARCH_REGS + 1;
+        if cfg.preg_count < need {
+            return Err(Error::PregFileTooSmall {
+                need,
+                have: cfg.preg_count,
+            });
+        }
+        let o = &cfg.optimizer;
+        if o.enabled && o.value_feedback && o.feedback_delay > cfg.rob_entries as u64 {
+            return Err(Error::FeedbackDelayExceedsRob {
+                delay: o.feedback_delay,
+                rob: cfg.rob_entries,
+            });
+        }
+        if o.enabled && o.optimize && o.enable_rle_sf && o.mbc_entries == 0 {
+            return Err(Error::ZeroMbcEntries);
+        }
+        if self.insts == 0 {
+            return Err(Error::ZeroInstructionBudget);
+        }
+
+        let (program, name) = match self.workload {
+            WorkloadSpec::None => return Err(Error::MissingWorkload),
+            WorkloadSpec::Program(p) => (p, None),
+            WorkloadSpec::Named(n) => match contopt_workloads::build(&n) {
+                Some(w) => (w.program, Some(n)),
+                None => return Err(Error::UnknownWorkload(n)),
+            },
+        };
+
+        Ok(SimSession {
+            cfg,
+            program,
+            name,
+            insts: self.insts,
+        })
+    }
+}
+
+/// A validated, runnable simulation: one machine configuration bound to
+/// one program and an instruction budget. Sessions are reusable —
+/// [`run`](SimSession::run) builds a fresh cold-state machine each call,
+/// so repeated runs are deterministic and identical.
+#[derive(Debug, Clone)]
+pub struct SimSession {
+    cfg: MachineConfig,
+    program: Program,
+    name: Option<String>,
+    insts: u64,
+}
+
+impl SimSession {
+    /// Starts building a session.
+    pub fn builder() -> SimBuilder {
+        SimBuilder::new()
+    }
+
+    /// The full machine configuration this session simulates.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The workload name, when the session was built from the suite.
+    pub fn workload_name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The bound program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The dynamic-instruction budget.
+    pub fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    /// Runs the session on a cold machine and collects the unified report.
+    pub fn run(&self) -> Report {
+        let mut report = Report::from(Machine::new(self.cfg, self.program.clone()).run(self.insts));
+        report.insts_budget = self.insts;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contopt_isa::{r, Asm};
+
+    fn tiny_program() -> Program {
+        let mut a = Asm::new();
+        a.li(r(1), 5);
+        a.label("loop");
+        a.subq(r(1), 1, r(1));
+        a.bne(r(1), "loop");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_runs_a_program() {
+        let s = SimSession::builder()
+            .program(tiny_program())
+            .insts(1_000)
+            .build()
+            .unwrap();
+        let r = s.run();
+        assert_eq!(r.pipeline.retired, 12); // li + 5 x (subq, bne) + halt
+        assert_eq!(r.insts_budget, 1_000);
+        assert!(s.workload_name().is_none());
+    }
+
+    #[test]
+    fn sessions_are_reusable_and_deterministic() {
+        let s = SimSession::builder()
+            .workload("twf")
+            .insts(20_000)
+            .build()
+            .unwrap();
+        assert_eq!(s.workload_name(), Some("twf"));
+        let a = s.run();
+        let b = s.run();
+        assert_eq!(a.pipeline.cycles, b.pipeline.cycles);
+    }
+
+    #[test]
+    fn rejects_missing_and_unknown_workloads() {
+        assert_eq!(
+            SimSession::builder().build().unwrap_err(),
+            Error::MissingWorkload
+        );
+        assert_eq!(
+            SimSession::builder().workload("nope").build().unwrap_err(),
+            Error::UnknownWorkload("nope".into())
+        );
+    }
+
+    #[test]
+    fn passes_compile_into_the_machine_config() {
+        let s = SimSession::builder()
+            .program(tiny_program())
+            .passes([Pass::cp_ra(), Pass::early_exec()])
+            .build()
+            .unwrap();
+        let o = &s.config().optimizer;
+        assert!(o.enabled && o.optimize && o.enable_early_exec);
+        assert!(!o.enable_rle_sf && !o.value_feedback);
+    }
+}

@@ -1,8 +1,38 @@
 //! Shared code-generation idioms for the synthetic benchmarks.
 
 use contopt_isa::{Asm, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// Minimal deterministic PRNG (splitmix64) for data-section initialization.
+/// The container has no registry access, so `rand` is replaced by this —
+/// only determinism and a reasonable distribution matter here.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, limit)` (rejection-free; the tiny modulo bias
+    /// is irrelevant for synthetic data).
+    pub(crate) fn below(&mut self, limit: u64) -> u64 {
+        self.next_u64() % limit.max(1)
+    }
+
+    /// Uniform double in `[lo, hi)`.
+    pub(crate) fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
 
 /// Emits `s = xorshift64(s)` using `t` as scratch — the standard 13/7/17
 /// shift triple. Gives workloads deterministic pseudo-random control and
@@ -18,26 +48,26 @@ pub(crate) fn emit_xorshift(a: &mut Asm, s: Reg, t: Reg) {
 
 /// Deterministic pseudo-random quadwords for data-section initialization.
 pub(crate) fn random_quads(seed: u64, n: usize) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen()).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
 }
 
 /// Deterministic pseudo-random bytes.
 pub(crate) fn random_bytes(seed: u64, n: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen()).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_u64() as u8).collect()
 }
 
 /// Deterministic pseudo-random doubles in `(lo, hi)`.
 pub(crate) fn random_f64s(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.f64_in(lo, hi)).collect()
 }
 
 /// Deterministic pseudo-random quads bounded below `limit`.
 pub(crate) fn random_quads_below(seed: u64, n: usize, limit: u64) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(0..limit)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.below(limit)).collect()
 }
 
 #[cfg(test)]

@@ -88,28 +88,113 @@ macro_rules! workload {
 pub fn suite() -> Vec<Workload> {
     use Suite::*;
     vec![
-        workload!("bzp", "bzip2: histogram + run detection", SpecInt, specint::bzip2),
-        workload!("era", "crafty: bitboard popcount evaluation", SpecInt, specint::crafty),
-        workload!("eon", "eon: fixed-point vector geometry", SpecInt, specint::eon),
-        workload!("gap", "gap: bytecode interpreter dispatch", SpecInt, specint::gap),
+        workload!(
+            "bzp",
+            "bzip2: histogram + run detection",
+            SpecInt,
+            specint::bzip2
+        ),
+        workload!(
+            "era",
+            "crafty: bitboard popcount evaluation",
+            SpecInt,
+            specint::crafty
+        ),
+        workload!(
+            "eon",
+            "eon: fixed-point vector geometry",
+            SpecInt,
+            specint::eon
+        ),
+        workload!(
+            "gap",
+            "gap: bytecode interpreter dispatch",
+            SpecInt,
+            specint::gap
+        ),
         workload!("gcc", "gcc: token state machine", SpecInt, specint::gcc),
-        workload!("mcf", "mcf: sort_basket quicksort + arc chase", SpecInt, specint::mcf),
-        workload!("prl", "perlbmk: string hashing + table probe", SpecInt, specint::perlbmk),
+        workload!(
+            "mcf",
+            "mcf: sort_basket quicksort + arc chase",
+            SpecInt,
+            specint::mcf
+        ),
+        workload!(
+            "prl",
+            "perlbmk: string hashing + table probe",
+            SpecInt,
+            specint::perlbmk
+        ),
         workload!("twf", "twolf: annealing swaps", SpecInt, specint::twolf),
-        workload!("vor", "vortex: record-field traversal", SpecInt, specint::vortex),
-        workload!("vpr", "vpr: maze-routing grid relaxation", SpecInt, specint::vpr),
-        workload!("amp", "ammp: dependent FP force chains", SpecFp, specfp::ammp),
-        workload!("app", "applu: 3-point stencil sweeps", SpecFp, specfp::applu),
+        workload!(
+            "vor",
+            "vortex: record-field traversal",
+            SpecInt,
+            specint::vortex
+        ),
+        workload!(
+            "vpr",
+            "vpr: maze-routing grid relaxation",
+            SpecInt,
+            specint::vpr
+        ),
+        workload!(
+            "amp",
+            "ammp: dependent FP force chains",
+            SpecFp,
+            specfp::ammp
+        ),
+        workload!(
+            "app",
+            "applu: 3-point stencil sweeps",
+            SpecFp,
+            specfp::applu
+        ),
         workload!("art", "art: neural dot products", SpecFp, specfp::art),
         workload!("eqk", "equake: sparse CSR matvec", SpecFp, specfp::equake),
         workload!("msa", "mesa: span rasterization", SpecFp, specfp::mesa),
-        workload!("mgd", "mgrid: multigrid restriction/prolongation", SpecFp, specfp::mgrid),
-        workload!("g721d", "g721 decode: ADPCM reconstruction", MediaBench, mediabench::g721_decode),
-        workload!("g721e", "g721 encode: ADPCM quantization", MediaBench, mediabench::g721_encode),
-        workload!("mpg2d", "mpeg2 decode: 8x8 IDCT butterflies", MediaBench, mediabench::mpeg2_decode),
-        workload!("mpg2e", "mpeg2 encode: SAD motion estimation", MediaBench, mediabench::mpeg2_encode),
-        workload!("untst", "gsm untoast: short-term synthesis filter", MediaBench, mediabench::untoast),
-        workload!("tst", "gsm toast: LTP cross-correlation", MediaBench, mediabench::toast),
+        workload!(
+            "mgd",
+            "mgrid: multigrid restriction/prolongation",
+            SpecFp,
+            specfp::mgrid
+        ),
+        workload!(
+            "g721d",
+            "g721 decode: ADPCM reconstruction",
+            MediaBench,
+            mediabench::g721_decode
+        ),
+        workload!(
+            "g721e",
+            "g721 encode: ADPCM quantization",
+            MediaBench,
+            mediabench::g721_encode
+        ),
+        workload!(
+            "mpg2d",
+            "mpeg2 decode: 8x8 IDCT butterflies",
+            MediaBench,
+            mediabench::mpeg2_decode
+        ),
+        workload!(
+            "mpg2e",
+            "mpeg2 encode: SAD motion estimation",
+            MediaBench,
+            mediabench::mpeg2_encode
+        ),
+        workload!(
+            "untst",
+            "gsm untoast: short-term synthesis filter",
+            MediaBench,
+            mediabench::untoast
+        ),
+        workload!(
+            "tst",
+            "gsm toast: LTP cross-correlation",
+            MediaBench,
+            mediabench::toast
+        ),
     ]
 }
 

@@ -51,7 +51,7 @@ fn adpcm(seed: u64, encode: bool) -> Program {
     a.li(r(20), out as i64);
     a.label("sample");
     a.ldq(r(4), r(1), 0); // sample
-    // Companding: a data-indexed lookup in a table too large to bypass.
+                          // Companding: a data-indexed lookup in a table too large to bypass.
     a.and(r(4), 1023, r(21));
     a.s8addq(r(21), r(19), r(21));
     a.ldq(r(22), r(21), 0);
@@ -59,7 +59,7 @@ fn adpcm(seed: u64, encode: bool) -> Program {
     a.and(r(4), 0x3fff, r(4));
     a.ldq(r(5), r(16), 0); // predictor tap 0
     a.ldq(r(6), r(16), 8); // predictor tap 1
-    // prediction = (3*tap0 - tap1) >> 1
+                           // prediction = (3*tap0 - tap1) >> 1
     a.sll(r(5), 1, r(7));
     a.addq(r(7), r(5), r(7));
     a.subq(r(7), r(6), r(7));
@@ -254,7 +254,7 @@ pub fn untoast() -> Program {
     a.mov(r(17), r(2)); // sample ptr
     a.label("sample");
     a.ldq(r(3), r(2), 0); // sri = wt[k]
-    // for i = 8 down to 1: sri -= (rrp[i-1] * v[i-1]) >> 15; v[i] = v[i-1] + ...
+                          // for i = 8 down to 1: sri -= (rrp[i-1] * v[i-1]) >> 15; v[i] = v[i-1] + ...
     a.li(r(4), TAPS);
     a.label("tap");
     a.subq(r(4), 1, r(5));
@@ -298,7 +298,9 @@ pub fn toast() -> Program {
     let d = a.data_quads(&random_quads_below(0x7057, HISTORY as usize, 1 << 13));
     let prep_out = a.data_zeros(WINDOW as u64 * 8);
     // Scattered, non-overlapping candidate window offsets (quad indices).
-    let offs: Vec<u64> = (0..CAND as u64).map(|i| 160 + ((i * 11) % 27) * 40).collect();
+    let offs: Vec<u64> = (0..CAND as u64)
+        .map(|i| 160 + ((i * 11) % 27) * 40)
+        .collect();
     let lag_offs = a.data_quads(&offs);
     a.li(r(9), 24); // frames
     a.li(r(8), 0); // best lag accumulator
@@ -327,8 +329,8 @@ pub fn toast() -> Program {
     a.li(r(13), lag_offs as i64);
     a.label("lag");
     a.mov(r(15), r(2)); // current sample ptr
-    // Each candidate window lives at a scattered, non-overlapping offset in
-    // the long history buffer.
+                        // Each candidate window lives at a scattered, non-overlapping offset in
+                        // the long history buffer.
     a.ldq(r(3), r(13), 0);
     a.lda(r(13), r(13), 8);
     a.sll(r(3), 3, r(3));

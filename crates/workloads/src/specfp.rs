@@ -169,7 +169,12 @@ pub fn equake() -> Program {
         (ROWS * NNZ_PER_ROW) as usize,
         ROWS as u64,
     ));
-    let vals = a.data_f64s(&random_f64s(0xe94f, (ROWS * NNZ_PER_ROW) as usize, -1.0, 1.0));
+    let vals = a.data_f64s(&random_f64s(
+        0xe94f,
+        (ROWS * NNZ_PER_ROW) as usize,
+        -1.0,
+        1.0,
+    ));
     let xv = a.data_f64s(&random_f64s(0xe950, ROWS as usize, -1.0, 1.0));
     let yv = a.data_zeros(ROWS as u64 * 8);
     a.li(r(9), 50); // time steps
@@ -187,8 +192,8 @@ pub fn equake() -> Program {
     a.s8addq(r(6), r(15), r(7));
     a.ldt(f(1), r(7), 0); // x[col]
     a.ldt(f(2), r(2), 0); // A value
-    // Sparse-structure branch on the (random) column index parity — a
-    // data-dependent branch resolved only at execute.
+                          // Sparse-structure branch on the (random) column index parity — a
+                          // data-dependent branch resolved only at execute.
     a.and(r(6), 1, r(11));
     a.beq(r(11), "skip_scale");
     a.addt(f(1), f(1), f(1));
@@ -230,8 +235,8 @@ pub fn mesa() -> Program {
     a.label("span");
     a.li(r(1), 0); // x
     a.li(r(2), 1 << 16); // fixed-point color accumulator
-    // The interpolant step comes from per-primitive vertex data in memory,
-    // so the interpolation chain is data-dependent.
+                         // The interpolant step comes from per-primitive vertex data in memory,
+                         // so the interpolation chain is data-dependent.
     a.and(r(9), 63, r(3));
     a.s8addq(r(3), r(17), r(3));
     a.ldq(r(3), r(3), 0); // color step

@@ -155,8 +155,12 @@ pub fn gap() -> Program {
     let mut a = Asm::new();
     let chk = a.data_zeros(8);
     // Bytecode: ops 0..4 (add, sub, double, halve) over an accumulator.
-    let code =
-        a.data_bytes(&random_bytes(0x6a9, 2048).iter().map(|b| b % 4).collect::<Vec<_>>());
+    let code = a.data_bytes(
+        &random_bytes(0x6a9, 2048)
+            .iter()
+            .map(|b| b % 4)
+            .collect::<Vec<_>>(),
+    );
     let table = a.data_zeros(4 * 8); // handler addresses, written at startup
     a.br("start");
     // Handlers (defined first so `label_addr` can materialize them below).
@@ -208,7 +212,12 @@ pub fn gap() -> Program {
 pub fn gcc() -> Program {
     let mut a = Asm::new();
     let chk = a.data_zeros(8);
-    let toks = a.data_bytes(&random_bytes(0x9cc, 3072).iter().map(|b| b % 7).collect::<Vec<_>>());
+    let toks = a.data_bytes(
+        &random_bytes(0x9cc, 3072)
+            .iter()
+            .map(|b| b % 7)
+            .collect::<Vec<_>>(),
+    );
     a.li(r(9), 30);
     a.li(r(8), 0); // state
     a.li(r(12), 0); // counter
@@ -292,7 +301,7 @@ pub fn mcf() -> Program {
     a.ldq(r(5), r(20), 8); // hi
     a.subq(r(5), r(4), r(1));
     a.ble(r(1), "qs_loop"); // segment of size <= 1
-    // pivot = arr[hi]
+                            // pivot = arr[hi]
     a.li(r(10), arr as i64);
     a.s8addq(r(5), r(10), r(11));
     a.ldq(r(12), r(11), 0); // pivot
@@ -504,7 +513,7 @@ pub fn vpr() -> Program {
     a.ldbu(r(6), r(3), -1); // west
     a.ldbu(r(7), r(3), DIM); // south
     a.ldbu(r(10), r(3), -DIM); // north
-    // best = min(e, w, s, n)
+                               // best = min(e, w, s, n)
     a.subq(r(5), r(6), r(11));
     a.ble(r(11), "ew");
     a.mov(r(6), r(5));

@@ -3,48 +3,58 @@
 //! both arrays fit trivially in the 128-entry Memory Bypass Cache, after
 //! the first iteration all array accesses are eliminated and much of the
 //! fixed-point arithmetic executes in the optimizer. This example also
-//! shows how quickly the benefit collapses when the MBC shrinks.
+//! shows how quickly the benefit collapses when the MBC shrinks — each
+//! variant is just a different `RleSf` pass parameter (or no `RleSf` pass
+//! at all).
 //!
 //! ```text
-//! cargo run --release -p contopt-experiments --example gsm_filter
+//! cargo run --release -p contopt-sim --example gsm_filter
 //! ```
 
-use contopt::OptimizerConfig;
-use contopt_pipeline::{simulate, MachineConfig};
-use contopt_workloads::build;
+use contopt_sim::{CpRa, EarlyExec, PassSet, RleSf, SimSession, ValueFeedback};
 
-fn main() {
-    let w = build("untst").expect("untst is in the suite");
+fn main() -> Result<(), contopt_sim::Error> {
+    let w = contopt_sim::workloads::build("untst").expect("untst is in the suite");
     println!("workload: {} — {}", w.name, w.description);
 
-    let base = simulate(MachineConfig::default_paper(), w.program.clone(), 2_000_000);
+    let base = SimSession::builder()
+        .workload("untst")
+        .insts(2_000_000)
+        .build()?
+        .run();
     println!();
-    println!("{:>12} {:>10} {:>12} {:>14}", "MBC entries", "speedup", "loads rem.", "exec early");
+    println!(
+        "{:>12} {:>10} {:>12} {:>14}",
+        "MBC entries", "speedup", "loads rem.", "exec early"
+    );
     for entries in [0usize, 8, 32, 128, 512] {
-        let cfg = if entries == 0 {
-            // RLE/SF disabled entirely.
-            MachineConfig::default_paper().with_optimizer(OptimizerConfig {
-                enable_rle_sf: false,
-                ..OptimizerConfig::default()
-            })
-        } else {
-            MachineConfig::default_paper().with_optimizer(OptimizerConfig {
-                mbc_entries: entries,
-                ..OptimizerConfig::default()
-            })
-        };
-        let r = simulate(cfg, w.program.clone(), 2_000_000);
+        let mut passes = PassSet::new()
+            .with(CpRa::default())
+            .with(ValueFeedback::default())
+            .with(EarlyExec);
+        if entries > 0 {
+            passes.push(RleSf {
+                entries,
+                ..RleSf::default()
+            });
+        }
+        let r = SimSession::builder()
+            .workload("untst")
+            .pass_set(passes)
+            .insts(2_000_000)
+            .build()?
+            .run();
         println!(
             "{:>12} {:>9.3}x {:>11.1}% {:>13.1}%",
-            if entries == 0 { "off".to_string() } else { entries.to_string() },
+            if entries == 0 {
+                "off".to_string()
+            } else {
+                entries.to_string()
+            },
             r.speedup_over(&base),
             r.optimizer.pct_loads_removed(),
             r.optimizer.pct_executed_early()
         );
     }
-    println!();
-    println!(
-        "The filter state (two 8-entry arrays) is resident even in a tiny MBC;\n\
-         the paper reports untst as its best case (speedup 1.28)."
-    );
+    Ok(())
 }

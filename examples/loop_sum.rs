@@ -4,12 +4,12 @@
 //! (after value feedback warms up) whole-iteration early execution.
 //!
 //! ```text
-//! cargo run --release -p contopt-experiments --example loop_sum
+//! cargo run --release -p contopt-sim --example loop_sum
 //! ```
 
-use contopt::{Optimizer, OptimizerConfig, RenameReq, RenamedClass};
-use contopt_emu::{Emulator, Step};
-use contopt_isa::{r, Asm};
+use contopt_sim::emu::{Emulator, Step};
+use contopt_sim::isa::{r, Asm};
+use contopt_sim::{Optimizer, OptimizerConfig, RenameReq, RenamedClass};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut a = Asm::new();
@@ -35,7 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while let Step::Inst(d) = emu.step()? {
         // One instruction per bundle for a readable trace; the pipeline
         // normally renames four at a time.
-        let renamed = opt.rename_bundle(cycle, &[RenameReq { d, mispredicted: false }]);
+        let renamed = opt.rename_bundle(
+            cycle,
+            &[RenameReq {
+                d,
+                mispredicted: false,
+            }],
+        );
         let ren = &renamed[0];
         let outcome = match ren.class {
             RenamedClass::Done if ren.resolved_early => "branch resolved early".to_string(),

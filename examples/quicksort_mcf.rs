@@ -4,22 +4,26 @@
 //! instructions execute in the optimizer.
 //!
 //! ```text
-//! cargo run --release -p contopt-experiments --example quicksort_mcf
+//! cargo run --release -p contopt-sim --example quicksort_mcf
 //! ```
 
-use contopt_pipeline::{simulate, MachineConfig};
-use contopt_workloads::build;
+use contopt_sim::{MachineConfig, SimSession};
 
-fn main() {
-    let w = build("mcf").expect("mcf is in the suite");
+fn main() -> Result<(), contopt_sim::Error> {
+    let base_session = SimSession::builder()
+        .workload("mcf")
+        .insts(2_000_000)
+        .build()?;
+    let opt_session = SimSession::builder()
+        .workload("mcf")
+        .machine(MachineConfig::default_with_optimizer())
+        .insts(2_000_000)
+        .build()?;
+    let w = contopt_sim::workloads::build("mcf").expect("mcf is in the suite");
     println!("workload: {} — {}", w.name, w.description);
 
-    let base = simulate(MachineConfig::default_paper(), w.program.clone(), 2_000_000);
-    let opt = simulate(
-        MachineConfig::default_with_optimizer(),
-        w.program.clone(),
-        2_000_000,
-    );
+    let base = base_session.run();
+    let opt = opt_session.run();
 
     println!();
     println!("                      baseline      +optimizer");
@@ -49,4 +53,9 @@ fn main() {
         "  data-cache loads .............. {:>8} (baseline did {})",
         opt.pipeline.dcache_loads, base.pipeline.dcache_loads
     );
+    println!(
+        "  MBC traffic ................... {:>8} lookups, {} hits",
+        opt.mbc.lookups, opt.mbc.hits
+    );
+    Ok(())
 }

@@ -1,12 +1,13 @@
 //! Quickstart: assemble a small program, run it on the baseline machine and
-//! on the machine with continuous optimization, and compare.
+//! on the machine with continuous optimization, and compare — all through
+//! the `SimSession` builder.
 //!
 //! ```text
-//! cargo run --release -p contopt-experiments --example quickstart
+//! cargo run --release -p contopt-sim --example quickstart
 //! ```
 
-use contopt_isa::{r, Asm};
-use contopt_pipeline::{simulate, MachineConfig};
+use contopt_sim::isa::{r, Asm};
+use contopt_sim::{Pass, SimSession};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's §2.4 motivating example: a loop summing an array, with a
@@ -29,11 +30,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     a.halt();
     let program = a.finish()?;
 
-    let base = simulate(MachineConfig::default_paper(), program.clone(), 1_000_000);
-    let opt = simulate(MachineConfig::default_with_optimizer(), program, 1_000_000);
+    // The baseline machine: no passes registered.
+    let base = SimSession::builder()
+        .program(program.clone())
+        .build()?
+        .run();
+    // The paper's default optimizer: all four passes.
+    let opt = SimSession::builder()
+        .program(program)
+        .passes([
+            Pass::cp_ra(),
+            Pass::rle_sf(),
+            Pass::value_feedback(),
+            Pass::early_exec(),
+        ])
+        .build()?
+        .run();
 
-    println!("baseline : {:>8} cycles, IPC {:.3}", base.pipeline.cycles, base.ipc());
-    println!("optimized: {:>8} cycles, IPC {:.3}", opt.pipeline.cycles, opt.ipc());
+    println!(
+        "baseline : {:>8} cycles, IPC {:.3}",
+        base.pipeline.cycles,
+        base.ipc()
+    );
+    println!(
+        "optimized: {:>8} cycles, IPC {:.3}",
+        opt.pipeline.cycles,
+        opt.ipc()
+    );
     println!("speedup  : {:.3}x", opt.speedup_over(&base));
     println!();
     println!(
@@ -46,8 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "branches resolved  : {} (of {} conditional-branch instances)",
-        opt.optimizer.branches_resolved_early,
-        base.predictor.cond_predictions
+        opt.optimizer.branches_resolved_early, base.predictor.cond_predictions
     );
     Ok(())
 }

@@ -5,7 +5,8 @@
 use contopt_experiments::{
     fig10, fig11, fig12, fig6, fig8, fig9, geomean, table1, table2, table3, Lab,
 };
-use contopt_workloads::Suite;
+use contopt_sim::workloads::Suite;
+use contopt_sim::ToJson;
 
 const INSTS: u64 = 60_000;
 
@@ -172,10 +173,12 @@ fn fig12_feedback_delay_is_flat() {
 fn results_serialize_to_json() {
     let mut lab = Lab::new(30_000);
     let f = fig9(&mut lab);
-    let j = serde_json::to_string(&f).unwrap();
+    let j = f.to_json().to_string();
     assert!(j.contains("feedback"));
     let t = table2();
-    assert!(serde_json::to_string(&t).unwrap().contains("gshare"));
+    assert!(t.to_json().to_string().contains("gshare"));
+    // Pretty output stays valid-looking and indented.
+    assert!(t.to_json().pretty().contains("\n  \"rows\": ["));
 }
 
 #[test]

@@ -3,13 +3,25 @@
 //! early branch resolution, strength reduction, branch inference) seen
 //! end-to-end through the pipeline, plus symbolic-algebra properties.
 
-use contopt::{sym_add, sym_add_imm, sym_shl, sym_sub, OptimizerConfig, PhysReg, SymValue};
-use contopt_isa::{r, Asm, Program};
-use contopt_pipeline::{simulate, MachineConfig, RunReport};
-use proptest::prelude::*;
+use contopt_sim::isa::{r, Asm, Program};
+use contopt_sim::{
+    sym_add, sym_add_imm, sym_shl, sym_sub, MachineConfig, OptimizerConfig, PhysReg, Report,
+    SimSession, SymValue,
+};
 
-fn run_opt(p: Program) -> RunReport {
-    simulate(MachineConfig::default_with_optimizer(), p, 1_000_000)
+/// Runs `p` under `cfg` through the `SimSession` facade.
+fn run_cfg(cfg: MachineConfig, p: Program, insts: u64) -> Report {
+    SimSession::builder()
+        .machine(cfg)
+        .program(p)
+        .insts(insts)
+        .build()
+        .expect("test configurations are valid")
+        .run()
+}
+
+fn run_opt(p: Program) -> Report {
+    run_cfg(MachineConfig::default_with_optimizer(), p, 1_000_000)
 }
 
 #[test]
@@ -29,7 +41,7 @@ fn constant_propagation_respects_the_serial_addition_limit() {
             add_chain_depth: depth,
             ..OptimizerConfig::default()
         });
-        simulate(cfg, a.finish().unwrap(), 10_000).optimizer
+        run_cfg(cfg, a.finish().unwrap(), 10_000).optimizer
     };
     let d0 = chain(0);
     let d3 = chain(3);
@@ -93,7 +105,7 @@ fn store_forwarding_removes_reloads() {
         "same-packet forwarding must be blocked by default: {:.1}%",
         default.optimizer.pct_loads_removed()
     );
-    let chained = simulate(
+    let chained = run_cfg(
         MachineConfig::default_paper().with_optimizer(OptimizerConfig {
             mem_chain_depth: 1,
             ..OptimizerConfig::default()
@@ -147,7 +159,7 @@ fn mbc_size_matters_for_large_working_sets() {
     a.bne(r(2), "loop");
     a.halt();
     let p = a.finish().unwrap();
-    let small = simulate(
+    let small = run_cfg(
         MachineConfig::default_paper().with_optimizer(OptimizerConfig {
             mbc_entries: 16,
             ..OptimizerConfig::default()
@@ -155,7 +167,7 @@ fn mbc_size_matters_for_large_working_sets() {
         p.clone(),
         1_000_000,
     );
-    let large = simulate(
+    let large = run_cfg(
         MachineConfig::default_paper().with_optimizer(OptimizerConfig {
             mbc_entries: 512,
             ..OptimizerConfig::default()
@@ -215,7 +227,7 @@ fn flush_policy_also_works() {
     a.subq(r(9), 1, r(9));
     a.bne(r(9), "loop");
     a.halt();
-    let rep = simulate(
+    let rep = run_cfg(
         MachineConfig::default_paper().with_optimizer(OptimizerConfig {
             flush_mbc_on_unknown_store: true,
             ..OptimizerConfig::default()
@@ -223,7 +235,10 @@ fn flush_policy_also_works() {
         a.finish().unwrap(),
         1_000_000,
     );
-    assert_eq!(rep.optimizer.mbc_rejects, 0, "flushing leaves nothing stale");
+    assert_eq!(
+        rep.optimizer.mbc_rejects, 0,
+        "flushing leaves nothing stale"
+    );
 }
 
 #[test]
@@ -294,7 +309,7 @@ fn branch_inference_reveals_zero() {
     a.subq(r(9), 1, r(9));
     a.bne(r(9), "loop");
     a.halt();
-    let rep = simulate(
+    let rep = run_cfg(
         MachineConfig::default_paper().with_optimizer(OptimizerConfig {
             enable_rle_sf: false,
             ..OptimizerConfig::default()
@@ -318,30 +333,30 @@ fn branch_inference_reveals_zero() {
 fn discrete_optimization_is_weaker_than_continuous() {
     // §3.4: offline/trace-based frameworks invalidate the tables at every
     // trace boundary; shorter traces mean less accumulated knowledge.
-    let w = contopt_workloads::build("untst").unwrap();
-    let base = simulate(MachineConfig::default_paper(), w.program.clone(), 300_000);
-    let continuous = simulate(
+    let w = contopt_sim::workloads::build("untst").unwrap();
+    let base = run_cfg(MachineConfig::default_paper(), w.program.clone(), 300_000);
+    let continuous = run_cfg(
         MachineConfig::default_with_optimizer(),
         w.program.clone(),
         300_000,
     );
-    let discrete = simulate(
+    let discrete = run_cfg(
         MachineConfig::default_paper().with_optimizer(OptimizerConfig::discrete(64)),
         w.program.clone(),
         300_000,
     );
-    assert!(discrete.optimizer.trace_resets > 1000, "boundaries must fire");
-    assert_eq!(discrete.pipeline.retired, continuous.pipeline.retired);
-    let (sc, sd) = (
-        continuous.speedup_over(&base),
-        discrete.speedup_over(&base),
+    assert!(
+        discrete.optimizer.trace_resets > 1000,
+        "boundaries must fire"
     );
+    assert_eq!(discrete.pipeline.retired, continuous.pipeline.retired);
+    let (sc, sd) = (continuous.speedup_over(&base), discrete.speedup_over(&base));
     assert!(
         sc > sd,
         "continuous ({sc:.3}) must beat 64-inst discrete traces ({sd:.3})"
     );
     // Longer traces approach continuous behaviour.
-    let long = simulate(
+    let long = run_cfg(
         MachineConfig::default_paper().with_optimizer(OptimizerConfig::discrete(4096)),
         w.program,
         300_000,
@@ -351,14 +366,14 @@ fn discrete_optimization_is_weaker_than_continuous() {
 
 #[test]
 fn feedback_alone_is_weaker_than_optimization() {
-    let w = contopt_workloads::build("mcf").unwrap();
-    let base = simulate(MachineConfig::default_paper(), w.program.clone(), 300_000);
-    let fb = simulate(
+    let w = contopt_sim::workloads::build("mcf").unwrap();
+    let base = run_cfg(MachineConfig::default_paper(), w.program.clone(), 300_000);
+    let fb = run_cfg(
         MachineConfig::default_paper().with_optimizer(OptimizerConfig::feedback_only()),
         w.program.clone(),
         300_000,
     );
-    let opt = simulate(MachineConfig::default_with_optimizer(), w.program, 300_000);
+    let opt = run_cfg(MachineConfig::default_with_optimizer(), w.program, 300_000);
     assert!(
         opt.speedup_over(&base) > fb.speedup_over(&base),
         "Figure 9: optimization must add over feedback alone ({:.3} vs {:.3})",
@@ -368,50 +383,82 @@ fn feedback_alone_is_weaker_than_optimization() {
 }
 
 // ---- symbolic-algebra properties ------------------------------------------
+//
+// Formerly proptest strategies; the container has no registry access, so
+// the same properties are swept with a deterministic splitmix64 generator
+// (512 cases each, mirroring the original ProptestConfig).
 
-fn arb_sym() -> impl Strategy<Value = (SymValue, u64)> {
-    // A symbol together with the (oracle) value of its base register.
-    prop_oneof![
-        any::<u64>().prop_map(|v| (SymValue::Known(v), 0)),
-        (1usize..64, 0u8..4, any::<i64>(), any::<u64>()).prop_map(|(p, s, o, bv)| {
-            (
-                SymValue::Expr {
-                    base: PhysReg::from_index(p),
-                    scale: s,
-                    offset: o,
-                },
-                bv,
-            )
-        }),
-    ]
-}
+struct Rng(u64);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// The central algebra invariant: every fold preserves the evaluated
-    /// value. This is what makes the hardware transformations safe.
-    #[test]
-    fn folds_preserve_value((s, bv) in arb_sym(), k in any::<i64>(), sh in 0u32..4) {
-        let eval = |x: SymValue| x.eval_with(|_| bv);
-        let v = eval(s);
-        prop_assert_eq!(eval(sym_add_imm(s, k).value), v.wrapping_add(k as u64));
-        if let Some(f) = sym_add(s, SymValue::Known(k as u64)) {
-            prop_assert_eq!(eval(f.value), v.wrapping_add(k as u64));
-        }
-        if let Some(f) = sym_sub(s, SymValue::Known(k as u64)) {
-            prop_assert_eq!(eval(f.value), v.wrapping_sub(k as u64));
-        }
-        if let Some(f) = sym_shl(s, sh) {
-            prop_assert_eq!(eval(f.value), v.wrapping_shl(sh));
-        }
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    /// Value feedback folds scale and offset exactly like evaluation.
-    #[test]
-    fn feedback_matches_eval(p in 1usize..64, s in 0u8..4, o in any::<i64>(), bv in any::<u64>()) {
-        let sym = SymValue::Expr { base: PhysReg::from_index(p), scale: s, offset: o };
+    fn below(&mut self, limit: u64) -> u64 {
+        self.next() % limit
+    }
+}
+
+/// A symbol together with the (oracle) value of its base register.
+fn arb_sym(rng: &mut Rng) -> (SymValue, u64) {
+    if rng.below(2) == 0 {
+        (SymValue::Known(rng.next()), 0)
+    } else {
+        (
+            SymValue::Expr {
+                base: PhysReg::from_index(1 + rng.below(63) as usize),
+                scale: rng.below(4) as u8,
+                offset: rng.next() as i64,
+            },
+            rng.next(),
+        )
+    }
+}
+
+/// The central algebra invariant: every fold preserves the evaluated
+/// value. This is what makes the hardware transformations safe.
+#[test]
+fn folds_preserve_value() {
+    let mut rng = Rng(0xC0FFEE);
+    for _ in 0..512 {
+        let (s, bv) = arb_sym(&mut rng);
+        let k = rng.next() as i64;
+        let sh = rng.below(4) as u32;
+        let eval = |x: SymValue| x.eval_with(|_| bv);
+        let v = eval(s);
+        assert_eq!(eval(sym_add_imm(s, k).value), v.wrapping_add(k as u64));
+        if let Some(f) = sym_add(s, SymValue::Known(k as u64)) {
+            assert_eq!(eval(f.value), v.wrapping_add(k as u64));
+        }
+        if let Some(f) = sym_sub(s, SymValue::Known(k as u64)) {
+            assert_eq!(eval(f.value), v.wrapping_sub(k as u64));
+        }
+        if let Some(f) = sym_shl(s, sh) {
+            assert_eq!(eval(f.value), v.wrapping_shl(sh));
+        }
+    }
+}
+
+/// Value feedback folds scale and offset exactly like evaluation.
+#[test]
+fn feedback_matches_eval() {
+    let mut rng = Rng(0xFEEDBACC);
+    for _ in 0..512 {
+        let p = 1 + rng.below(63) as usize;
+        let s = rng.below(4) as u8;
+        let o = rng.next() as i64;
+        let bv = rng.next();
+        let sym = SymValue::Expr {
+            base: PhysReg::from_index(p),
+            scale: s,
+            offset: o,
+        };
         let fed = sym.feed_back(PhysReg::from_index(p), bv).unwrap();
-        prop_assert_eq!(fed.known().unwrap(), sym.eval_with(|_| bv));
+        assert_eq!(fed.known().unwrap(), sym.eval_with(|_| bv));
     }
 }

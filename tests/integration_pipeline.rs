@@ -4,10 +4,8 @@
 //! checking turns every run into a deep correctness check: any value it
 //! derives that disagrees with the functional oracle panics.
 
-use contopt::OptimizerConfig;
-use contopt_isa::{r, Asm, Program};
-use contopt_pipeline::{simulate, MachineConfig};
-use proptest::prelude::*;
+use contopt_sim::isa::{r, Asm, Program};
+use contopt_sim::{simulate, MachineConfig, OptimizerConfig};
 
 fn counted_loop(n: i64, body: impl Fn(&mut Asm)) -> Program {
     let mut a = Asm::new();
@@ -30,7 +28,11 @@ fn identical_retirement_across_machines() {
         a.stq(r(1), r(20), 0);
     });
     let base = simulate(MachineConfig::default_paper(), p.clone(), 1_000_000);
-    let opt = simulate(MachineConfig::default_with_optimizer(), p.clone(), 1_000_000);
+    let opt = simulate(
+        MachineConfig::default_with_optimizer(),
+        p.clone(),
+        1_000_000,
+    );
     let fb = simulate(
         MachineConfig::default_paper().with_optimizer(OptimizerConfig::feedback_only()),
         p,
@@ -42,7 +44,7 @@ fn identical_retirement_across_machines() {
 
 #[test]
 fn simulation_is_deterministic() {
-    let w = contopt_workloads::build("twf").unwrap();
+    let w = contopt_sim::workloads::build("twf").unwrap();
     let a = simulate(
         MachineConfig::default_with_optimizer(),
         w.program.clone(),
@@ -72,7 +74,7 @@ fn mispredict_penalty_matches_table2() {
 
 #[test]
 fn wider_exec_bound_machine_is_not_slower() {
-    let w = contopt_workloads::build("mgd").unwrap();
+    let w = contopt_sim::workloads::build("mgd").unwrap();
     let base = simulate(MachineConfig::default_paper(), w.program.clone(), 200_000);
     let wide = simulate(MachineConfig::exec_bound(), w.program.clone(), 200_000);
     assert!(
@@ -85,7 +87,7 @@ fn wider_exec_bound_machine_is_not_slower() {
 
 #[test]
 fn bigger_schedulers_do_not_hurt() {
-    let w = contopt_workloads::build("mcf").unwrap();
+    let w = contopt_sim::workloads::build("mcf").unwrap();
     let base = simulate(MachineConfig::default_paper(), w.program.clone(), 200_000);
     let fb = simulate(MachineConfig::fetch_bound(), w.program.clone(), 200_000);
     assert!(fb.pipeline.cycles <= base.pipeline.cycles + base.pipeline.cycles / 20);
@@ -94,15 +96,19 @@ fn bigger_schedulers_do_not_hurt() {
 #[test]
 fn ipc_never_exceeds_retire_width() {
     for name in ["mgd", "untst", "gap"] {
-        let w = contopt_workloads::build(name).unwrap();
+        let w = contopt_sim::workloads::build(name).unwrap();
         let r = simulate(MachineConfig::default_with_optimizer(), w.program, 150_000);
-        assert!(r.ipc() <= 6.0, "{name} IPC {} exceeds retire width", r.ipc());
+        assert!(
+            r.ipc() <= 6.0,
+            "{name} IPC {} exceeds retire width",
+            r.ipc()
+        );
     }
 }
 
 #[test]
 fn optimizer_reduces_ooo_dispatch() {
-    let w = contopt_workloads::build("untst").unwrap();
+    let w = contopt_sim::workloads::build("untst").unwrap();
     let base = simulate(MachineConfig::default_paper(), w.program.clone(), 300_000);
     let opt = simulate(MachineConfig::default_with_optimizer(), w.program, 300_000);
     assert!(
@@ -130,23 +136,6 @@ enum Op {
     Store(u8, i64),
     Load(u8, i64),
     SkipIfZero(u8),
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let reg = 1u8..16;
-    prop_oneof![
-        (reg.clone(), -64i64..64, reg.clone()).prop_map(|(a, k, c)| Op::Addq(a, k, c)),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Op::Subq(a, b, c)),
-        (reg.clone(), 0u8..8, reg.clone()).prop_map(|(a, k, c)| Op::Sll(a, k, c)),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Op::Xor(a, b, c)),
-        (reg.clone(), -16i64..17, reg.clone()).prop_map(|(a, k, c)| Op::Mulq(a, k, c)),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Op::S8Addq(a, b, c)),
-        (reg.clone(), -1000i64..1000).prop_map(|(c, k)| Op::Li(c, k)),
-        (reg.clone(), reg.clone()).prop_map(|(a, c)| Op::Mov(a, c)),
-        (reg.clone(), 0i64..24).prop_map(|(a, k)| Op::Store(a, k * 8)),
-        (reg.clone(), 0i64..24).prop_map(|(c, k)| Op::Load(c, k * 8)),
-        reg.prop_map(Op::SkipIfZero),
-    ]
 }
 
 fn assemble(ops: &[Op], iterations: i64) -> Program {
@@ -201,37 +190,81 @@ fn assemble(ops: &[Op], iterations: i64) -> Program {
     a.finish().expect("generated program assembles")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Deterministic splitmix64 generator standing in for proptest (no
+/// registry access in this container).
+struct Rng(u64);
 
-    /// Random loops run identically (and without strict-check panics) on
-    /// the baseline, the default optimizer, feedback-only, and the deepest
-    /// dependence-depth configuration.
-    #[test]
-    fn fuzz_random_loops(ops in proptest::collection::vec(op_strategy(), 1..24),
-                         iters in 1i64..40) {
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, limit: u64) -> u64 {
+        self.next() % limit
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+}
+
+fn arb_op(rng: &mut Rng) -> Op {
+    let reg = |rng: &mut Rng| 1 + rng.below(15) as u8;
+    match rng.below(11) {
+        0 => Op::Addq(reg(rng), rng.range_i64(-64, 64), reg(rng)),
+        1 => Op::Subq(reg(rng), reg(rng), reg(rng)),
+        2 => Op::Sll(reg(rng), rng.below(8) as u8, reg(rng)),
+        3 => Op::Xor(reg(rng), reg(rng), reg(rng)),
+        4 => Op::Mulq(reg(rng), rng.range_i64(-16, 17), reg(rng)),
+        5 => Op::S8Addq(reg(rng), reg(rng), reg(rng)),
+        6 => Op::Li(reg(rng), rng.range_i64(-1000, 1000)),
+        7 => Op::Mov(reg(rng), reg(rng)),
+        8 => Op::Store(reg(rng), rng.range_i64(0, 24) * 8),
+        9 => Op::Load(reg(rng), rng.range_i64(0, 24) * 8),
+        _ => Op::SkipIfZero(reg(rng)),
+    }
+}
+
+/// Random loops run identically (and without strict-check panics) on
+/// the baseline, the default optimizer, feedback-only, and the deepest
+/// dependence-depth configuration. Formerly a proptest; now a
+/// deterministic 24-case sweep.
+#[test]
+fn fuzz_random_loops() {
+    let mut rng = Rng(0x5EED_CA5E);
+    for case in 0..24 {
+        let n_ops = 1 + rng.below(23) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| arb_op(&mut rng)).collect();
+        let iters = 1 + rng.below(39) as i64;
         let p = assemble(&ops, iters);
         let base = simulate(MachineConfig::default_paper(), p.clone(), 400_000);
         let opt = simulate(MachineConfig::default_with_optimizer(), p.clone(), 400_000);
-        prop_assert_eq!(base.pipeline.retired, opt.pipeline.retired);
+        assert_eq!(
+            base.pipeline.retired, opt.pipeline.retired,
+            "case {case}: {ops:?} x{iters}"
+        );
         let deep = MachineConfig::default_paper().with_optimizer(OptimizerConfig {
             add_chain_depth: 3,
             mem_chain_depth: 1,
             ..OptimizerConfig::default()
         });
         let d = simulate(deep, p.clone(), 400_000);
-        prop_assert_eq!(d.pipeline.retired, opt.pipeline.retired);
+        assert_eq!(d.pipeline.retired, opt.pipeline.retired, "case {case}");
         let fb = simulate(
             MachineConfig::default_paper().with_optimizer(OptimizerConfig::feedback_only()),
             p,
             400_000,
         );
-        prop_assert_eq!(fb.pipeline.retired, opt.pipeline.retired);
+        assert_eq!(fb.pipeline.retired, opt.pipeline.retired, "case {case}");
         // Statistics invariants hold on arbitrary programs.
         let s = opt.optimizer;
-        prop_assert!(s.executed_early <= s.insts);
-        prop_assert!(s.loads_removed <= s.loads);
-        prop_assert!(s.mem_addr_generated <= s.mem_ops);
-        prop_assert!(s.mispredicts_recovered_early <= s.mispredicted_branches);
+        assert!(s.executed_early <= s.insts);
+        assert!(s.loads_removed <= s.loads);
+        assert!(s.mem_addr_generated <= s.mem_ops);
+        assert!(s.mispredicts_recovered_early <= s.mispredicted_branches);
     }
 }

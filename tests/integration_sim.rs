@@ -1,0 +1,327 @@
+//! Tests of the `contopt_sim` facade: builder validation, the
+//! `PassSet ↔ OptimizerConfig` bridges, and the paper's ablation
+//! scenarios expressed as pass lists.
+
+use contopt_sim::isa::{r, Asm, Program};
+use contopt_sim::passes::PassId;
+use contopt_sim::{
+    CpRa, EarlyExec, Error, MachineConfig, OptPass, OptimizerConfig, Pass, PassSet, RleSf,
+    SimSession, ValueFeedback,
+};
+
+fn tiny_program() -> Program {
+    let mut a = Asm::new();
+    let buf = a.data_quads(&[7, 7, 7, 7]);
+    a.li(r(1), buf as i64);
+    a.li(r(2), 200);
+    a.li(r(3), 0);
+    a.label("loop");
+    a.ldq(r(4), r(1), 0);
+    a.addq(r(3), r(4), r(3));
+    a.subq(r(2), 1, r(2));
+    a.bne(r(2), "loop");
+    a.halt();
+    a.finish().unwrap()
+}
+
+// ---- validation -----------------------------------------------------------
+
+#[test]
+fn rejects_zero_width_rename_bundles() {
+    let mut cfg = MachineConfig::default_paper();
+    cfg.fetch_width = 0;
+    let err = SimSession::builder()
+        .machine(cfg)
+        .program(tiny_program())
+        .build()
+        .unwrap_err();
+    assert_eq!(err, Error::ZeroRenameWidth);
+}
+
+#[test]
+fn rejects_feedback_delay_beyond_the_rob() {
+    let cfg = MachineConfig::default_paper().with_optimizer(OptimizerConfig {
+        feedback_delay: 161, // ROB is 160
+        ..OptimizerConfig::default()
+    });
+    let err = SimSession::builder()
+        .machine(cfg)
+        .program(tiny_program())
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        Error::FeedbackDelayExceedsRob {
+            delay: 161,
+            rob: 160
+        }
+    );
+    // A delay equal to the ROB depth is still (barely) meaningful.
+    let ok = MachineConfig::default_paper().with_optimizer(OptimizerConfig {
+        feedback_delay: 160,
+        ..OptimizerConfig::default()
+    });
+    assert!(SimSession::builder()
+        .machine(ok)
+        .program(tiny_program())
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn rejects_empty_pass_lists() {
+    let err = SimSession::builder()
+        .program(tiny_program())
+        .passes([])
+        .build()
+        .unwrap_err();
+    assert_eq!(err, Error::EmptyPasses);
+    let err = SimSession::builder()
+        .program(tiny_program())
+        .pass_set(PassSet::new())
+        .build()
+        .unwrap_err();
+    assert_eq!(err, Error::EmptyPasses);
+}
+
+#[test]
+fn rejects_other_degenerate_machines() {
+    let mut zero_retire = MachineConfig::default_paper();
+    zero_retire.retire_width = 0;
+    let mut zero_rob = MachineConfig::default_paper();
+    zero_rob.rob_entries = 0;
+    let mut tiny_pregs = MachineConfig::default_paper();
+    tiny_pregs.preg_count = 8;
+    for (cfg, want) in [
+        (zero_retire, Error::ZeroRetireWidth),
+        (zero_rob, Error::ZeroRobEntries),
+        (
+            tiny_pregs,
+            Error::PregFileTooSmall {
+                need: contopt_sim::isa::NUM_ARCH_REGS + 1,
+                have: 8,
+            },
+        ),
+    ] {
+        let err = SimSession::builder()
+            .machine(cfg)
+            .program(tiny_program())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, want);
+    }
+    let err = SimSession::builder()
+        .program(tiny_program())
+        .insts(0)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, Error::ZeroInstructionBudget);
+    // RLE/SF with a zero-entry MBC.
+    let cfg = MachineConfig::default_paper().with_optimizer(OptimizerConfig {
+        mbc_entries: 0,
+        ..OptimizerConfig::default()
+    });
+    let err = SimSession::builder()
+        .machine(cfg)
+        .program(tiny_program())
+        .build()
+        .unwrap_err();
+    assert_eq!(err, Error::ZeroMbcEntries);
+}
+
+#[test]
+fn errors_display_usefully() {
+    let e = Error::FeedbackDelayExceedsRob { delay: 5, rob: 4 };
+    assert!(e.to_string().contains("5 cycles"));
+    assert!(e.to_string().contains("4 entries"));
+    assert!(Error::EmptyPasses.to_string().contains("baseline"));
+    let _: &dyn std::error::Error = &e; // implements std::error::Error
+}
+
+// ---- the OptimizerConfig <-> PassSet bridges ------------------------------
+
+#[test]
+fn presets_round_trip_through_the_bridges() {
+    for (name, cfg) in [
+        ("default", OptimizerConfig::default()),
+        ("baseline", OptimizerConfig::baseline()),
+        ("feedback_only", OptimizerConfig::feedback_only()),
+        ("discrete", OptimizerConfig::discrete(512)),
+    ] {
+        let set = PassSet::from(cfg);
+        let back: OptimizerConfig = set.into();
+        assert_eq!(back, cfg.normalized(), "{name}");
+        // normalized() is behaviour-preserving for every preset: a second
+        // round trip is a fixed point.
+        assert_eq!(OptimizerConfig::from(PassSet::from(back)), back, "{name}");
+    }
+}
+
+#[test]
+fn tuned_configs_round_trip() {
+    let cfg = OptimizerConfig {
+        add_chain_depth: 3,
+        mem_chain_depth: 1,
+        mbc_entries: 64,
+        feedback_delay: 5,
+        extra_stages: 4,
+        flush_mbc_on_unknown_store: true,
+        ..OptimizerConfig::default()
+    };
+    let set = PassSet::from(cfg);
+    assert!(set.contains(PassId::CpRa));
+    assert!(set.contains(PassId::RleSf));
+    assert!(set.contains(PassId::ValueFeedback));
+    assert!(set.contains(PassId::EarlyExec));
+    assert_eq!(OptimizerConfig::from(set), cfg.normalized());
+}
+
+#[test]
+fn builder_accepts_a_pass_set_through_the_optimizer_bridge() {
+    // `optimizer(...)` takes anything Into<OptimizerConfig>, including a
+    // PassSet.
+    let set: PassSet = [Pass::cp_ra(), Pass::early_exec()].into_iter().collect();
+    let s = SimSession::builder()
+        .program(tiny_program())
+        .optimizer(set)
+        .build()
+        .unwrap();
+    assert!(s.config().optimizer.optimize);
+    assert!(!s.config().optimizer.enable_rle_sf);
+}
+
+// ---- ablation scenarios as pass lists -------------------------------------
+
+fn run_passes(passes: impl IntoIterator<Item = Pass>) -> contopt_sim::Report {
+    SimSession::builder()
+        .program(tiny_program())
+        .passes(passes)
+        .insts(100_000)
+        .build()
+        .unwrap()
+        .run()
+}
+
+#[test]
+fn all_four_paper_scenarios_are_pass_lists() {
+    // Baseline: no passes registered (the builder default).
+    let baseline = SimSession::builder()
+        .program(tiny_program())
+        .insts(100_000)
+        .build()
+        .unwrap();
+    assert!(!baseline.config().optimizer.enabled);
+    let base = baseline.run();
+
+    // CP/RA alone, RLE/SF alone, feedback alone: pass lists, no presets.
+    let cp_ra = run_passes([Pass::cp_ra(), Pass::early_exec()]);
+    let rle_sf = run_passes([Pass::rle_sf(), Pass::early_exec()]);
+    let feedback = run_passes([Pass::value_feedback(), Pass::early_exec()]);
+    let full = run_passes([
+        Pass::cp_ra(),
+        Pass::rle_sf(),
+        Pass::value_feedback(),
+        Pass::early_exec(),
+    ]);
+
+    // All scenarios retire the same stream.
+    for r in [&cp_ra, &rle_sf, &feedback, &full] {
+        assert_eq!(r.pipeline.retired, base.pipeline.retired);
+    }
+    // Each ablation leaves its own fingerprint.
+    assert_eq!(cp_ra.optimizer.loads_removed, 0, "no RLE/SF, no removals");
+    assert!(rle_sf.optimizer.loads_removed > 0, "RLE/SF removes reloads");
+    assert_eq!(
+        feedback.optimizer.moves_eliminated, 0,
+        "feedback alone performs no reassociation"
+    );
+    assert!(full.optimizer.executed_early >= cp_ra.optimizer.executed_early);
+    // The full pipeline must not lose to the baseline on this loop.
+    assert!(full.speedup_over(&base) > 1.0);
+}
+
+#[test]
+fn passes_equal_the_bridged_preset_exactly() {
+    // The same machine expressed as a pass list and as the legacy preset
+    // must produce cycle-identical simulations.
+    let via_passes = run_passes([
+        Pass::cp_ra(),
+        Pass::rle_sf(),
+        Pass::value_feedback(),
+        Pass::early_exec(),
+    ]);
+    let via_preset = SimSession::builder()
+        .program(tiny_program())
+        .optimizer(OptimizerConfig::default())
+        .insts(100_000)
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(via_passes.pipeline.cycles, via_preset.pipeline.cycles);
+    assert_eq!(via_passes.optimizer, via_preset.optimizer);
+
+    let feedback_via_passes = run_passes([Pass::value_feedback(), Pass::early_exec()]);
+    let feedback_via_preset = SimSession::builder()
+        .program(tiny_program())
+        .optimizer(OptimizerConfig::feedback_only())
+        .insts(100_000)
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(
+        feedback_via_passes.pipeline.cycles,
+        feedback_via_preset.pipeline.cycles
+    );
+}
+
+// ---- custom passes --------------------------------------------------------
+
+#[test]
+fn custom_passes_compose_with_stock_units() {
+    /// A tuning pass: shrink the MBC to 16 entries.
+    #[derive(Debug)]
+    struct SmallMbc;
+    impl OptPass for SmallMbc {
+        fn name(&self) -> &'static str {
+            "small-mbc"
+        }
+        fn configure(&self, cfg: &mut OptimizerConfig) {
+            cfg.mbc_entries = 16;
+        }
+    }
+    let set = PassSet::new()
+        .with(CpRa::default())
+        .with(RleSf::default())
+        .with(ValueFeedback::default())
+        .with(EarlyExec)
+        .with(SmallMbc);
+    let s = SimSession::builder()
+        .program(tiny_program())
+        .pass_set(set)
+        .build()
+        .unwrap();
+    assert_eq!(s.config().optimizer.mbc_entries, 16);
+    s.run(); // and it simulates
+}
+
+// ---- the unified report ---------------------------------------------------
+
+#[test]
+fn report_subsumes_all_stat_blocks() {
+    let r = run_passes([
+        Pass::cp_ra(),
+        Pass::rle_sf(),
+        Pass::value_feedback(),
+        Pass::early_exec(),
+    ]);
+    assert!(r.pipeline.cycles > 0);
+    assert!(r.optimizer.insts > 0);
+    assert!(r.mbc.lookups > 0, "MBC stats are part of the report");
+    assert!(r.predictor.cond_predictions > 0);
+    assert!(r.memory.l1d.accesses > 0);
+    assert_eq!(r.insts_budget, 100_000);
+    let json = r.to_json().to_string();
+    assert!(json.contains("\"mbc\""));
+    let summary = r.summary();
+    assert!(summary.contains("MBC"));
+}

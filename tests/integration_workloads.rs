@@ -4,10 +4,9 @@
 //! architectural behaviour) and with the optimizer's strict value checker
 //! active throughout.
 
-use contopt::OptimizerConfig;
-use contopt_emu::Emulator;
-use contopt_pipeline::{simulate, MachineConfig};
-use contopt_workloads::{suite, Suite, CHECKSUM_ADDR};
+use contopt_sim::emu::Emulator;
+use contopt_sim::workloads::{suite, Suite, CHECKSUM_ADDR};
+use contopt_sim::{simulate, MachineConfig, OptimizerConfig};
 
 const CAP: u64 = 120_000; // instruction cap keeps the full matrix fast
 
@@ -43,7 +42,7 @@ fn optimizer_checksums_match_functional_execution() {
     // construction those of the emulator; check the checksum plumbing
     // anyway by running the emulator standalone for a few benchmarks.
     for name in ["mcf", "untst", "g721d", "vpr"] {
-        let w = contopt_workloads::build(name).unwrap();
+        let w = contopt_sim::workloads::build(name).unwrap();
         let mut emu = Emulator::new(w.program.clone());
         emu.run_to_halt(5_000_000).unwrap();
         let chk = emu.mem().read_u64(CHECKSUM_ADDR);
@@ -77,24 +76,33 @@ fn suite_speedup_ordering_matches_the_paper() {
     );
     assert!(means[&Suite::MediaBench] > 1.05);
     for (_, m) in means {
-        assert!(m > 0.95 && m < 1.4, "suite mean out of plausible range: {m}");
+        assert!(
+            m > 0.95 && m < 1.4,
+            "suite mean out of plausible range: {m}"
+        );
     }
 }
 
 #[test]
 fn amp_is_flat_mcf_and_untst_stand_out() {
     let speedup = |name: &str| {
-        let w = contopt_workloads::build(name).unwrap();
+        let w = contopt_sim::workloads::build(name).unwrap();
         let base = simulate(MachineConfig::default_paper(), w.program.clone(), CAP);
         let opt = simulate(MachineConfig::default_with_optimizer(), w.program, CAP);
         opt.speedup_over(&base)
     };
     let amp = speedup("amp");
-    assert!((0.97..1.05).contains(&amp), "paper: amp = 1.00, got {amp:.3}");
+    assert!(
+        (0.97..1.05).contains(&amp),
+        "paper: amp = 1.00, got {amp:.3}"
+    );
     let mcf = speedup("mcf");
     assert!(mcf > 1.10, "paper: mcf is SPECint's outlier, got {mcf:.3}");
     let untst = speedup("untst");
-    assert!(untst > 1.10, "paper: untst is the best case, got {untst:.3}");
+    assert!(
+        untst > 1.10,
+        "paper: untst is the best case, got {untst:.3}"
+    );
 }
 
 #[test]
@@ -108,5 +116,8 @@ fn workload_mix_is_diverse() {
     }
     let min = early.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = early.iter().cloned().fold(0.0, f64::max);
-    assert!(max - min > 15.0, "suite lacks diversity: {min:.1}..{max:.1}");
+    assert!(
+        max - min > 15.0,
+        "suite lacks diversity: {min:.1}..{max:.1}"
+    );
 }
