@@ -1,0 +1,94 @@
+//! Simulator-throughput bench: records simulated MIPS (millions of
+//! committed instructions per wall-clock second) for the baseline and the
+//! full-pass machine on two workloads, so every future PR can check the
+//! simulator's own speed against `BENCH_throughput.json` at the repository
+//! root. The JSON is rewritten on every run; commit it when the numbers
+//! move meaningfully.
+
+use contopt_sim::workloads::build;
+use contopt_sim::{JsonValue, MachineConfig, SimSession};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+/// Instruction budget per measured run: large enough that steady state
+/// dominates the cold start.
+const INSTS: u64 = 150_000;
+
+/// One integer-heavy and one filter-style workload.
+const WORKLOADS: [&str; 2] = ["mcf", "untst"];
+
+fn configs() -> [(&'static str, MachineConfig); 2] {
+    [
+        ("baseline", MachineConfig::default_paper()),
+        ("full-passes", MachineConfig::default_with_optimizer()),
+    ]
+}
+
+/// Runs the session once and returns `(mips, cycles, wall_secs)`.
+fn measure(session: &SimSession) -> (f64, u64, f64) {
+    let t0 = Instant::now();
+    let report = black_box(session.run());
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let mips = report.pipeline.retired as f64 / secs / 1e6;
+    (mips, report.pipeline.cycles, secs)
+}
+
+fn bench(c: &mut Criterion) {
+    // Phase 1: record the MIPS trajectory (best of three runs per cell, so
+    // a scheduling hiccup cannot masquerade as a regression).
+    let mut cells = Vec::new();
+    for name in WORKLOADS {
+        let w = build(name).expect("workload exists");
+        for (label, cfg) in configs() {
+            let session = SimSession::builder()
+                .machine(cfg)
+                .program(std::sync::Arc::clone(&w.program))
+                .insts(INSTS)
+                .build()
+                .expect("bench configurations are structurally valid");
+            let best = (0..3)
+                .map(|_| measure(&session))
+                .max_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("three runs");
+            println!(
+                "sim_throughput: {name}/{label}: {:.2} simulated MIPS \
+                 ({} cycles in {:.3}s)",
+                best.0, best.1, best.2
+            );
+            cells.push(JsonValue::obj([
+                ("workload", name.into()),
+                ("config", label.into()),
+                ("mips", best.0.into()),
+                ("sim_cycles", best.1.into()),
+                ("wall_secs", best.2.into()),
+            ]));
+        }
+    }
+    let doc = JsonValue::obj([
+        ("insts_per_run", INSTS.into()),
+        ("cells", JsonValue::arr(cells)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(path, doc.pretty() + "\n").expect("write BENCH_throughput.json");
+    println!("sim_throughput: wrote {path}");
+
+    // Phase 2: the same cells under the criterion harness for trend lines.
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    for name in WORKLOADS {
+        let w = build(name).expect("workload exists");
+        for (label, cfg) in configs() {
+            let session = SimSession::builder()
+                .machine(cfg)
+                .program(std::sync::Arc::clone(&w.program))
+                .insts(INSTS)
+                .build()
+                .expect("bench configurations are structurally valid");
+            g.bench_function(format!("{name}/{label}"), |b| b.iter(|| session.run()));
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

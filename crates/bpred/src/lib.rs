@@ -28,7 +28,7 @@
 #![forbid(unsafe_code)]
 
 /// Configuration for the predictor complex.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PredictorConfig {
     /// gshare global-history length in bits (Table 2: 18).
     pub history_bits: u32,

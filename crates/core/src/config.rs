@@ -7,7 +7,7 @@
 /// one-cycle value-feedback transmission delay, and at most a single level
 /// of addition per rename bundle (no chained dependent additions, no
 /// chained memory operations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OptimizerConfig {
     /// Master switch: when `false` the unit degrades to a plain register
     /// renamer (the baseline machine).

@@ -60,6 +60,17 @@ impl FeedbackQueue {
         self.q.drain(..n)
     }
 
+    /// Pops the oldest message if it has arrived by `now`. Allocation-free
+    /// alternative to [`drain_ready`](Self::drain_ready) for callers that
+    /// interleave popping with table updates.
+    pub fn pop_ready(&mut self, now: u64) -> Option<Feedback> {
+        if self.q.front()?.arrives_at <= now {
+            self.q.pop_front()
+        } else {
+            None
+        }
+    }
+
     /// Messages still in flight.
     pub fn in_flight(&self) -> usize {
         self.q.len()

@@ -102,7 +102,7 @@ pub use feedback::{Feedback, FeedbackQueue};
 pub use mbc::{Mbc, MbcStats};
 pub use optimizer::{Optimizer, RenameReq, Renamed, RenamedClass};
 pub use passes::{CpRa, EarlyExec, OptPass, Pass, PassId, PassSet, RleSf, ValueFeedback};
-pub use preg::{PhysReg, PregFile};
+pub use preg::{PhysReg, PregFile, SrcList, MAX_SRCS};
 pub use rat::SymRat;
 pub use stats::OptStats;
 pub use symval::{

@@ -19,7 +19,7 @@
 use crate::config::OptimizerConfig;
 use crate::feedback::FeedbackQueue;
 use crate::mbc::{Mbc, MbcStats};
-use crate::preg::{PhysReg, PregFile};
+use crate::preg::{PhysReg, PregFile, SrcList};
 use crate::rat::SymRat;
 use crate::stats::OptStats;
 use crate::symval::SymValue;
@@ -55,8 +55,9 @@ pub struct Renamed {
     /// Constant-propagated operands are embedded and appear as no
     /// dependence; reassociated operands point at the *earlier* producer.
     /// A consumer reference is held on each and must be released (via
-    /// [`Optimizer::release`]) when the instruction completes.
-    pub srcs: Vec<PhysReg>,
+    /// [`Optimizer::release`]) when the instruction completes. Stored
+    /// inline ([`SrcList`]) so rename allocates nothing per instruction.
+    pub srcs: SrcList,
     /// Destination physical register, if the instruction writes one.
     pub dst: Option<PhysReg>,
     /// Whether `dst` was freshly allocated (`false` for eliminated moves and
@@ -99,6 +100,11 @@ pub(crate) struct SrcView {
 }
 
 /// Per-bundle serial-dependence bookkeeping (§6.2).
+///
+/// One instance lives in the [`Optimizer`] and is reset at the top of every
+/// [`Optimizer::rename_bundle_into`], so the per-cycle rename path reuses
+/// its buffers instead of reallocating them.
+#[derive(Debug, Clone)]
 pub(crate) struct Bundle {
     /// arch-reg index → slot that wrote it in this bundle.
     pub(crate) writer: [Option<u8>; contopt_isa::NUM_ARCH_REGS],
@@ -108,14 +114,28 @@ pub(crate) struct Bundle {
     pub(crate) mbc_written: Vec<u64>,
 }
 
-impl Bundle {
-    pub(crate) fn new() -> Bundle {
+impl Default for Bundle {
+    fn default() -> Bundle {
         Bundle {
             writer: [None; contopt_isa::NUM_ARCH_REGS],
             adds: Vec::new(),
             mbcs: Vec::new(),
             mbc_written: Vec::new(),
         }
+    }
+}
+
+impl Bundle {
+    pub(crate) fn new() -> Bundle {
+        Bundle::default()
+    }
+
+    /// Empties the bundle, keeping the allocated capacity.
+    pub(crate) fn reset(&mut self) {
+        self.writer = [None; contopt_isa::NUM_ARCH_REGS];
+        self.adds.clear();
+        self.mbcs.clear();
+        self.mbc_written.clear();
     }
 
     pub(crate) fn costs(&self, a: ArchReg) -> (u32, u32) {
@@ -153,6 +173,9 @@ pub struct Optimizer {
     /// Oracle architectural value of each physical register; used only for
     /// strict value checking, never to drive an optimization.
     pub(crate) oracle: Vec<u64>,
+    /// Reusable per-bundle bookkeeping scratch (taken/restored around each
+    /// bundle so steady-state rename performs no heap allocation).
+    bundle_scratch: Bundle,
 }
 
 impl Optimizer {
@@ -179,6 +202,7 @@ impl Optimizer {
             feedback: FeedbackQueue::new(),
             stats: OptStats::default(),
             oracle,
+            bundle_scratch: Bundle::new(),
         }
     }
 
@@ -232,6 +256,16 @@ impl Optimizer {
     /// order; stops short if the physical register pool is exhausted
     /// (the pipeline retries the remainder next cycle).
     pub fn rename_bundle(&mut self, now: u64, reqs: &[RenameReq]) -> Vec<Renamed> {
+        let mut out = Vec::with_capacity(reqs.len());
+        self.rename_bundle_into(now, reqs, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`rename_bundle`](Self::rename_bundle):
+    /// appends the renamed instructions to `out` (which the caller clears
+    /// and reuses across cycles) and recycles the internal per-bundle
+    /// scratch, so steady-state rename performs no heap allocation.
+    pub fn rename_bundle_into(&mut self, now: u64, reqs: &[RenameReq], out: &mut Vec<Renamed>) {
         self.apply_feedback(now);
         // Discrete (offline-style) optimization: invalidate the tables at
         // every trace boundary (§3.4).
@@ -245,15 +279,16 @@ impl Optimizer {
                 self.stats.trace_resets += 1;
             }
         }
-        let mut bundle = Bundle::new();
-        let mut out = Vec::with_capacity(reqs.len());
+        let mut bundle = std::mem::take(&mut self.bundle_scratch);
+        bundle.reset();
         for req in reqs {
             if !self.can_rename() {
                 break;
             }
-            out.push(self.process(req, &mut bundle));
+            let r = self.process(req, &mut bundle);
+            out.push(r);
         }
-        out
+        self.bundle_scratch = bundle;
     }
 
     // ---- shared engine internals ----------------------------------------
@@ -329,7 +364,7 @@ impl Optimizer {
         &mut self,
         d: &DynInst,
         class: RenamedClass,
-        srcs: Vec<PhysReg>,
+        srcs: SrcList,
         dst: Option<PhysReg>,
         dst_new: bool,
     ) -> Renamed {
@@ -357,7 +392,7 @@ impl Optimizer {
             Inst::Br { cond, ra, .. } => self.process_branch(req, cond, ra, bundle),
             Inst::Bru { .. } => {
                 bundle.record(None, 0, 0);
-                self.renamed(d, RenamedClass::Done, vec![], None, false)
+                self.renamed(d, RenamedClass::Done, SrcList::new(), None, false)
             }
             Inst::Bsr { .. } | Inst::Jmp { .. } => self.process_call(req, bundle),
             Inst::FAlu { .. } | Inst::FCmp { .. } | Inst::Itof { .. } | Inst::Ftoi { .. } => {
@@ -365,7 +400,7 @@ impl Optimizer {
             }
             Inst::Halt | Inst::Nop => {
                 bundle.record(None, 0, 0);
-                self.renamed(d, RenamedClass::Done, vec![], None, false)
+                self.renamed(d, RenamedClass::Done, SrcList::new(), None, false)
             }
         }
     }
@@ -380,7 +415,7 @@ impl Optimizer {
         class: RenamedClass,
         bundle: &mut Bundle,
     ) -> Renamed {
-        let mut srcs = Vec::new();
+        let mut srcs = SrcList::new();
         for a in d.inst.srcs().into_iter().flatten() {
             let v = self.view(a, bundle);
             if v.sym.known().is_none() {
@@ -415,7 +450,7 @@ impl Optimizer {
         adds: u32,
         bundle: &mut Bundle,
     ) -> Renamed {
-        let mut srcs = Vec::new();
+        let mut srcs = SrcList::new();
         for a in d.inst.srcs().into_iter().flatten() {
             let v = self.view(a, bundle);
             if v.sym.known().is_none() {
@@ -542,8 +577,8 @@ mod tests {
         let mut opt = opt_default();
         let rs = rename_all(&mut opt, &stream(a), 100);
         let load_dst = rs[1].dst.unwrap();
-        assert_eq!(rs[2].srcs, vec![load_dst]);
-        assert_eq!(rs[3].srcs, vec![load_dst], "reassociated past r2");
+        assert_eq!(rs[2].srcs.as_slice(), &[load_dst]);
+        assert_eq!(rs[3].srcs.as_slice(), &[load_dst], "reassociated past r2");
         assert_eq!(
             opt.rat_sym(ArchReg::from(r(3))),
             SymValue::Expr {

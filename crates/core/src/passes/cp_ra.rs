@@ -15,6 +15,7 @@
 //! power-of-two multiplies strength-reduce to shifts.
 
 use crate::optimizer::{Bundle, Optimizer, RenameReq, Renamed, RenamedClass, SrcView};
+use crate::preg::SrcList;
 use crate::symval::{sym_add, sym_add_imm, sym_scaled_add, sym_shl, sym_sub, Folded, SymValue};
 use contopt_isa::{AluOp, ArchReg, Operand};
 
@@ -87,14 +88,15 @@ impl Optimizer {
                             .write(dst_a, p, SymValue::Known(v), &mut self.pregs);
                         self.stats.executed_early += 1;
                         bundle.record(dst_arch, va.adds.max(vb.map_or(0, |x| x.adds)) + 1, 0);
-                        let mut r = self.renamed(d, RenamedClass::Done, vec![], Some(p), true);
+                        let mut r =
+                            self.renamed(d, RenamedClass::Done, SrcList::new(), Some(p), true);
                         r.early_value = Some(v);
                         return r;
                     }
                     // Result discarded (dst is a zero register): nothing to do.
                     bundle.record(None, 0, 0);
                     self.stats.executed_early += 1;
-                    self.renamed(d, RenamedClass::Done, vec![], None, false)
+                    self.renamed(d, RenamedClass::Done, SrcList::new(), None, false)
                 }
                 SymValue::Known(v) => {
                     // Known result that may not complete at rename: either a
@@ -114,7 +116,7 @@ impl Optimizer {
                     let Some(dst_a) = dst_arch else {
                         // Zero-register destination: no architectural effect.
                         bundle.record(None, 0, 0);
-                        return self.renamed(d, RenamedClass::Done, vec![], None, false);
+                        return self.renamed(d, RenamedClass::Done, SrcList::new(), None, false);
                     };
                     if e.is_plain_reg() && self.early_exec_ok() {
                         // Move elimination: remap the destination onto the
@@ -126,7 +128,13 @@ impl Optimizer {
                         self.stats.moves_eliminated += 1;
                         self.stats.executed_early += 1;
                         bundle.record(dst_arch, 0, 0);
-                        return self.renamed(d, RenamedClass::Done, vec![], Some(base), false);
+                        return self.renamed(
+                            d,
+                            RenamedClass::Done,
+                            SrcList::new(),
+                            Some(base),
+                            false,
+                        );
                     }
                     // Simplified: the instruction now computes
                     // (base << scale) + offset — a single-cycle form whose
@@ -136,7 +144,13 @@ impl Optimizer {
                     self.rat.write(dst_a, p, e, &mut self.pregs);
                     let total = va.adds.max(vb.map_or(0, |x| x.adds)) + f.used_add as u32;
                     bundle.record(dst_arch, total, 0);
-                    self.renamed(d, RenamedClass::SimpleInt, vec![base], Some(p), true)
+                    self.renamed(
+                        d,
+                        RenamedClass::SimpleInt,
+                        SrcList::one(base),
+                        Some(p),
+                        true,
+                    )
                 }
             },
             None => {
@@ -239,7 +253,7 @@ impl Optimizer {
                 let Some(dst_a) = dst_arch else {
                     bundle.record(None, 0, 0);
                     self.stats.executed_early += 1;
-                    return self.renamed(d, RenamedClass::Done, vec![], None, false);
+                    return self.renamed(d, RenamedClass::Done, SrcList::new(), None, false);
                 };
                 self.verify("early lda", d, v);
                 let p = self.alloc_dst(d);
@@ -247,7 +261,7 @@ impl Optimizer {
                     .write(dst_a, p, SymValue::Known(v), &mut self.pregs);
                 self.stats.executed_early += 1;
                 bundle.record(dst_arch, inherited + 1, 0);
-                let mut r = self.renamed(d, RenamedClass::Done, vec![], Some(p), true);
+                let mut r = self.renamed(d, RenamedClass::Done, SrcList::new(), Some(p), true);
                 r.early_value = Some(v);
                 r
             }
@@ -265,7 +279,7 @@ impl Optimizer {
             e @ SymValue::Expr { base, .. } => {
                 let Some(dst_a) = dst_arch else {
                     bundle.record(None, 0, 0);
-                    return self.renamed(d, RenamedClass::Done, vec![], None, false);
+                    return self.renamed(d, RenamedClass::Done, SrcList::new(), None, false);
                 };
                 if e.is_plain_reg() && self.early_exec_ok() {
                     // `mov` (lda 0(rb)): eliminated through reassociation.
@@ -274,13 +288,19 @@ impl Optimizer {
                     self.stats.moves_eliminated += 1;
                     self.stats.executed_early += 1;
                     bundle.record(dst_arch, 0, 0);
-                    return self.renamed(d, RenamedClass::Done, vec![], Some(base), false);
+                    return self.renamed(d, RenamedClass::Done, SrcList::new(), Some(base), false);
                 }
                 self.hold_srcs(&[base]);
                 let p = self.alloc_dst(d);
                 self.rat.write(dst_a, p, e, &mut self.pregs);
                 bundle.record(dst_arch, inherited + f.used_add as u32, 0);
-                self.renamed(d, RenamedClass::SimpleInt, vec![base], Some(p), true)
+                self.renamed(
+                    d,
+                    RenamedClass::SimpleInt,
+                    SrcList::one(base),
+                    Some(p),
+                    true,
+                )
             }
         }
     }

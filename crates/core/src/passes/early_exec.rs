@@ -13,6 +13,7 @@
 //! branch processing.
 
 use crate::optimizer::{Bundle, Optimizer, RenameReq, Renamed, RenamedClass};
+use crate::preg::SrcList;
 use crate::symval::SymValue;
 use contopt_isa::{ArchReg, Inst};
 
@@ -32,7 +33,7 @@ impl Optimizer {
             bundle.record(None, 0, 0);
             let map = self.rat.map(ArchReg::from(ra));
             self.hold_srcs(&[map]);
-            return self.renamed(d, RenamedClass::SimpleInt, vec![map], None, false);
+            return self.renamed(d, RenamedClass::SimpleInt, SrcList::one(map), None, false);
         }
         let va = self.view(ArchReg::from(ra), bundle);
         let budget = self.cfg.max_serial_adds();
@@ -53,13 +54,13 @@ impl Optimizer {
                 self.stats.mispredicts_recovered_early += 1;
             }
             bundle.record(None, va.adds, 0);
-            let mut r = self.renamed(d, RenamedClass::Done, vec![], None, false);
+            let mut r = self.renamed(d, RenamedClass::Done, SrcList::new(), None, false);
             r.resolved_early = true;
             return r;
         }
         // Unresolved: executes in the core. Branch-direction inference may
         // still reveal the register's value to younger instructions.
-        let srcs = vec![va.map];
+        let srcs = SrcList::one(va.map);
         self.hold_srcs(&srcs);
         if self.optimizing() && self.cfg.enable_branch_inference && cond.implies_zero(d.taken) {
             self.rat
@@ -89,7 +90,7 @@ impl Optimizer {
                     };
                     self.stats.executed_early += 1;
                     bundle.record(dst_arch, 0, 0);
-                    let mut r = self.renamed(d, RenamedClass::Done, vec![], dst, dst_new);
+                    let mut r = self.renamed(d, RenamedClass::Done, SrcList::new(), dst, dst_new);
                     r.early_value = dst.map(|_| link);
                     r
                 } else if self.optimizing() {
@@ -140,12 +141,18 @@ impl Optimizer {
                     if req.mispredicted {
                         self.stats.mispredicts_recovered_early += 1;
                     }
-                    let mut r = self.renamed(d, RenamedClass::Done, vec![], dst, dst_new);
+                    let mut r = self.renamed(d, RenamedClass::Done, SrcList::new(), dst, dst_new);
                     r.resolved_early = true;
                     r.early_value = dst.map(|_| link);
                     r
                 } else {
-                    self.renamed(d, RenamedClass::SimpleInt, vec![va.map], dst, dst_new)
+                    self.renamed(
+                        d,
+                        RenamedClass::SimpleInt,
+                        SrcList::one(va.map),
+                        dst,
+                        dst_new,
+                    )
                 }
             }
             _ => unreachable!("process_call on non-call"),

@@ -24,9 +24,10 @@ impl Optimizer {
     }
 
     /// Applies all feedback that has arrived by `now` to the RAT and MBC.
+    /// Messages are popped one at a time (no intermediate collection), so
+    /// the per-cycle feedback path performs no heap allocation.
     pub fn apply_feedback(&mut self, now: u64) {
-        let msgs: Vec<_> = self.feedback.drain_ready(now).collect();
-        for f in msgs {
+        while let Some(f) = self.feedback.pop_ready(now) {
             let n = self.rat.feed_back(f.preg, f.value, &mut self.pregs)
                 + self.mbc.feed_back(f.preg, f.value, &mut self.pregs);
             self.stats.feedback_integrations += n;

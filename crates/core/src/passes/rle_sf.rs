@@ -15,6 +15,7 @@
 //! "& 1 mem" variant).
 
 use crate::optimizer::{Bundle, Optimizer, RenameReq, Renamed, RenamedClass};
+use crate::preg::SrcList;
 use crate::symval::SymValue;
 use contopt_isa::{ArchReg, Inst, MemSize};
 
@@ -70,7 +71,7 @@ impl Optimizer {
                 self.mbc.insert(a, size, SymValue::reg(p), &mut self.pregs);
                 bundle.mbc_written.push(a & !7);
                 bundle.record(dst_arch, inh_adds, inh_mbcs + 1);
-                let mut r = self.renamed(d, RenamedClass::Load, vec![], Some(p), true);
+                let mut r = self.renamed(d, RenamedClass::Load, SrcList::new(), Some(p), true);
                 r.addr_known = true;
                 return r;
             }
@@ -78,9 +79,9 @@ impl Optimizer {
 
         // Ordinary load (unknown address, or RLE/SF unavailable).
         let srcs = if addr_known.is_some() {
-            vec![]
+            SrcList::new()
         } else {
-            vec![self.rat.map(ArchReg::from(rb))]
+            SrcList::one(self.rat.map(ArchReg::from(rb)))
         };
         self.hold_srcs(&srcs);
         let (dst, dst_new) = match dst_arch {
@@ -131,7 +132,7 @@ impl Optimizer {
                 self.stats.loads_removed += 1;
                 self.stats.executed_early += 1;
                 bundle.record(d.inst.dst(), 1, inh_mbcs + 1);
-                let mut r = self.renamed(d, RenamedClass::Done, vec![], Some(p), true);
+                let mut r = self.renamed(d, RenamedClass::Done, SrcList::new(), Some(p), true);
                 r.early_value = Some(loaded);
                 r.load_removed = true;
                 r.addr_known = true;
@@ -143,7 +144,7 @@ impl Optimizer {
                 self.stats.loads_removed += 1;
                 self.stats.executed_early += 1;
                 bundle.record(d.inst.dst(), 0, inh_mbcs + 1);
-                let mut r = self.renamed(d, RenamedClass::Done, vec![], Some(base), false);
+                let mut r = self.renamed(d, RenamedClass::Done, SrcList::new(), Some(base), false);
                 r.load_removed = true;
                 r.addr_known = true;
                 Some(r)
@@ -163,7 +164,13 @@ impl Optimizer {
                 self.rat.write(dst_a, p, e, &mut self.pregs);
                 self.stats.loads_removed += 1;
                 bundle.record(d.inst.dst(), 1, inh_mbcs + 1);
-                let mut r = self.renamed(d, RenamedClass::SimpleInt, vec![base], Some(p), true);
+                let mut r = self.renamed(
+                    d,
+                    RenamedClass::SimpleInt,
+                    SrcList::one(base),
+                    Some(p),
+                    true,
+                );
                 r.load_removed = true;
                 r.addr_known = true;
                 Some(r)
@@ -188,7 +195,7 @@ impl Optimizer {
             SymValue::reg(data_view.map)
         };
 
-        let mut srcs = Vec::new();
+        let mut srcs = SrcList::new();
         if data_sym.known().is_none() {
             srcs.push(data_view.map);
         }

@@ -36,6 +36,99 @@ impl fmt::Display for PhysReg {
     }
 }
 
+/// Maximum register dependences one renamed instruction can carry (a store
+/// waits on its data and its base at most).
+pub const MAX_SRCS: usize = 2;
+
+/// An inline list of source-operand physical registers.
+///
+/// Every ISA instruction reads at most [`MAX_SRCS`] registers, so the list
+/// lives entirely in the [`crate::Renamed`] record: the rename path
+/// performs no heap allocation per instruction and the pipeline can copy
+/// dependence lists around freely.
+///
+/// # Examples
+///
+/// ```
+/// use contopt::{PhysReg, SrcList};
+/// let mut s = SrcList::new();
+/// assert!(s.is_empty());
+/// s.push(PhysReg::from_index(3));
+/// assert_eq!(s.as_slice(), &[PhysReg::from_index(3)]);
+/// assert_eq!(SrcList::one(PhysReg::from_index(3)), s);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SrcList {
+    regs: [PhysReg; MAX_SRCS],
+    len: u8,
+}
+
+impl Default for PhysReg {
+    fn default() -> PhysReg {
+        PhysReg::ZERO
+    }
+}
+
+impl SrcList {
+    /// An empty list.
+    pub fn new() -> SrcList {
+        SrcList::default()
+    }
+
+    /// A one-element list.
+    pub fn one(p: PhysReg) -> SrcList {
+        let mut s = SrcList::new();
+        s.push(p);
+        s
+    }
+
+    /// Appends a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds [`MAX_SRCS`] registers (an ISA
+    /// instruction with more sources would be a simulator bug).
+    pub fn push(&mut self, p: PhysReg) {
+        assert!(
+            (self.len as usize) < MAX_SRCS,
+            "more than {MAX_SRCS} source registers on one instruction"
+        );
+        self.regs[self.len as usize] = p;
+        self.len += 1;
+    }
+
+    /// The registers as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[PhysReg] {
+        &self.regs[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for SrcList {
+    type Target = [PhysReg];
+    fn deref(&self) -> &[PhysReg] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a SrcList {
+    type Item = &'a PhysReg;
+    type IntoIter = std::slice::Iter<'a, PhysReg>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<PhysReg> for SrcList {
+    fn from_iter<I: IntoIterator<Item = PhysReg>>(iter: I) -> SrcList {
+        let mut s = SrcList::new();
+        for p in iter {
+            s.push(p);
+        }
+        s
+    }
+}
+
 /// A reference-counted physical register file.
 ///
 /// Registers are allocated with a count of 1 and freed when their count

@@ -4,6 +4,7 @@ use crate::dyninst::DynInst;
 use crate::mem_image::MemImage;
 use contopt_isa::{Inst, MemSize, Operand, Program, Reg, STACK_TOP};
 use std::fmt;
+use std::sync::Arc;
 
 /// Error conditions the emulator can hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,7 +69,7 @@ pub struct RunSummary {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Emulator {
-    program: Program,
+    program: Arc<Program>,
     mem: MemImage,
     iregs: [u64; 32],
     fregs: [f64; 32],
@@ -80,7 +81,11 @@ pub struct Emulator {
 impl Emulator {
     /// Creates an emulator with the program's data segments loaded and the
     /// stack pointer initialized to [`STACK_TOP`].
-    pub fn new(program: Program) -> Emulator {
+    ///
+    /// Accepts either an owned [`Program`] or a shared `Arc<Program>`; the
+    /// program is immutable, so concurrent emulators can share one image.
+    pub fn new(program: impl Into<Arc<Program>>) -> Emulator {
+        let program = program.into();
         let mut mem = MemImage::new();
         for (addr, bytes) in &program.data {
             mem.write_bytes(*addr, bytes);

@@ -1,12 +1,19 @@
 //! Command-line driver regenerating the paper's tables and figures.
 //!
 //! ```text
-//! contopt-experiments [--insts N] [--json] --all
+//! contopt-experiments [--insts N] [--jobs N] [--json] --all
 //! contopt-experiments --table1 --table2 --table3 --fig6 --fig8 --fig9 --fig10 --fig11 --fig12
 //! ```
+//!
+//! The requested artifacts first declare their simulation cells into one
+//! [`Plan`]; the deduplicated plan is fanned across `--jobs` worker
+//! threads (default: `CONTOPT_JOBS` or the machine's available
+//! parallelism); the regenerators then read the filled cache, so the
+//! printed output is byte-identical at any worker count.
 
 use contopt_experiments::{
-    fig10, fig11, fig12, fig6, fig8, fig9, table1, table2, table3, Lab, DEFAULT_INSTS,
+    default_jobs, fig10, fig10_plan, fig11, fig11_plan, fig12, fig12_plan, fig6, fig6_plan, fig8,
+    fig8_plan, fig9, fig9_plan, table1, table2, table3, table3_plan, Lab, Plan, DEFAULT_INSTS,
 };
 use contopt_sim::ToJson;
 
@@ -14,23 +21,64 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: contopt-experiments [--insts N] [--json] \
+            "usage: contopt-experiments [--insts N] [--jobs N] [--json] \
              [--all | --table1 --table2 --table3 --fig6 --fig8 --fig9 --fig10 --fig11 --fig12]"
         );
         return;
     }
-    let mut insts = DEFAULT_INSTS;
-    if let Some(i) = args.iter().position(|a| a == "--insts") {
-        insts = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .expect("--insts takes a number");
-    }
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| -> u64 {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or_else(|| panic!("{flag} takes a positive number"))
+        })
+    };
+    let insts = flag_value("--insts").unwrap_or(DEFAULT_INSTS);
+    let jobs = flag_value("--jobs")
+        .map(|v| v as usize)
+        .unwrap_or_else(default_jobs);
     let json = args.iter().any(|a| a == "--json");
     let all = args.iter().any(|a| a == "--all");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
 
     let mut lab = Lab::new(insts);
+
+    // Phase 1: declare every requested artifact's cells.
+    let mut plan = Plan::new();
+    if want("--fig6") {
+        plan.merge(&fig6_plan(&lab));
+    }
+    if want("--table3") {
+        plan.merge(&table3_plan(&lab));
+    }
+    if want("--fig8") {
+        plan.merge(&fig8_plan(&lab));
+    }
+    if want("--fig9") {
+        plan.merge(&fig9_plan(&lab));
+    }
+    if want("--fig10") {
+        plan.merge(&fig10_plan(&lab));
+    }
+    if want("--fig11") {
+        plan.merge(&fig11_plan(&lab));
+    }
+    if want("--fig12") {
+        plan.merge(&fig12_plan(&lab));
+    }
+
+    // Phase 2: simulate the unique cells across the worker pool.
+    if !plan.is_empty() {
+        eprintln!(
+            "contopt-experiments: simulating {} unique cells on {} worker(s)",
+            plan.len(),
+            jobs
+        );
+        lab.execute(&plan, jobs);
+    }
+
+    // Phase 3: regenerate the artifacts from the filled cache.
     macro_rules! emit {
         ($flag:expr, $result:expr) => {
             if want($flag) {

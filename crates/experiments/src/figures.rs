@@ -4,7 +4,7 @@
 //! [`PassSet`] — the ablations are combinations of the same four pass
 //! units, not bespoke presets.
 
-use crate::lab::{Lab, SuiteMeans};
+use crate::lab::{Lab, Plan, SuiteMeans};
 use contopt_sim::workloads::Suite;
 use contopt_sim::{
     CpRa, JsonValue, MachineConfig, OptimizerConfig, Pass, PassSet, RleSf, ToJson, ValueFeedback,
@@ -30,6 +30,17 @@ fn full_passes() -> PassSet {
     ]
     .into_iter()
     .collect()
+}
+
+/// Declares `configs` — plus the shared baseline every speedup figure
+/// divides by — on the whole workload suite.
+fn suite_plan(lab: &Lab, configs: impl IntoIterator<Item = MachineConfig>) -> Plan {
+    let mut plan = Plan::new();
+    plan.config(base(), lab.workloads());
+    for cfg in configs {
+        plan.config(cfg, lab.workloads());
+    }
+    plan
 }
 
 /// Figure 6 — speedup of continuous optimization over the baseline, per
@@ -60,16 +71,21 @@ impl ToJson for Fig6 {
     }
 }
 
+/// Declares Figure 6's simulation cells.
+pub fn fig6_plan(lab: &Lab) -> Plan {
+    suite_plan(lab, [opt()])
+}
+
 /// Regenerates Figure 6.
 pub fn fig6(lab: &mut Lab) -> Fig6 {
     let ws = lab.workloads().to_vec();
     let mut rows = Vec::new();
     for w in &ws {
-        let b = lab.run("base", base(), w);
-        let o = lab.run("opt", opt(), w);
+        let b = lab.run(base(), w);
+        let o = lab.run(opt(), w);
         rows.push((w.suite.to_string(), w.name.to_string(), o.speedup_over(&b)));
     }
-    let means = lab.suite_speedups("opt", opt(), "base", base());
+    let means = lab.suite_speedups(opt(), base());
     Fig6 { rows, means }
 }
 
@@ -120,8 +136,8 @@ pub struct SuiteFigure {
 impl SuiteFigure {
     fn collect(title: &str, lab: &mut Lab, configs: &[(&str, MachineConfig)]) -> SuiteFigure {
         let mut means = Vec::new();
-        for (key, cfg) in configs {
-            means.push(lab.suite_speedups(key, *cfg, "base", base()));
+        for (_, cfg) in configs {
+            means.push(lab.suite_speedups(*cfg, base()));
         }
         let bars = [
             (
@@ -195,10 +211,8 @@ impl fmt::Display for SuiteFigure {
     }
 }
 
-/// Figure 8 — performance on fetch-bound and execution-bound machine models
-/// (all speedups relative to the default baseline).
-pub fn fig8(lab: &mut Lab) -> SuiteFigure {
-    let configs = [
+fn fig8_configs() -> Vec<(&'static str, MachineConfig)> {
+    vec![
         ("fetch bound", MachineConfig::fetch_bound()),
         (
             "fetch bound+opt",
@@ -210,32 +224,49 @@ pub fn fig8(lab: &mut Lab) -> SuiteFigure {
             "exec bound+opt",
             MachineConfig::exec_bound().with_optimizer(full_passes().into()),
         ),
-    ];
+    ]
+}
+
+/// Declares Figure 8's simulation cells.
+pub fn fig8_plan(lab: &Lab) -> Plan {
+    suite_plan(lab, fig8_configs().into_iter().map(|(_, c)| c))
+}
+
+/// Figure 8 — performance on fetch-bound and execution-bound machine models
+/// (all speedups relative to the default baseline).
+pub fn fig8(lab: &mut Lab) -> SuiteFigure {
     SuiteFigure::collect(
         "Figure 8. Performance relative to various machine configurations",
         lab,
-        &configs,
+        &fig8_configs(),
     )
+}
+
+fn fig9_configs() -> Vec<(&'static str, MachineConfig)> {
+    let feedback_alone: PassSet = [Pass::value_feedback(), Pass::early_exec()]
+        .into_iter()
+        .collect();
+    vec![
+        ("feedback", base().with_optimizer(feedback_alone.into())),
+        ("feedback+opt", opt()),
+    ]
+}
+
+/// Declares Figure 9's simulation cells.
+pub fn fig9_plan(lab: &Lab) -> Plan {
+    suite_plan(lab, fig9_configs().into_iter().map(|(_, c)| c))
 }
 
 /// Figure 9 — value feedback alone versus feedback plus optimization.
 pub fn fig9(lab: &mut Lab) -> SuiteFigure {
-    let feedback_alone: PassSet = [Pass::value_feedback(), Pass::early_exec()]
-        .into_iter()
-        .collect();
-    let configs = [
-        ("feedback", base().with_optimizer(feedback_alone.into())),
-        ("feedback+opt", opt()),
-    ];
     SuiteFigure::collect(
         "Figure 9. Continuous optimization vs. value feedback",
         lab,
-        &configs,
+        &fig9_configs(),
     )
 }
 
-/// Figure 10 — sensitivity to intra-bundle dependence depth.
-pub fn fig10(lab: &mut Lab) -> SuiteFigure {
+fn fig10_configs() -> Vec<(&'static str, MachineConfig)> {
     let mk = |add: u32, mem: u32| {
         let passes = PassSet::new()
             .with(CpRa {
@@ -250,43 +281,72 @@ pub fn fig10(lab: &mut Lab) -> SuiteFigure {
             .with(contopt_sim::EarlyExec);
         base().with_optimizer(passes.into())
     };
-    let configs = [
+    vec![
         ("depth 0", opt()),
         ("depth 1", mk(1, 0)),
         ("depth 3", mk(3, 0)),
         ("depth 3 & 1 mem", mk(3, 1)),
-    ];
+    ]
+}
+
+/// Declares Figure 10's simulation cells.
+pub fn fig10_plan(lab: &Lab) -> Plan {
+    suite_plan(lab, fig10_configs().into_iter().map(|(_, c)| c))
+}
+
+/// Figure 10 — sensitivity to intra-bundle dependence depth.
+pub fn fig10(lab: &mut Lab) -> SuiteFigure {
     SuiteFigure::collect(
         "Figure 10. Importance of processing dependent instructions in parallel",
         lab,
-        &configs,
+        &fig10_configs(),
     )
+}
+
+fn fig11_configs() -> Vec<(&'static str, MachineConfig)> {
+    let mk = |stages: u64| base().with_optimizer(full_passes().extra_stages(stages).into());
+    vec![("delay 0", mk(0)), ("delay 2", opt()), ("delay 4", mk(4))]
+}
+
+/// Declares Figure 11's simulation cells.
+pub fn fig11_plan(lab: &Lab) -> Plan {
+    suite_plan(lab, fig11_configs().into_iter().map(|(_, c)| c))
 }
 
 /// Figure 11 — sensitivity to the optimizer's extra pipeline stages.
 pub fn fig11(lab: &mut Lab) -> SuiteFigure {
-    let mk = |stages: u64| base().with_optimizer(full_passes().extra_stages(stages).into());
-    let configs = [("delay 0", mk(0)), ("delay 2", opt()), ("delay 4", mk(4))];
-    SuiteFigure::collect("Figure 11. Optimizer latency sensitivity", lab, &configs)
+    SuiteFigure::collect(
+        "Figure 11. Optimizer latency sensitivity",
+        lab,
+        &fig11_configs(),
+    )
 }
 
-/// Figure 12 — sensitivity to the value-feedback transmission delay.
-pub fn fig12(lab: &mut Lab) -> SuiteFigure {
+fn fig12_configs() -> Vec<(&'static str, MachineConfig)> {
     let mk = |delay: u64| {
         base().with_optimizer(OptimizerConfig {
             feedback_delay: delay,
             ..OptimizerConfig::default()
         })
     };
-    let configs = [
+    vec![
         ("delay 0", mk(0)),
         ("delay 1", opt()),
         ("delay 5", mk(5)),
         ("delay 10", mk(10)),
-    ];
+    ]
+}
+
+/// Declares Figure 12's simulation cells.
+pub fn fig12_plan(lab: &Lab) -> Plan {
+    suite_plan(lab, fig12_configs().into_iter().map(|(_, c)| c))
+}
+
+/// Figure 12 — sensitivity to the value-feedback transmission delay.
+pub fn fig12(lab: &mut Lab) -> SuiteFigure {
     SuiteFigure::collect(
         "Figure 12. Performance sensitivity to value feedback transmission delay",
         lab,
-        &configs,
+        &fig12_configs(),
     )
 }

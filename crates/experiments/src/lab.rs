@@ -1,14 +1,117 @@
 //! The experiment runner: simulates workloads under machine configurations
 //! and caches results so figures sharing a configuration don't re-simulate.
+//!
+//! The runner is a plan/execute engine: figures and tables *declare* their
+//! `(configuration, workload)` cells into a [`Plan`], [`Lab::execute`]
+//! dedupes the cells and fans the unique, not-yet-cached ones across
+//! scoped worker threads, and the regenerators then read the filled cache.
+//! Results are keyed by a fingerprint derived from the configuration
+//! itself ([`OptimizerConfig::normalized`](contopt_sim::OptimizerConfig::normalized)
+//! plus every machine field), so two configurations that simulate
+//! identically share one cell and no caller-supplied string key can
+//! silently collide.
 
 use contopt_sim::workloads::{suite, Suite, Workload};
 use contopt_sim::{JsonValue, MachineConfig, Report, SimSession, ToJson};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Default dynamic-instruction budget per benchmark (all workloads halt
 /// naturally below this).
 pub const DEFAULT_INSTS: u64 = 2_000_000;
+
+/// A cache key naming one simulation cell: the *behavioural fingerprint*
+/// of a machine configuration plus the workload name. The optimizer block
+/// is normalized so configurations that cannot differ in simulation
+/// compare (and hash) equal.
+type CellKey = (MachineConfig, &'static str);
+
+fn cell_key(cfg: &MachineConfig, workload: &'static str) -> CellKey {
+    let fingerprint = MachineConfig {
+        optimizer: cfg.optimizer.normalized(),
+        ..*cfg
+    };
+    (fingerprint, workload)
+}
+
+/// A declared set of `(configuration, workload)` simulation cells,
+/// deduplicated by configuration fingerprint.
+///
+/// # Examples
+///
+/// ```
+/// use contopt_experiments::Plan;
+/// use contopt_sim::MachineConfig;
+///
+/// let mut plan = Plan::new();
+/// let w = contopt_sim::workloads::build("untst").unwrap();
+/// plan.cell(MachineConfig::default_paper(), &w);
+/// plan.cell(MachineConfig::default_paper(), &w); // deduped
+/// assert_eq!(plan.len(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Plan {
+    cells: Vec<(MachineConfig, &'static str)>,
+    seen: HashSet<CellKey>,
+}
+
+impl Plan {
+    /// An empty plan.
+    pub fn new() -> Plan {
+        Plan::default()
+    }
+
+    fn insert(&mut self, cfg: MachineConfig, name: &'static str) {
+        if self.seen.insert(cell_key(&cfg, name)) {
+            self.cells.push((cfg, name));
+        }
+    }
+
+    /// Declares one cell; duplicates (by fingerprint) are ignored.
+    pub fn cell(&mut self, cfg: MachineConfig, w: &Workload) {
+        self.insert(cfg, w.name);
+    }
+
+    /// Declares `cfg` on every workload in `ws`.
+    pub fn config(&mut self, cfg: MachineConfig, ws: &[Workload]) {
+        for w in ws {
+            self.cell(cfg, w);
+        }
+    }
+
+    /// Absorbs every cell of `other`.
+    pub fn merge(&mut self, other: &Plan) {
+        for (cfg, name) in &other.cells {
+            self.insert(*cfg, name);
+        }
+    }
+
+    /// Number of unique cells declared.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells are declared.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// The default worker count for [`Lab::execute`]: the `CONTOPT_JOBS`
+/// environment variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn default_jobs() -> usize {
+    std::env::var("CONTOPT_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
 
 /// Runs simulations through [`SimSession`] and memoizes their reports.
 ///
@@ -20,14 +123,14 @@ pub const DEFAULT_INSTS: u64 = 2_000_000;
 ///
 /// let mut lab = Lab::new(2_000_000);
 /// let w = contopt_sim::workloads::build("untst").unwrap();
-/// let base = lab.run("base", MachineConfig::default_paper(), &w);
-/// let opt = lab.run("opt", MachineConfig::default_with_optimizer(), &w);
+/// let base = lab.run(MachineConfig::default_paper(), &w);
+/// let opt = lab.run(MachineConfig::default_with_optimizer(), &w);
 /// println!("untst speedup: {:.3}", opt.speedup_over(&base));
 /// ```
 pub struct Lab {
     insts: u64,
     workloads: Vec<Workload>,
-    cache: HashMap<(String, &'static str), Arc<Report>>,
+    cache: HashMap<CellKey, Arc<Report>>,
 }
 
 impl Lab {
@@ -50,50 +153,110 @@ impl Lab {
         self.insts
     }
 
-    /// Simulates `w` under `cfg`, memoized by `(key, workload name)`.
-    ///
-    /// The caller-chosen `key` must uniquely identify `cfg` within this lab.
-    pub fn run(&mut self, key: &str, cfg: MachineConfig, w: &Workload) -> Arc<Report> {
-        let k = (key.to_string(), w.name);
-        if let Some(r) = self.cache.get(&k) {
-            return Arc::clone(r);
-        }
-        let session = SimSession::builder()
+    /// The cached report for a cell, if [`run`](Self::run) or
+    /// [`execute`](Self::execute) already simulated it.
+    pub fn cached(&self, cfg: &MachineConfig, workload: &'static str) -> Option<Arc<Report>> {
+        self.cache.get(&cell_key(cfg, workload)).map(Arc::clone)
+    }
+
+    fn session(&self, cfg: MachineConfig, w: &Workload) -> SimSession {
+        SimSession::builder()
             .machine(cfg)
-            .program(w.program.clone())
+            .program(Arc::clone(&w.program))
             .insts(self.insts)
             .build()
-            .expect("lab configurations are structurally valid");
-        let report = Arc::new(session.run());
-        self.cache.insert(k, Arc::clone(&report));
+            .expect("lab configurations are structurally valid")
+    }
+
+    /// Simulates every not-yet-cached cell of `plan` across `jobs` scoped
+    /// worker threads and fills the cache. Parallelism cannot perturb
+    /// results: each cell is an independent cold-state simulation, and the
+    /// cache is keyed identically however many workers ran.
+    pub fn execute(&mut self, plan: &Plan, jobs: usize) {
+        let todo: Vec<(CellKey, SimSession)> = plan
+            .cells
+            .iter()
+            .filter_map(|(cfg, name)| {
+                let key = cell_key(cfg, name);
+                if self.cache.contains_key(&key) {
+                    return None;
+                }
+                let w = self
+                    .workloads
+                    .iter()
+                    .find(|w| w.name == *name)
+                    .unwrap_or_else(|| panic!("plan names unknown workload {name}"));
+                Some((key, self.session(*cfg, w)))
+            })
+            .collect();
+        if todo.is_empty() {
+            return;
+        }
+
+        let jobs = jobs.max(1).min(todo.len());
+        let next = AtomicUsize::new(0);
+        let mut reports: Vec<Option<Report>> = (0..todo.len()).map(|_| None).collect();
+        let done = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((_, session)) = todo.get(i) else {
+                                return out;
+                            };
+                            out.push((i, session.run()));
+                        }
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (i, report) in done {
+            reports[i] = Some(report);
+        }
+        for ((key, _), report) in todo.into_iter().zip(reports) {
+            let report = report.expect("every claimed cell produced a report");
+            self.cache.insert(key, Arc::new(report));
+        }
+    }
+
+    /// Simulates `w` under `cfg`, memoized by configuration fingerprint.
+    /// Cells already filled by [`execute`](Self::execute) return from the
+    /// cache without simulating.
+    pub fn run(&mut self, cfg: MachineConfig, w: &Workload) -> Arc<Report> {
+        let key = cell_key(&cfg, w.name);
+        if let Some(r) = self.cache.get(&key) {
+            return Arc::clone(r);
+        }
+        let report = Arc::new(self.session(cfg, w).run());
+        self.cache.insert(key, Arc::clone(&report));
         report
     }
 
     /// Runs every workload under `cfg`; returns `(workload, report)` pairs
     /// in Table 1 order.
-    pub fn run_all(&mut self, key: &str, cfg: MachineConfig) -> Vec<(Workload, Arc<Report>)> {
-        let ws = self.workloads.clone();
-        ws.into_iter()
-            .map(|w| {
-                let r = self.run(key, cfg, &w);
+    pub fn run_all(&mut self, cfg: MachineConfig) -> Vec<(Workload, Arc<Report>)> {
+        (0..self.workloads.len())
+            .map(|i| {
+                let w = self.workloads[i].clone(); // cheap: the program is shared
+                let r = self.run(cfg, &w);
                 (w, r)
             })
             .collect()
     }
 
     /// Per-suite geometric-mean speedup of `cfg` over `base_cfg`.
-    pub fn suite_speedups(
-        &mut self,
-        key: &str,
-        cfg: MachineConfig,
-        base_key: &str,
-        base_cfg: MachineConfig,
-    ) -> SuiteMeans {
+    pub fn suite_speedups(&mut self, cfg: MachineConfig, base_cfg: MachineConfig) -> SuiteMeans {
         let mut per_suite: HashMap<Suite, Vec<f64>> = HashMap::new();
-        let ws = self.workloads.clone();
-        for w in &ws {
-            let base = self.run(base_key, base_cfg, w);
-            let new = self.run(key, cfg, w);
+        for i in 0..self.workloads.len() {
+            let w = self.workloads[i].clone();
+            let base = self.run(base_cfg, &w);
+            let new = self.run(cfg, &w);
             per_suite
                 .entry(w.suite)
                 .or_default()
@@ -166,8 +329,55 @@ mod tests {
     fn lab_memoizes() {
         let mut lab = Lab::new(50_000);
         let w = contopt_sim::workloads::build("twf").unwrap();
-        let a = lab.run("base", MachineConfig::default_paper(), &w);
-        let b = lab.run("base", MachineConfig::default_paper(), &w);
+        let a = lab.run(MachineConfig::default_paper(), &w);
+        let b = lab.run(MachineConfig::default_paper(), &w);
         assert!(Arc::ptr_eq(&a, &b), "second run must come from the cache");
+    }
+
+    #[test]
+    fn cache_keys_are_config_fingerprints() {
+        // Two differently-constructed but behaviourally identical
+        // configurations must share one cell: a disabled optimizer's knob
+        // fields cannot matter.
+        let mut lab = Lab::new(50_000);
+        let w = contopt_sim::workloads::build("twf").unwrap();
+        let a_cfg = MachineConfig::default_paper();
+        let mut b_cfg = MachineConfig::default_paper();
+        b_cfg.optimizer.mbc_entries = 7; // inert: optimizer disabled
+        let a = lab.run(a_cfg, &w);
+        let b = lab.run(b_cfg, &w);
+        assert!(Arc::ptr_eq(&a, &b), "normalized configs share a cell");
+    }
+
+    #[test]
+    fn execute_fills_the_cache() {
+        let mut lab = Lab::new(50_000);
+        let w = contopt_sim::workloads::build("twf").unwrap();
+        let mut plan = Plan::new();
+        plan.cell(MachineConfig::default_paper(), &w);
+        plan.cell(MachineConfig::default_with_optimizer(), &w);
+        assert!(lab.cached(&MachineConfig::default_paper(), "twf").is_none());
+        lab.execute(&plan, 2);
+        let base = lab
+            .cached(&MachineConfig::default_paper(), "twf")
+            .expect("executed");
+        // A subsequent run() must come from the cache, not re-simulate.
+        let again = lab.run(MachineConfig::default_paper(), &w);
+        assert!(Arc::ptr_eq(&base, &again));
+    }
+
+    #[test]
+    fn plan_dedupes_and_merges() {
+        let lab = Lab::new(10_000);
+        let ws = lab.workloads();
+        let mut a = Plan::new();
+        a.config(MachineConfig::default_paper(), ws);
+        let n = a.len();
+        assert_eq!(n, ws.len());
+        let mut b = Plan::new();
+        b.config(MachineConfig::default_paper(), ws);
+        b.config(MachineConfig::default_with_optimizer(), ws);
+        a.merge(&b);
+        assert_eq!(a.len(), 2 * n, "merge dedupes shared cells");
     }
 }

@@ -21,7 +21,11 @@
 //!
 //! Everything here runs through the [`contopt_sim`] facade: the [`Lab`]
 //! builds one `SimSession` per (configuration, workload) pair and caches
-//! the unified reports, and every optimizer variant is a pass list.
+//! the unified reports keyed by configuration fingerprint, and every
+//! optimizer variant is a pass list. Figures and tables *declare* their
+//! cells up front (`fig6_plan`, `table3_plan`, …); [`Lab::execute`] fans
+//! the deduplicated plan across scoped worker threads (`--jobs N` /
+//! `CONTOPT_JOBS` on the binary) before the regenerators read the cache.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +34,11 @@ mod figures;
 mod lab;
 mod tables;
 
-pub use figures::{fig10, fig11, fig12, fig6, fig8, fig9, Fig6, SuiteFigure};
-pub use lab::{geomean, Lab, SuiteMeans, DEFAULT_INSTS};
-pub use tables::{table1, table2, table3, Table1, Table1Row, Table2, Table3, Table3Row};
+pub use figures::{
+    fig10, fig10_plan, fig11, fig11_plan, fig12, fig12_plan, fig6, fig6_plan, fig8, fig8_plan,
+    fig9, fig9_plan, Fig6, SuiteFigure,
+};
+pub use lab::{default_jobs, geomean, Lab, Plan, SuiteMeans, DEFAULT_INSTS};
+pub use tables::{
+    table1, table2, table3, table3_plan, Table1, Table1Row, Table2, Table3, Table3Row,
+};

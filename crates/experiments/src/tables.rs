@@ -1,6 +1,6 @@
 //! Regenerators for the paper's tables (1, 2, and 3).
 
-use crate::lab::Lab;
+use crate::lab::{Lab, Plan};
 use contopt_sim::emu::Emulator;
 use contopt_sim::workloads::Suite;
 use contopt_sim::{JsonValue, MachineConfig, OptStats, ToJson};
@@ -230,9 +230,16 @@ impl ToJson for Table3 {
     }
 }
 
+/// Declares Table 3's simulation cells.
+pub fn table3_plan(lab: &Lab) -> Plan {
+    let mut plan = Plan::new();
+    plan.config(MachineConfig::default_with_optimizer(), lab.workloads());
+    plan
+}
+
 /// Regenerates Table 3 from default-optimizer runs.
 pub fn table3(lab: &mut Lab) -> Table3 {
-    let runs = lab.run_all("opt", MachineConfig::default_with_optimizer());
+    let runs = lab.run_all(MachineConfig::default_with_optimizer());
     let mut rows = Vec::new();
     let mut all = OptStats::default();
     for suite in [Suite::SpecInt, Suite::SpecFp, Suite::MediaBench] {

@@ -7,7 +7,7 @@ use crate::cache::{Cache, CacheConfig, CacheStats};
 /// Defaults reproduce Table 2 of the paper:
 /// L1I 64 KB/4-way/64 B/1 cycle; L1D 32 KB/2-way/32 B/2 cycles/2 ports;
 /// unified L2 1 MB/2-way/128 B/10 cycles; memory 100 cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HierarchyConfig {
     /// L1 instruction cache geometry.
     pub l1i: CacheConfig,

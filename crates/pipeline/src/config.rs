@@ -11,7 +11,7 @@ use contopt_mem::HierarchyConfig;
 /// 20-cycle minimum branch-resolution loop, four 8-entry schedulers, a
 /// 160-instruction window, 4 simple + 1 complex integer ALUs, 2 FP ALUs,
 /// 2 address-generation units, and the three-level memory hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// Instructions fetched, decoded, and renamed per cycle.
     pub fetch_width: usize,

@@ -25,6 +25,7 @@ use contopt_isa::{ArchReg, ExecClass, Inst, Program, Reg, STACK_TOP};
 use contopt_mem::MemHierarchy;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy)]
 struct Fetched {
@@ -95,12 +96,21 @@ pub struct Machine {
     completions: BinaryHeap<Reverse<(u64, u64)>>,
     ready_at: Vec<u64>,
 
+    // Scratch buffers reused every cycle so the steady-state rename path
+    // performs no heap allocation.
+    rename_reqs: Vec<RenameReq>,
+    renamed_buf: Vec<Renamed>,
+
     stats: PipelineStats,
 }
 
 impl Machine {
     /// Builds a machine around a program with cold caches and predictors.
-    pub fn new(cfg: MachineConfig, program: Program) -> Machine {
+    ///
+    /// Accepts either an owned [`Program`] or a shared `Arc<Program>`; the
+    /// latter lets many machines (e.g. a parallel experiment sweep) share
+    /// one program image without deep-cloning it per run.
+    pub fn new(cfg: MachineConfig, program: impl Into<Arc<Program>>) -> Machine {
         let emu = Emulator::new(program);
         let opt = Optimizer::new(cfg.optimizer, cfg.preg_count, |a: ArchReg| {
             if a == ArchReg::from(Reg::SP) {
@@ -125,6 +135,8 @@ impl Machine {
             scheds: Default::default(),
             completions: BinaryHeap::new(),
             ready_at,
+            rename_reqs: Vec::new(),
+            renamed_buf: Vec::new(),
             fetch_resume_at: 0,
             mispredict_outstanding: false,
             stats: PipelineStats::default(),
@@ -318,7 +330,10 @@ impl Machine {
                 .scheduler_entries
                 .saturating_sub(self.scheds[3].len()),
         ];
-        let mut reqs: Vec<RenameReq> = Vec::new();
+        // Reuse the request/result scratch buffers across cycles (taken and
+        // restored around the loop because `dispatch` needs `&mut self`).
+        let mut reqs = std::mem::take(&mut self.rename_reqs);
+        reqs.clear();
         for f in self.fetch_queue.iter().take(self.cfg.fetch_width) {
             if f.rename_ready > self.cycle {
                 break;
@@ -344,16 +359,21 @@ impl Machine {
             });
         }
         if reqs.is_empty() {
+            self.rename_reqs = reqs;
             return;
         }
-        let renamed = self.opt.rename_bundle(self.cycle, &reqs);
-        for ren in renamed {
+        let mut renamed = std::mem::take(&mut self.renamed_buf);
+        renamed.clear();
+        self.opt.rename_bundle_into(self.cycle, &reqs, &mut renamed);
+        for ren in renamed.drain(..) {
             let f = self
                 .fetch_queue
                 .pop_front()
                 .expect("renamed what we peeked");
             self.dispatch(f, ren);
         }
+        self.rename_reqs = reqs;
+        self.renamed_buf = renamed;
     }
 
     fn dispatch(&mut self, f: Fetched, ren: Renamed) {
@@ -522,7 +542,7 @@ impl Machine {
                 let e = &mut self.rob[idx];
                 e.completed = true;
                 (
-                    e.ren.srcs.clone(),
+                    e.ren.srcs, // inline list: a plain copy, no allocation
                     e.ren.dst,
                     e.ren.dst_new,
                     e.d.result,
@@ -530,7 +550,7 @@ impl Machine {
                     e.d.inst.is_control(),
                 )
             };
-            for p in srcs {
+            for &p in &srcs {
                 self.opt.release(p);
             }
             if let (Some(dst), true) = (dst, dst_new) {
@@ -575,7 +595,7 @@ fn take(n: &mut usize) -> bool {
 }
 
 /// Convenience: build and run a machine in one call.
-pub fn simulate(cfg: MachineConfig, program: Program, max_insts: u64) -> RunReport {
+pub fn simulate(cfg: MachineConfig, program: impl Into<Arc<Program>>, max_insts: u64) -> RunReport {
     Machine::new(cfg, program).run(max_insts)
 }
 

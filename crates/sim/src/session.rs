@@ -5,6 +5,7 @@ use crate::report::Report;
 use contopt::{OptimizerConfig, Pass, PassSet};
 use contopt_isa::{Program, NUM_ARCH_REGS};
 use contopt_pipeline::{Machine, MachineConfig};
+use std::sync::Arc;
 
 /// Default dynamic-instruction budget per run.
 pub const DEFAULT_INSTS: u64 = 1_000_000;
@@ -27,7 +28,7 @@ enum OptSpec {
 enum WorkloadSpec {
     None,
     Named(String),
-    Program(Program),
+    Program(Arc<Program>),
 }
 
 /// Builder for a [`SimSession`] — the single entry point for configuring
@@ -122,9 +123,11 @@ impl SimBuilder {
         self
     }
 
-    /// Supplies an assembled program directly.
-    pub fn program(mut self, program: Program) -> SimBuilder {
-        self.workload = WorkloadSpec::Program(program);
+    /// Supplies an assembled program directly. Accepts either an owned
+    /// [`Program`] or a shared `Arc<Program>`, so callers fanning one
+    /// workload across many sessions never deep-clone the image.
+    pub fn program(mut self, program: impl Into<Arc<Program>>) -> SimBuilder {
+        self.workload = WorkloadSpec::Program(program.into());
         self
     }
 
@@ -196,10 +199,14 @@ impl SimBuilder {
 /// one program and an instruction budget. Sessions are reusable —
 /// [`run`](SimSession::run) builds a fresh cold-state machine each call,
 /// so repeated runs are deterministic and identical.
+///
+/// The program is held behind an `Arc`, so cloning a session (or running
+/// it many times, possibly from several threads — the type is
+/// `Send + Sync`) shares one immutable image instead of deep-cloning it.
 #[derive(Debug, Clone)]
 pub struct SimSession {
     cfg: MachineConfig,
-    program: Program,
+    program: Arc<Program>,
     name: Option<String>,
     insts: u64,
 }
@@ -232,7 +239,8 @@ impl SimSession {
 
     /// Runs the session on a cold machine and collects the unified report.
     pub fn run(&self) -> Report {
-        let mut report = Report::from(Machine::new(self.cfg, self.program.clone()).run(self.insts));
+        let machine = Machine::new(self.cfg, Arc::clone(&self.program));
+        let mut report = Report::from(machine.run(self.insts));
         report.insts_budget = self.insts;
         report
     }

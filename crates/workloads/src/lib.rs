@@ -34,6 +34,7 @@ mod specint;
 
 use contopt_isa::{Program, DATA_BASE};
 use std::fmt;
+use std::sync::Arc;
 
 /// Address of the 8-byte checksum every workload stores before halting.
 pub const CHECKSUM_ADDR: u64 = DATA_BASE;
@@ -69,8 +70,9 @@ pub struct Workload {
     pub description: &'static str,
     /// Suite grouping.
     pub suite: Suite,
-    /// The assembled program.
-    pub program: Program,
+    /// The assembled program, shared so that cloning a workload (or
+    /// handing it to many concurrent simulations) never copies the image.
+    pub program: Arc<Program>,
 }
 
 macro_rules! workload {
@@ -79,7 +81,7 @@ macro_rules! workload {
             name: $name,
             description: $desc,
             suite: $suite,
-            program: $builder(),
+            program: Arc::new($builder()),
         }
     };
 }

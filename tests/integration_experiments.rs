@@ -3,10 +3,10 @@
 //! reproduces the qualitative claims of the paper's evaluation section.
 
 use contopt_experiments::{
-    fig10, fig11, fig12, fig6, fig8, fig9, geomean, table1, table2, table3, Lab,
+    fig10, fig11, fig12, fig6, fig6_plan, fig8, fig9, geomean, table1, table2, table3, Lab,
 };
 use contopt_sim::workloads::Suite;
-use contopt_sim::ToJson;
+use contopt_sim::{MachineConfig, ToJson};
 
 const INSTS: u64 = 60_000;
 
@@ -179,6 +179,41 @@ fn results_serialize_to_json() {
     assert!(t.to_json().to_string().contains("gshare"));
     // Pretty output stays valid-looking and indented.
     assert!(t.to_json().pretty().contains("\n  \"rows\": ["));
+}
+
+#[test]
+fn parallel_execution_is_deterministic() {
+    // The same plan executed on one worker and on four must fill the cache
+    // with byte-identical reports for every cell, and the figures
+    // regenerated from either cache must serialize identically.
+    let mut lab1 = Lab::new(30_000);
+    let plan1 = fig6_plan(&lab1);
+    lab1.execute(&plan1, 1);
+    let mut lab4 = Lab::new(30_000);
+    let plan4 = fig6_plan(&lab4);
+    lab4.execute(&plan4, 4);
+
+    let configs = [
+        MachineConfig::default_paper(),
+        MachineConfig::default_with_optimizer(),
+    ];
+    for cfg in configs {
+        for w in lab1.workloads().to_vec() {
+            let a = lab1.cached(&cfg, w.name).expect("jobs=1 simulated cell");
+            let b = lab4.cached(&cfg, w.name).expect("jobs=4 simulated cell");
+            assert_eq!(
+                a.to_json().to_string(),
+                b.to_json().to_string(),
+                "{} diverged across worker counts",
+                w.name
+            );
+        }
+    }
+    assert_eq!(
+        fig6(&mut lab1).to_json().to_string(),
+        fig6(&mut lab4).to_json().to_string(),
+        "figure output must not depend on the worker count"
+    );
 }
 
 #[test]

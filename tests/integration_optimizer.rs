@@ -8,9 +8,10 @@ use contopt_sim::{
     sym_add, sym_add_imm, sym_shl, sym_sub, MachineConfig, OptimizerConfig, PhysReg, Report,
     SimSession, SymValue,
 };
+use std::sync::Arc;
 
 /// Runs `p` under `cfg` through the `SimSession` facade.
-fn run_cfg(cfg: MachineConfig, p: Program, insts: u64) -> Report {
+fn run_cfg(cfg: MachineConfig, p: impl Into<Arc<Program>>, insts: u64) -> Report {
     SimSession::builder()
         .machine(cfg)
         .program(p)
@@ -20,7 +21,7 @@ fn run_cfg(cfg: MachineConfig, p: Program, insts: u64) -> Report {
         .run()
 }
 
-fn run_opt(p: Program) -> Report {
+fn run_opt(p: impl Into<Arc<Program>>) -> Report {
     run_cfg(MachineConfig::default_with_optimizer(), p, 1_000_000)
 }
 

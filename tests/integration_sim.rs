@@ -24,6 +24,23 @@ fn tiny_program() -> Program {
     a.finish().unwrap()
 }
 
+#[test]
+fn session_reuse_yields_byte_identical_reports() {
+    // Guards the shared-`Arc<Program>` plumbing: repeated runs of one
+    // session must not observe any hidden mutable state.
+    let s = SimSession::builder()
+        .workload("twf")
+        .insts(30_000)
+        .build()
+        .unwrap();
+    let a = s.run().to_json().to_string();
+    let b = s.run().to_json().to_string();
+    assert_eq!(a, b, "second run diverged from the first");
+    // Cloning the session shares the program image rather than copying it.
+    let c = s.clone();
+    assert!(std::ptr::eq(s.program(), c.program()));
+}
+
 // ---- validation -----------------------------------------------------------
 
 #[test]

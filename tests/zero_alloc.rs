@@ -1,0 +1,93 @@
+//! Regression test for the allocation-free simulation hot loop: steady-state
+//! `Machine::run` must not allocate per cycle (the rename-request batch, the
+//! renamed-bundle buffer, and the completion-path dependence lists are all
+//! reused scratch). The test installs a counting allocator and checks that
+//! total allocations grow sub-linearly in the simulated instruction count.
+//!
+//! This file is its own test binary with exactly one test so no concurrent
+//! test can perturb the global counter.
+
+use contopt_sim::isa::{r, Asm, Program};
+use contopt_sim::{MachineConfig, SimSession};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`, only counting calls.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A loop whose body never touches new memory pages, so every allocation
+/// past warm-up would have to come from the per-cycle simulation path.
+fn sum_loop(iters: i64) -> Program {
+    let mut a = Asm::new();
+    let arr = a.data_quads(&[3, 5, 7, 9]);
+    a.li(r(1), arr as i64);
+    a.li(r(2), iters);
+    a.li(r(3), 0);
+    a.label("loop");
+    a.ldq(r(4), r(1), 0);
+    a.addq(r(3), r(4), r(3));
+    a.stq(r(3), r(1), 8);
+    a.subq(r(2), 1, r(2));
+    a.bne(r(2), "loop");
+    a.halt();
+    a.finish().unwrap()
+}
+
+fn allocs_during_run(iters: i64, cfg: MachineConfig) -> u64 {
+    let session = SimSession::builder()
+        .machine(cfg)
+        .program(sum_loop(iters))
+        .insts(10_000_000)
+        .build()
+        .unwrap();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = session.run();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(report.pipeline.retired, 3 + iters as u64 * 5 + 1);
+    after - before
+}
+
+#[test]
+fn steady_state_simulation_does_not_allocate_per_cycle() {
+    for cfg in [
+        MachineConfig::default_paper(),
+        MachineConfig::default_with_optimizer(),
+    ] {
+        // Warm up lazy one-time state so both measurements start equal.
+        allocs_during_run(10, cfg);
+        let short = allocs_during_run(1_000, cfg);
+        let long = allocs_during_run(50_000, cfg);
+        // 49,000 extra loop iterations are ~245,000 extra instructions and
+        // several hundred thousand extra cycles. Anything that allocates per
+        // cycle (or per instruction) would add that many allocations; the
+        // only growth allowed is amortized capacity doubling in the ROB /
+        // queues / emulator page map, which is logarithmic.
+        assert!(
+            long < short + 200,
+            "per-cycle allocation detected (opt={}): {short} allocs for 1k \
+             iterations vs {long} for 50k",
+            cfg.optimizer.enabled
+        );
+    }
+}
