@@ -1,5 +1,64 @@
 //! Optimizer configuration knobs.
 
+use std::fmt;
+
+/// One scalar configuration field value: the lossless bridge between the
+/// config structs and external representations such as the JSON scenario
+/// files (`contopt_sim::Scenario`). Every field of [`OptimizerConfig`] is
+/// one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigScalar {
+    /// A boolean switch.
+    Bool(bool),
+    /// An unsigned integer knob.
+    UInt(u64),
+}
+
+impl ConfigScalar {
+    /// The name of the variant, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ConfigScalar::Bool(_) => "bool",
+            ConfigScalar::UInt(_) => "unsigned integer",
+        }
+    }
+}
+
+/// A failed [`OptimizerConfig::set_field`]-style update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigFieldError {
+    /// No field with that name exists.
+    UnknownField(String),
+    /// The value's type does not match the field's.
+    WrongType {
+        /// The field being set.
+        field: &'static str,
+        /// The type the field requires.
+        expected: &'static str,
+    },
+    /// The value does not fit the field's native width.
+    OutOfRange {
+        /// The field being set.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigFieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigFieldError::UnknownField(name) => write!(f, "unknown config field {name:?}"),
+            ConfigFieldError::WrongType { field, expected } => {
+                write!(f, "config field {field:?} takes a {expected}")
+            }
+            ConfigFieldError::OutOfRange { field } => {
+                write!(f, "value out of range for config field {field:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigFieldError {}
+
 /// Configuration of the continuous optimizer.
 ///
 /// Defaults reproduce the paper's default optimizer (Table 2 plus §4.2):
@@ -123,6 +182,96 @@ impl OptimizerConfig {
         self.add_chain_depth + 1
     }
 
+    /// Every field as a `(name, value)` pair, in declaration order — the
+    /// serialization half of the scenario-file bridge. [`set_field`]
+    /// accepts exactly these names, so
+    /// `fields()` → `set_field` round-trips losslessly.
+    ///
+    /// [`set_field`]: Self::set_field
+    pub fn fields(&self) -> [(&'static str, ConfigScalar); 14] {
+        use ConfigScalar::{Bool, UInt};
+        [
+            ("enabled", Bool(self.enabled)),
+            ("optimize", Bool(self.optimize)),
+            ("value_feedback", Bool(self.value_feedback)),
+            ("feedback_delay", UInt(self.feedback_delay)),
+            ("extra_stages", UInt(self.extra_stages)),
+            ("add_chain_depth", UInt(self.add_chain_depth as u64)),
+            ("mem_chain_depth", UInt(self.mem_chain_depth as u64)),
+            ("mbc_entries", UInt(self.mbc_entries as u64)),
+            (
+                "flush_mbc_on_unknown_store",
+                Bool(self.flush_mbc_on_unknown_store),
+            ),
+            ("enable_rle_sf", Bool(self.enable_rle_sf)),
+            ("enable_reassociation", Bool(self.enable_reassociation)),
+            (
+                "enable_branch_inference",
+                Bool(self.enable_branch_inference),
+            ),
+            ("enable_early_exec", Bool(self.enable_early_exec)),
+            ("discrete_interval", UInt(self.discrete_interval)),
+        ]
+    }
+
+    /// Sets one field by name — the deserialization half of the
+    /// scenario-file bridge. Unknown names, type mismatches, and values
+    /// exceeding the field's native width are typed errors, never panics.
+    pub fn set_field(&mut self, field: &str, value: ConfigScalar) -> Result<(), ConfigFieldError> {
+        fn bool_of(field: &'static str, value: ConfigScalar) -> Result<bool, ConfigFieldError> {
+            match value {
+                ConfigScalar::Bool(b) => Ok(b),
+                _ => Err(ConfigFieldError::WrongType {
+                    field,
+                    expected: "bool",
+                }),
+            }
+        }
+        fn u64_of(field: &'static str, value: ConfigScalar) -> Result<u64, ConfigFieldError> {
+            match value {
+                ConfigScalar::UInt(n) => Ok(n),
+                _ => Err(ConfigFieldError::WrongType {
+                    field,
+                    expected: "unsigned integer",
+                }),
+            }
+        }
+        fn u32_of(field: &'static str, value: ConfigScalar) -> Result<u32, ConfigFieldError> {
+            u64_of(field, value)?
+                .try_into()
+                .map_err(|_| ConfigFieldError::OutOfRange { field })
+        }
+        fn usize_of(field: &'static str, value: ConfigScalar) -> Result<usize, ConfigFieldError> {
+            u64_of(field, value)?
+                .try_into()
+                .map_err(|_| ConfigFieldError::OutOfRange { field })
+        }
+        match field {
+            "enabled" => self.enabled = bool_of("enabled", value)?,
+            "optimize" => self.optimize = bool_of("optimize", value)?,
+            "value_feedback" => self.value_feedback = bool_of("value_feedback", value)?,
+            "feedback_delay" => self.feedback_delay = u64_of("feedback_delay", value)?,
+            "extra_stages" => self.extra_stages = u64_of("extra_stages", value)?,
+            "add_chain_depth" => self.add_chain_depth = u32_of("add_chain_depth", value)?,
+            "mem_chain_depth" => self.mem_chain_depth = u32_of("mem_chain_depth", value)?,
+            "mbc_entries" => self.mbc_entries = usize_of("mbc_entries", value)?,
+            "flush_mbc_on_unknown_store" => {
+                self.flush_mbc_on_unknown_store = bool_of("flush_mbc_on_unknown_store", value)?
+            }
+            "enable_rle_sf" => self.enable_rle_sf = bool_of("enable_rle_sf", value)?,
+            "enable_reassociation" => {
+                self.enable_reassociation = bool_of("enable_reassociation", value)?
+            }
+            "enable_branch_inference" => {
+                self.enable_branch_inference = bool_of("enable_branch_inference", value)?
+            }
+            "enable_early_exec" => self.enable_early_exec = bool_of("enable_early_exec", value)?,
+            "discrete_interval" => self.discrete_interval = u64_of("discrete_interval", value)?,
+            other => return Err(ConfigFieldError::UnknownField(other.to_string())),
+        }
+        Ok(())
+    }
+
     /// The canonical form of this configuration: fields that cannot affect
     /// behaviour under the master switches are reset to their defaults, so
     /// two configurations that simulate identically compare equal.
@@ -223,5 +372,63 @@ mod tests {
         assert_eq!(c.max_serial_adds(), 1);
         c.add_chain_depth = 3;
         assert_eq!(c.max_serial_adds(), 4);
+    }
+
+    #[test]
+    fn field_bridge_round_trips_every_field() {
+        // A config differing from baseline in every field: replaying its
+        // fields() onto a baseline must reproduce it exactly.
+        let src = OptimizerConfig {
+            enabled: true,
+            optimize: true,
+            value_feedback: true,
+            feedback_delay: 5,
+            extra_stages: 4,
+            add_chain_depth: 3,
+            mem_chain_depth: 1,
+            mbc_entries: 64,
+            flush_mbc_on_unknown_store: true,
+            enable_rle_sf: true,
+            enable_reassociation: true,
+            enable_branch_inference: true,
+            enable_early_exec: true,
+            discrete_interval: 256,
+        };
+        let mut dst = OptimizerConfig::baseline();
+        for (name, value) in src.fields() {
+            dst.set_field(name, value).unwrap();
+        }
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn field_bridge_errors_are_typed() {
+        let mut c = OptimizerConfig::default();
+        assert_eq!(
+            c.set_field("frobnicate", ConfigScalar::Bool(true)),
+            Err(ConfigFieldError::UnknownField("frobnicate".into()))
+        );
+        assert_eq!(
+            c.set_field("enabled", ConfigScalar::UInt(1)),
+            Err(ConfigFieldError::WrongType {
+                field: "enabled",
+                expected: "bool"
+            })
+        );
+        assert_eq!(
+            c.set_field("mbc_entries", ConfigScalar::Bool(false)),
+            Err(ConfigFieldError::WrongType {
+                field: "mbc_entries",
+                expected: "unsigned integer"
+            })
+        );
+        assert_eq!(
+            c.set_field("add_chain_depth", ConfigScalar::UInt(u64::MAX)),
+            Err(ConfigFieldError::OutOfRange {
+                field: "add_chain_depth"
+            })
+        );
+        // Failed updates leave the config untouched.
+        assert_eq!(c, OptimizerConfig::default());
     }
 }

@@ -97,7 +97,7 @@ mod rat;
 mod stats;
 mod symval;
 
-pub use config::OptimizerConfig;
+pub use config::{ConfigFieldError, ConfigScalar, OptimizerConfig};
 pub use feedback::{Feedback, FeedbackQueue};
 pub use mbc::{Mbc, MbcStats};
 pub use optimizer::{Optimizer, RenameReq, Renamed, RenamedClass};

@@ -1,30 +1,43 @@
-//! Command-line driver regenerating the paper's tables and figures.
+//! Command-line driver regenerating the paper's tables and figures, and
+//! executing checked-in scenario files against golden reports.
 //!
 //! ```text
 //! contopt-experiments [--insts N] [--jobs N] [--json] --all
 //! contopt-experiments --table1 --table2 --table3 --fig6 --fig8 --fig9 --fig10 --fig11 --fig12
+//! contopt-experiments --scenario scenarios/fig9.json [--jobs N]
+//! contopt-experiments --scenario scenarios/smoke.json --record   # pin goldens
+//! contopt-experiments --scenario scenarios/smoke.json --check    # fail on drift
+//! contopt-experiments --validate [FILE...]        # parse-check JSON artifacts
+//! contopt-experiments --emit-scenarios            # regenerate scenarios/*.json
 //! ```
 //!
 //! The requested artifacts first declare their simulation cells into one
 //! [`Plan`]; the deduplicated plan is fanned across `--jobs` worker
 //! threads (default: `CONTOPT_JOBS` or the machine's available
 //! parallelism); the regenerators then read the filled cache, so the
-//! printed output is byte-identical at any worker count.
+//! printed output is byte-identical at any worker count. Scenario files
+//! run the same way, except each carries its own pinned instruction
+//! budget (`--insts` does not apply to them).
 
 use contopt_experiments::{
-    default_jobs, fig10, fig10_plan, fig11, fig11_plan, fig12, fig12_plan, fig6, fig6_plan, fig8,
-    fig8_plan, fig9, fig9_plan, table1, table2, table3, table3_plan, Lab, Plan, DEFAULT_INSTS,
+    builtin_scenarios, check_goldens, default_jobs, fig10, fig10_plan, fig11, fig11_plan, fig12,
+    fig12_plan, fig6, fig6_plan, fig8, fig8_plan, fig9, fig9_plan, record_goldens, scenario_plan,
+    table1, table2, table3, table3_plan, Lab, Plan, DEFAULT_INSTS,
 };
-use contopt_sim::ToJson;
+use contopt_sim::{JsonValue, Scenario, ToJson};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 
-fn main() {
+const USAGE: &str = "usage: contopt-experiments [--insts N] [--jobs N] [--json] \
+     [--all | --table1 --table2 --table3 --fig6 --fig8 --fig9 --fig10 --fig11 --fig12] \
+     [--scenario FILE]... [--record | --check] [--goldens DIR] \
+     [--validate [FILE...]] [--emit-scenarios] [--scenarios-dir DIR]";
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!(
-            "usage: contopt-experiments [--insts N] [--jobs N] [--json] \
-             [--all | --table1 --table2 --table3 --fig6 --fig8 --fig9 --fig10 --fig11 --fig12]"
-        );
-        return;
+        eprintln!("{USAGE}");
+        return ExitCode::SUCCESS;
     }
     let flag_value = |flag: &str| {
         args.iter().position(|a| a == flag).map(|i| -> u64 {
@@ -34,11 +47,41 @@ fn main() {
                 .unwrap_or_else(|| panic!("{flag} takes a positive number"))
         })
     };
+    let string_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .unwrap_or_else(|| panic!("{flag} takes a value"))
+                .clone()
+        })
+    };
     let insts = flag_value("--insts").unwrap_or(DEFAULT_INSTS);
     let jobs = flag_value("--jobs")
         .map(|v| v as usize)
         .unwrap_or_else(default_jobs);
     let json = args.iter().any(|a| a == "--json");
+    let scenarios_dir = string_value("--scenarios-dir").unwrap_or_else(|| "scenarios".into());
+    let goldens_dir = PathBuf::from(string_value("--goldens").unwrap_or_else(|| "goldens".into()));
+
+    if args.iter().any(|a| a == "--emit-scenarios") {
+        return emit_scenarios(Path::new(&scenarios_dir));
+    }
+    if args.iter().any(|a| a == "--validate") {
+        return validate(&args, Path::new(&scenarios_dir));
+    }
+
+    let scenario_files: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--scenario")
+        .map(|(i, _)| args.get(i + 1).expect("--scenario takes a file path"))
+        .collect();
+    if !scenario_files.is_empty() {
+        let record = args.iter().any(|a| a == "--record");
+        let check = args.iter().any(|a| a == "--check");
+        return run_scenarios(&scenario_files, jobs, record, check, &goldens_dir, json);
+    }
+
     let all = args.iter().any(|a| a == "--all");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
 
@@ -102,4 +145,225 @@ fn main() {
     emit!("--fig10", fig10(&mut lab));
     emit!("--fig11", fig11(&mut lab));
     emit!("--fig12", fig12(&mut lab));
+    ExitCode::SUCCESS
+}
+
+/// Writes every built-in scenario to `dir` in canonical form.
+fn emit_scenarios(dir: &Path) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("contopt-experiments: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for sc in builtin_scenarios() {
+        let path = dir.join(format!("{}.json", sc.name));
+        if let Err(e) = std::fs::write(&path, sc.canonical_json()) {
+            eprintln!("contopt-experiments: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parse-checks JSON artifacts: the files listed after `--validate`, or
+/// (with none listed) every `<scenarios-dir>/*.json` plus
+/// `BENCH_throughput.json`. Scenario files get full semantic validation;
+/// other JSON files must merely parse.
+fn validate(args: &[String], scenarios_dir: &Path) -> ExitCode {
+    let pos = args.iter().position(|a| a == "--validate").unwrap();
+    let mut files: Vec<PathBuf> = args[pos + 1..]
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .collect();
+    if files.is_empty() {
+        match std::fs::read_dir(scenarios_dir) {
+            Ok(entries) => {
+                let mut found: Vec<PathBuf> = entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                    .collect();
+                found.sort();
+                files.extend(found);
+            }
+            Err(e) => {
+                eprintln!(
+                    "contopt-experiments: cannot list {}: {e}",
+                    scenarios_dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        let bench = Path::new("BENCH_throughput.json");
+        if bench.exists() {
+            files.push(bench.to_path_buf());
+        }
+    }
+    if files.is_empty() {
+        eprintln!("contopt-experiments: --validate found no JSON files");
+        return ExitCode::FAILURE;
+    }
+    // Compare canonicalized parents so `./scenarios/x.json`, absolute
+    // paths, and trailing-slash `--scenarios-dir` spellings all still get
+    // full semantic validation, not just a JSON parse.
+    let canonical_scenarios = std::fs::canonicalize(scenarios_dir).ok();
+    let mut failed = false;
+    for path in &files {
+        let in_scenarios = match (
+            path.parent().and_then(|p| std::fs::canonicalize(p).ok()),
+            &canonical_scenarios,
+        ) {
+            (Some(parent), Some(dir)) => parent == *dir,
+            _ => path.parent() == Some(scenarios_dir),
+        };
+        let result = if in_scenarios {
+            Scenario::load(path).map(|_| ()).map_err(|e| e.to_string())
+        } else {
+            std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| {
+                    JsonValue::parse(&text)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                })
+        };
+        match result {
+            Ok(()) => println!("ok       {}", path.display()),
+            Err(e) => {
+                failed = true;
+                println!("INVALID  {}: {e}", path.display());
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Loads, executes, and (optionally) records or checks scenarios.
+fn run_scenarios(
+    files: &[&String],
+    jobs: usize,
+    record: bool,
+    check: bool,
+    goldens_dir: &Path,
+    json: bool,
+) -> ExitCode {
+    if record && check {
+        eprintln!("contopt-experiments: --record and --check are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    let mut any_drift = false;
+    for file in files {
+        let sc = match Scenario::load(file) {
+            Ok(sc) => sc,
+            Err(e) => {
+                eprintln!("contopt-experiments: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let plan = match scenario_plan(&sc) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("contopt-experiments: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Each scenario pins its own instruction budget, so each gets its
+        // own lab; the plan still dedupes and parallelizes within it.
+        let mut lab = Lab::new(sc.insts);
+        eprintln!(
+            "contopt-experiments: scenario {:?}: simulating {} unique cells on {} worker(s)",
+            sc.name,
+            plan.len(),
+            jobs
+        );
+        lab.execute(&plan, jobs);
+
+        let outcome = if record {
+            record_goldens(&mut lab, &sc, goldens_dir).map(|written| {
+                for path in &written {
+                    println!("recorded {}", path.display());
+                }
+            })
+        } else if check {
+            check_goldens(&mut lab, &sc, goldens_dir).map(|drifts| {
+                if drifts.is_empty() {
+                    println!("scenario {:?}: goldens match", sc.name);
+                } else {
+                    any_drift = true;
+                    for d in &drifts {
+                        println!("scenario {:?}: {d}", sc.name);
+                    }
+                }
+            })
+        } else {
+            print_scenario(&mut lab, &sc, json).map_err(contopt_experiments::CellError::Scenario)
+        };
+        if let Err(e) = outcome {
+            eprintln!("contopt-experiments: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if any_drift {
+        eprintln!(
+            "contopt-experiments: golden drift detected; re-record intentionally with --record"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Prints per-cell results of a scenario run (no goldens involved).
+fn print_scenario(
+    lab: &mut Lab,
+    sc: &Scenario,
+    json: bool,
+) -> Result<(), contopt_sim::ScenarioError> {
+    if json {
+        let cells: Vec<JsonValue> = {
+            let mut out = Vec::new();
+            for cfg in &sc.configs {
+                for w in cfg.resolved_workloads()? {
+                    let r = lab.run(cfg.machine, &w);
+                    out.push(JsonValue::obj([
+                        ("config", cfg.label.as_str().into()),
+                        ("workload", w.name.into()),
+                        ("report", r.to_json()),
+                    ]));
+                }
+            }
+            out
+        };
+        let doc = JsonValue::obj([
+            ("scenario", sc.name.as_str().into()),
+            ("insts", sc.insts.into()),
+            ("cells", JsonValue::arr(cells)),
+        ]);
+        println!("{}", doc.pretty());
+        return Ok(());
+    }
+    println!("Scenario {:?} ({} insts/cell)", sc.name, sc.insts);
+    println!(
+        "{:<18} {:<8} {:>12} {:>12} {:>8}",
+        "config", "workload", "cycles", "retired", "IPC"
+    );
+    for cfg in &sc.configs {
+        for w in cfg.resolved_workloads()? {
+            let r = lab.run(cfg.machine, &w);
+            println!(
+                "{:<18} {:<8} {:>12} {:>12} {:>8.3}",
+                cfg.label,
+                w.name,
+                r.pipeline.cycles,
+                r.pipeline.retired,
+                r.ipc()
+            );
+        }
+    }
+    Ok(())
 }

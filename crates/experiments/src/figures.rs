@@ -11,11 +11,11 @@ use contopt_sim::{
 };
 use std::fmt;
 
-fn base() -> MachineConfig {
+pub(crate) fn base() -> MachineConfig {
     MachineConfig::default_paper()
 }
 
-fn opt() -> MachineConfig {
+pub(crate) fn opt() -> MachineConfig {
     MachineConfig::default_with_optimizer()
 }
 
@@ -211,7 +211,7 @@ impl fmt::Display for SuiteFigure {
     }
 }
 
-fn fig8_configs() -> Vec<(&'static str, MachineConfig)> {
+pub(crate) fn fig8_configs() -> Vec<(&'static str, MachineConfig)> {
     vec![
         ("fetch bound", MachineConfig::fetch_bound()),
         (
@@ -242,7 +242,7 @@ pub fn fig8(lab: &mut Lab) -> SuiteFigure {
     )
 }
 
-fn fig9_configs() -> Vec<(&'static str, MachineConfig)> {
+pub(crate) fn fig9_configs() -> Vec<(&'static str, MachineConfig)> {
     let feedback_alone: PassSet = [Pass::value_feedback(), Pass::early_exec()]
         .into_iter()
         .collect();
@@ -266,7 +266,7 @@ pub fn fig9(lab: &mut Lab) -> SuiteFigure {
     )
 }
 
-fn fig10_configs() -> Vec<(&'static str, MachineConfig)> {
+pub(crate) fn fig10_configs() -> Vec<(&'static str, MachineConfig)> {
     let mk = |add: u32, mem: u32| {
         let passes = PassSet::new()
             .with(CpRa {
@@ -303,7 +303,7 @@ pub fn fig10(lab: &mut Lab) -> SuiteFigure {
     )
 }
 
-fn fig11_configs() -> Vec<(&'static str, MachineConfig)> {
+pub(crate) fn fig11_configs() -> Vec<(&'static str, MachineConfig)> {
     let mk = |stages: u64| base().with_optimizer(full_passes().extra_stages(stages).into());
     vec![("delay 0", mk(0)), ("delay 2", opt()), ("delay 4", mk(4))]
 }
@@ -322,7 +322,7 @@ pub fn fig11(lab: &mut Lab) -> SuiteFigure {
     )
 }
 
-fn fig12_configs() -> Vec<(&'static str, MachineConfig)> {
+pub(crate) fn fig12_configs() -> Vec<(&'static str, MachineConfig)> {
     let mk = |delay: u64| {
         base().with_optimizer(OptimizerConfig {
             feedback_delay: delay,

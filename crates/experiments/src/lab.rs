@@ -96,6 +96,18 @@ impl Plan {
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
     }
+
+    /// The deduplicated cell fingerprints (normalized configuration plus
+    /// workload name), in declaration order. Two plans that would simulate
+    /// the same cells — however their configurations were constructed —
+    /// yield equal fingerprint sets; the scenario round-trip tests rely on
+    /// this to prove checked-in files agree with the built-in plans.
+    pub fn fingerprints(&self) -> Vec<(MachineConfig, &'static str)> {
+        self.cells
+            .iter()
+            .map(|(cfg, name)| cell_key(cfg, name))
+            .collect()
+    }
 }
 
 /// The default worker count for [`Lab::execute`]: the `CONTOPT_JOBS`

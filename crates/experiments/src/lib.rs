@@ -26,12 +26,20 @@
 //! cells up front (`fig6_plan`, `table3_plan`, …); [`Lab::execute`] fans
 //! the deduplicated plan across scoped worker threads (`--jobs N` /
 //! `CONTOPT_JOBS` on the binary) before the regenerators read the cache.
+//!
+//! The same cells also live as checked-in `scenarios/*.json` files
+//! ([`contopt_sim::Scenario`]): [`scenario_plan`] lowers a parsed file to
+//! a [`Plan`], [`builtin_scenarios`] regenerates the canonical files from
+//! the figure constructors, and [`record_goldens`]/[`check_goldens`] pin
+//! per-cell reports under `goldens/` so result drift fails CI
+//! (`--scenario … --record/--check` on the binary).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod figures;
 mod lab;
+mod scenario;
 mod tables;
 
 pub use figures::{
@@ -39,6 +47,10 @@ pub use figures::{
     fig9, fig9_plan, Fig6, SuiteFigure,
 };
 pub use lab::{default_jobs, geomean, Lab, Plan, SuiteMeans, DEFAULT_INSTS};
+pub use scenario::{
+    builtin_scenarios, check_goldens, golden_path, record_goldens, scenario_plan, smoke_scenario,
+    CellError, DriftKind, GoldenDrift,
+};
 pub use tables::{
     table1, table2, table3, table3_plan, Table1, Table1Row, Table2, Table3, Table3Row,
 };

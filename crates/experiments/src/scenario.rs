@@ -1,0 +1,308 @@
+//! Scenario execution and the golden-report regression harness.
+//!
+//! This module connects the checked-in [`Scenario`] files to the parallel
+//! [`Lab`] engine and pins their results:
+//!
+//! * [`scenario_plan`] lowers a scenario to the same deduplicated
+//!   [`Plan`] the built-in figures declare;
+//! * [`builtin_scenarios`] regenerates the paper's figure and table cells
+//!   as scenario values, so `scenarios/*.json` and the Rust plans can be
+//!   proven to agree byte-for-byte;
+//! * [`record_goldens`] / [`check_goldens`] write and byte-compare one
+//!   canonical [`Report`](contopt_sim::Report) JSON file per simulation
+//!   cell under `goldens/`, turning any result drift into a CI failure.
+
+use crate::figures::{
+    base, fig10_configs, fig11_configs, fig12_configs, fig8_configs, fig9_configs, opt,
+};
+use crate::lab::{Lab, Plan, DEFAULT_INSTS};
+use contopt_sim::{MachineConfig, Scenario, ScenarioConfig, ScenarioError, ALL_WORKLOADS};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lowers a scenario to a deduplicated simulation [`Plan`].
+pub fn scenario_plan(sc: &Scenario) -> Result<Plan, ScenarioError> {
+    let mut plan = Plan::new();
+    for cfg in &sc.configs {
+        for w in cfg.resolved_workloads()? {
+            plan.cell(cfg.machine, &w);
+        }
+    }
+    Ok(plan)
+}
+
+/// Builds one scenario from `(label, machine)` pairs on the whole suite.
+fn suite_scenario(
+    name: &str,
+    insts: u64,
+    configs: impl IntoIterator<Item = (&'static str, MachineConfig)>,
+) -> Scenario {
+    Scenario {
+        name: name.to_string(),
+        insts,
+        configs: configs
+            .into_iter()
+            .map(|(label, machine)| ScenarioConfig {
+                label: label.to_string(),
+                machine,
+                workloads: vec![ALL_WORKLOADS.to_string()],
+            })
+            .collect(),
+    }
+}
+
+/// The small CI gate scenario: baseline and optimized machines on two
+/// fast benchmarks at a reduced budget.
+pub fn smoke_scenario() -> Scenario {
+    Scenario {
+        name: "smoke".to_string(),
+        insts: 50_000,
+        configs: [("baseline", base()), ("optimized", opt())]
+            .into_iter()
+            .map(|(label, machine)| ScenarioConfig {
+                label: label.to_string(),
+                machine,
+                workloads: vec!["twf".to_string(), "untst".to_string()],
+            })
+            .collect(),
+    }
+}
+
+/// Every checked-in scenario, regenerated from the same configuration
+/// constructors the built-in figure plans use. `--emit-scenarios` writes
+/// these to `scenarios/`, and the round-trip tests assert the files on
+/// disk match them byte-for-byte — so code and files provably agree.
+pub fn builtin_scenarios() -> Vec<Scenario> {
+    let with_baseline = |configs: Vec<(&'static str, MachineConfig)>| {
+        std::iter::once(("baseline", base())).chain(configs)
+    };
+    vec![
+        smoke_scenario(),
+        suite_scenario(
+            "fig6",
+            DEFAULT_INSTS,
+            [("baseline", base()), ("optimized", opt())],
+        ),
+        suite_scenario("fig8", DEFAULT_INSTS, with_baseline(fig8_configs())),
+        suite_scenario("fig9", DEFAULT_INSTS, with_baseline(fig9_configs())),
+        suite_scenario("fig10", DEFAULT_INSTS, with_baseline(fig10_configs())),
+        suite_scenario("fig11", DEFAULT_INSTS, with_baseline(fig11_configs())),
+        suite_scenario("fig12", DEFAULT_INSTS, with_baseline(fig12_configs())),
+        suite_scenario("table3", DEFAULT_INSTS, [("optimized", opt())]),
+    ]
+}
+
+/// Maps a scenario/label/workload name onto a filesystem-safe stem.
+fn file_stem(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The golden file pinning one simulation cell:
+/// `<dir>/<scenario>/<label>/<workload>.json`.
+pub fn golden_path(dir: &Path, scenario: &str, label: &str, workload: &str) -> PathBuf {
+    dir.join(file_stem(scenario))
+        .join(file_stem(label))
+        .join(format!("{}.json", file_stem(workload)))
+}
+
+/// One detected difference between a fresh run and the recorded goldens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenDrift {
+    /// The golden file involved.
+    pub path: PathBuf,
+    /// How it differs.
+    pub kind: DriftKind,
+}
+
+/// The ways a golden can disagree with a fresh run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriftKind {
+    /// No golden is recorded for the cell.
+    Missing,
+    /// The recorded bytes differ from the fresh run's canonical report.
+    Changed,
+}
+
+impl fmt::Display for GoldenDrift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            DriftKind::Missing => write!(f, "missing golden {}", self.path.display()),
+            DriftKind::Changed => write!(f, "result drift in {}", self.path.display()),
+        }
+    }
+}
+
+/// Applies `f` to every `(config, workload, fresh canonical report)` cell
+/// of the scenario, in declaration order. Cells already simulated by
+/// [`Lab::execute`] come from the cache.
+fn for_each_cell(
+    lab: &mut Lab,
+    sc: &Scenario,
+    mut f: impl FnMut(&ScenarioConfig, &'static str, String) -> io::Result<()>,
+) -> Result<(), CellError> {
+    // Label uniqueness (guaranteed by Scenario::validate) does not survive
+    // sanitization: "fetch bound" and "fetch_bound" would share one golden
+    // directory and silently overwrite each other's cells.
+    for (i, cfg) in sc.configs.iter().enumerate() {
+        if let Some(prev) = sc.configs[..i]
+            .iter()
+            .find(|c| file_stem(&c.label) == file_stem(&cfg.label))
+        {
+            return Err(CellError::LabelCollision {
+                a: prev.label.clone(),
+                b: cfg.label.clone(),
+            });
+        }
+    }
+    for cfg in &sc.configs {
+        for w in cfg.resolved_workloads().map_err(CellError::Scenario)? {
+            let report = lab.run(cfg.machine, &w);
+            f(cfg, w.name, report.canonical_json()).map_err(CellError::Io)?;
+        }
+    }
+    Ok(())
+}
+
+/// A failure while walking a scenario's cells.
+#[derive(Debug)]
+pub enum CellError {
+    /// The scenario references unknown workloads.
+    Scenario(ScenarioError),
+    /// A golden file could not be read or written.
+    Io(io::Error),
+    /// Two distinct labels map to the same golden directory once
+    /// sanitized for the filesystem.
+    LabelCollision {
+        /// The first label.
+        a: String,
+        /// The label colliding with it.
+        b: String,
+    },
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::Scenario(e) => write!(f, "{e}"),
+            CellError::Io(e) => write!(f, "{e}"),
+            CellError::LabelCollision { a, b } => write!(
+                f,
+                "labels {a:?} and {b:?} collide after filesystem sanitization; rename one"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// Runs every cell of `sc` and writes its canonical report under `dir`,
+/// replacing any previous goldens. Returns the paths written.
+pub fn record_goldens(lab: &mut Lab, sc: &Scenario, dir: &Path) -> Result<Vec<PathBuf>, CellError> {
+    let mut written = Vec::new();
+    for_each_cell(lab, sc, |cfg, workload, canonical| {
+        let path = golden_path(dir, &sc.name, &cfg.label, workload);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, canonical)?;
+        written.push(path);
+        Ok(())
+    })?;
+    Ok(written)
+}
+
+/// Runs every cell of `sc` and byte-compares it against the goldens under
+/// `dir`. Returns every drift found (empty = the scenario reproduces its
+/// pinned results exactly).
+pub fn check_goldens(
+    lab: &mut Lab,
+    sc: &Scenario,
+    dir: &Path,
+) -> Result<Vec<GoldenDrift>, CellError> {
+    let mut drifts = Vec::new();
+    for_each_cell(lab, sc, |cfg, workload, canonical| {
+        let path = golden_path(dir, &sc.name, &cfg.label, workload);
+        match std::fs::read_to_string(&path) {
+            Ok(recorded) if recorded == canonical => {}
+            Ok(_) => drifts.push(GoldenDrift {
+                path,
+                kind: DriftKind::Changed,
+            }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => drifts.push(GoldenDrift {
+                path,
+                kind: DriftKind::Missing,
+            }),
+            Err(e) => return Err(e),
+        }
+        Ok(())
+    })?;
+    Ok(drifts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_scenarios_are_valid_and_uniquely_named() {
+        let all = builtin_scenarios();
+        assert_eq!(all.len(), 8);
+        for (i, sc) in all.iter().enumerate() {
+            sc.validate().unwrap_or_else(|e| panic!("{}: {e}", sc.name));
+            assert!(
+                !all[..i].iter().any(|other| other.name == sc.name),
+                "duplicate scenario name {}",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_plan_has_four_cells() {
+        let plan = scenario_plan(&smoke_scenario()).unwrap();
+        assert_eq!(plan.len(), 4);
+    }
+
+    #[test]
+    fn colliding_sanitized_labels_are_rejected() {
+        let cfg = |label: &str| ScenarioConfig {
+            label: label.to_string(),
+            machine: base(),
+            workloads: vec!["twf".to_string()],
+        };
+        let sc = Scenario {
+            name: "collide".to_string(),
+            insts: 1_000,
+            configs: vec![cfg("fetch bound"), cfg("fetch_bound")],
+        };
+        sc.validate().expect("labels are distinct as strings");
+        let mut lab = Lab::new(sc.insts);
+        // The collision is caught before any cell simulates or any file
+        // is touched.
+        let err = check_goldens(&mut lab, &sc, Path::new("goldens")).unwrap_err();
+        assert!(matches!(err, CellError::LabelCollision { .. }), "{err}");
+        let err = record_goldens(&mut lab, &sc, Path::new("goldens")).unwrap_err();
+        assert!(matches!(err, CellError::LabelCollision { .. }), "{err}");
+    }
+
+    #[test]
+    fn golden_paths_are_sanitized() {
+        let p = golden_path(Path::new("goldens"), "fig8", "fetch bound+opt", "mcf");
+        assert_eq!(
+            p,
+            Path::new("goldens")
+                .join("fig8")
+                .join("fetch_bound_opt")
+                .join("mcf.json")
+        );
+    }
+}

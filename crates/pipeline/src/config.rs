@@ -1,6 +1,6 @@
 //! Machine configuration (Table 2 of the paper).
 
-use contopt::OptimizerConfig;
+use contopt::{ConfigFieldError, OptimizerConfig};
 use contopt_bpred::PredictorConfig;
 use contopt_mem::HierarchyConfig;
 
@@ -141,6 +141,65 @@ impl MachineConfig {
             0
         }
     }
+
+    /// Every scalar field as a `(name, value)` pair, in declaration order —
+    /// the serialization half of the scenario-file bridge. The nested
+    /// blocks ([`hierarchy`](Self::hierarchy),
+    /// [`predictor`](Self::predictor), [`optimizer`](Self::optimizer)) are
+    /// excluded; scenario files carry the optimizer through
+    /// [`OptimizerConfig::fields`] and pin the hierarchy and predictor to
+    /// the paper's defaults.
+    pub fn scalar_fields(&self) -> [(&'static str, u64); 16] {
+        [
+            ("fetch_width", self.fetch_width as u64),
+            ("retire_width", self.retire_width as u64),
+            ("rob_entries", self.rob_entries as u64),
+            ("scheduler_entries", self.scheduler_entries as u64),
+            ("front_depth", self.front_depth),
+            ("sched_delay", self.sched_delay),
+            ("regread_delay", self.regread_delay),
+            ("redirect_delay", self.redirect_delay),
+            ("simple_int_fus", self.simple_int_fus as u64),
+            ("complex_int_fus", self.complex_int_fus as u64),
+            ("fp_fus", self.fp_fus as u64),
+            ("agen_fus", self.agen_fus as u64),
+            ("complex_latency", self.complex_latency),
+            ("fp_latency", self.fp_latency),
+            ("preg_count", self.preg_count as u64),
+            ("max_cycles", self.max_cycles),
+        ]
+    }
+
+    /// Sets one scalar field by name — the deserialization half of the
+    /// scenario-file bridge. Unknown names and overflowing values are
+    /// typed errors, never panics.
+    pub fn set_scalar_field(&mut self, field: &str, value: u64) -> Result<(), ConfigFieldError> {
+        fn usize_of(field: &'static str, value: u64) -> Result<usize, ConfigFieldError> {
+            value
+                .try_into()
+                .map_err(|_| ConfigFieldError::OutOfRange { field })
+        }
+        match field {
+            "fetch_width" => self.fetch_width = usize_of("fetch_width", value)?,
+            "retire_width" => self.retire_width = usize_of("retire_width", value)?,
+            "rob_entries" => self.rob_entries = usize_of("rob_entries", value)?,
+            "scheduler_entries" => self.scheduler_entries = usize_of("scheduler_entries", value)?,
+            "front_depth" => self.front_depth = value,
+            "sched_delay" => self.sched_delay = value,
+            "regread_delay" => self.regread_delay = value,
+            "redirect_delay" => self.redirect_delay = value,
+            "simple_int_fus" => self.simple_int_fus = usize_of("simple_int_fus", value)?,
+            "complex_int_fus" => self.complex_int_fus = usize_of("complex_int_fus", value)?,
+            "fp_fus" => self.fp_fus = usize_of("fp_fus", value)?,
+            "agen_fus" => self.agen_fus = usize_of("agen_fus", value)?,
+            "complex_latency" => self.complex_latency = value,
+            "fp_latency" => self.fp_latency = value,
+            "preg_count" => self.preg_count = usize_of("preg_count", value)?,
+            "max_cycles" => self.max_cycles = value,
+            other => return Err(ConfigFieldError::UnknownField(other.to_string())),
+        }
+        Ok(())
+    }
 }
 
 impl Default for MachineConfig {
@@ -170,5 +229,21 @@ mod tests {
         assert_eq!(MachineConfig::fetch_bound().scheduler_entries, 16);
         assert_eq!(MachineConfig::exec_bound().fetch_width, 8);
         assert_eq!(MachineConfig::default_paper().rob_entries, 160);
+    }
+
+    #[test]
+    fn scalar_field_bridge_round_trips() {
+        // exec_bound differs from the default in fetch_width; replaying
+        // its scalar fields onto a default must reproduce it.
+        let src = MachineConfig::exec_bound();
+        let mut dst = MachineConfig::default_paper();
+        for (name, value) in src.scalar_fields() {
+            dst.set_scalar_field(name, value).unwrap();
+        }
+        assert_eq!(dst, src);
+        assert_eq!(
+            dst.set_scalar_field("warp_drive", 1),
+            Err(ConfigFieldError::UnknownField("warp_drive".into()))
+        );
     }
 }

@@ -43,18 +43,21 @@
 mod error;
 mod json;
 mod report;
+mod scenario;
 mod session;
 
 pub use error::Error;
-pub use json::{JsonValue, ToJson};
+pub use json::{JsonError, JsonErrorKind, JsonValue, ToJson};
 pub use report::Report;
+pub use scenario::{Scenario, ScenarioConfig, ScenarioError, ALL_WORKLOADS, SCENARIO_VERSION};
 pub use session::{SimBuilder, SimSession, DEFAULT_INSTS};
 
 // The core optimizer surface (passes, configs, stats, symbolic algebra).
 pub use contopt::{
-    passes, sym_add, sym_add_imm, sym_scaled_add, sym_shl, sym_sub, CpRa, EarlyExec, Folded, Mbc,
-    MbcStats, OptPass, OptStats, Optimizer, OptimizerConfig, Pass, PassId, PassSet, PhysReg,
-    PregFile, RenameReq, Renamed, RenamedClass, RleSf, SymValue, ValueFeedback, MAX_SCALE,
+    passes, sym_add, sym_add_imm, sym_scaled_add, sym_shl, sym_sub, ConfigFieldError, ConfigScalar,
+    CpRa, EarlyExec, Folded, Mbc, MbcStats, OptPass, OptStats, Optimizer, OptimizerConfig, Pass,
+    PassId, PassSet, PhysReg, PregFile, RenameReq, Renamed, RenamedClass, RleSf, SymValue,
+    ValueFeedback, MAX_SCALE,
 };
 
 // The cycle-level machine.

@@ -72,6 +72,17 @@ impl Report {
         }
     }
 
+    /// The canonical golden-file serialization: pretty-printed JSON plus a
+    /// trailing newline. Byte-identical across runs for identical results
+    /// (the simulator is deterministic and the serializer emits fields in
+    /// one fixed order), so the golden regression harness compares files
+    /// with plain byte equality.
+    pub fn canonical_json(&self) -> String {
+        let mut out = self.to_json().pretty();
+        out.push('\n');
+        out
+    }
+
     /// Serializes the full report as JSON.
     pub fn to_json(&self) -> JsonValue {
         let p = &self.pipeline;

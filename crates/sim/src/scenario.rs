@@ -1,0 +1,659 @@
+//! Checked-in scenario files: externally-specified sweep definitions.
+//!
+//! A scenario is a named matrix of `(machine configuration, workload)`
+//! simulation cells plus a dynamic-instruction budget, stored as a JSON
+//! file under `scenarios/` instead of as Rust code. The experiment driver
+//! loads one with `contopt-experiments -- --scenario scenarios/fig9.json`,
+//! executes it through the parallel `Lab` engine, and can pin its results
+//! as golden reports (`--record` / `--check`).
+//!
+//! The serialized form is *canonical*: every machine scalar field
+//! ([`MachineConfig::scalar_fields`]) and every optimizer field
+//! ([`OptimizerConfig::fields`], emitted through
+//! [`OptimizerConfig::normalized`]) is written in declaration order, so
+//! two scenarios that simulate identically serialize byte-identically and
+//! `serialize → parse → serialize` is the identity on bytes. The four
+//! top-level fields (`version`, `name`, `insts`, `configs`) are required;
+//! parsing is lenient only about omission *inside* a machine block: a
+//! missing machine field keeps the paper's Table 2 default, a missing
+//! `optimizer` block means the baseline (no optimizer), and a
+//! present-but-partial `optimizer` block starts from the paper's default
+//! optimizer. Unknown fields, duplicate keys, and type mismatches are
+//! typed errors — a hand-edited file cannot silently misconfigure a
+//! sweep.
+//!
+//! The cache hierarchy and branch predictor are pinned to the paper's
+//! defaults; scenario files do not override them.
+
+use crate::json::{JsonError, JsonValue, ToJson};
+use crate::{MachineConfig, OptimizerConfig};
+use contopt::{ConfigFieldError, ConfigScalar};
+use contopt_workloads::Workload;
+use std::fmt;
+use std::path::Path;
+
+/// The scenario-file format version this build reads and writes.
+pub const SCENARIO_VERSION: u64 = 1;
+
+/// The workload-list entry meaning "the whole Table 1 suite".
+pub const ALL_WORKLOADS: &str = "*";
+
+/// One named sweep: a set of labelled machine configurations, each applied
+/// to a list of workloads, under one instruction budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The sweep's name (by convention, the file stem: `fig9`, `smoke`…).
+    pub name: String,
+    /// Dynamic-instruction budget per simulation cell.
+    pub insts: u64,
+    /// The labelled configurations, in declaration order.
+    pub configs: Vec<ScenarioConfig>,
+}
+
+/// One labelled machine configuration and the workloads it runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Human-readable label, unique within the scenario (`baseline`,
+    /// `feedback+opt`…). Also names the configuration's golden files.
+    pub label: String,
+    /// The full machine configuration (hierarchy and predictor are always
+    /// the paper's defaults).
+    pub machine: MachineConfig,
+    /// Table 1 short names, or [`ALL_WORKLOADS`] for the whole suite.
+    pub workloads: Vec<String>,
+}
+
+/// A failed scenario load: JSON syntax, structure, or semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The text is not valid JSON.
+    Json(JsonError),
+    /// A required value is missing or has the wrong JSON type.
+    Expected {
+        /// Path to the offending value (`configs[1].machine`).
+        at: String,
+        /// What was required there.
+        what: &'static str,
+    },
+    /// An object carries a field the format does not define.
+    UnknownField {
+        /// Path to the object.
+        at: String,
+        /// The unrecognized key.
+        field: String,
+    },
+    /// A config-bridge update failed (unknown field, wrong type, range).
+    Field {
+        /// Path to the object being populated.
+        at: String,
+        /// The bridge's error.
+        err: ConfigFieldError,
+    },
+    /// The file declares a format version this build does not read.
+    UnsupportedVersion(u64),
+    /// A workload name that is not in Table 1.
+    UnknownWorkload {
+        /// The configuration listing it.
+        label: String,
+        /// The unrecognized name.
+        name: String,
+    },
+    /// Two configurations share a label.
+    DuplicateLabel(String),
+    /// The scenario declares no configurations, or a configuration lists
+    /// no workloads.
+    Empty(String),
+    /// The instruction budget is zero.
+    ZeroInsts,
+    /// The file could not be read.
+    Io(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ScenarioError::Expected { at, what } => write!(f, "expected {what} at {at}"),
+            ScenarioError::UnknownField { at, field } => {
+                write!(f, "unknown field {field:?} at {at}")
+            }
+            ScenarioError::Field { at, err } => write!(f, "at {at}: {err}"),
+            ScenarioError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported scenario version {v} (this build reads {SCENARIO_VERSION})"
+                )
+            }
+            ScenarioError::UnknownWorkload { label, name } => {
+                write!(f, "config {label:?} names unknown workload {name:?}")
+            }
+            ScenarioError::DuplicateLabel(l) => write!(f, "duplicate config label {l:?}"),
+            ScenarioError::Empty(what) => write!(f, "{what} is empty"),
+            ScenarioError::ZeroInsts => write!(f, "\"insts\" must be positive"),
+            ScenarioError::Io(e) => write!(f, "cannot read scenario file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<JsonError> for ScenarioError {
+    fn from(e: JsonError) -> ScenarioError {
+        ScenarioError::Json(e)
+    }
+}
+
+fn expected(at: impl Into<String>, what: &'static str) -> ScenarioError {
+    ScenarioError::Expected {
+        at: at.into(),
+        what,
+    }
+}
+
+impl Scenario {
+    /// Parses and validates a scenario from JSON text.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use contopt_sim::Scenario;
+    /// let sc = Scenario::parse(
+    ///     r#"{
+    ///       "version": 1,
+    ///       "name": "mini",
+    ///       "insts": 50000,
+    ///       "configs": [
+    ///         {"label": "baseline", "workloads": ["twf"], "machine": {}},
+    ///         {"label": "optimized", "workloads": ["twf"],
+    ///          "machine": {"optimizer": {"enabled": true}}}
+    ///       ]
+    ///     }"#,
+    /// )?;
+    /// assert_eq!(sc.configs.len(), 2);
+    /// assert!(!sc.configs[0].machine.optimizer.enabled);
+    /// assert!(sc.configs[1].machine.optimizer.enabled);
+    /// # Ok::<(), contopt_sim::ScenarioError>(())
+    /// ```
+    pub fn parse(src: &str) -> Result<Scenario, ScenarioError> {
+        let doc = JsonValue::parse(src)?;
+        let sc = Scenario::from_json(&doc)?;
+        sc.validate()?;
+        Ok(sc)
+    }
+
+    /// Reads, parses, and validates a scenario file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Scenario, ScenarioError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
+        Scenario::parse(&text)
+    }
+
+    /// Builds a scenario from a parsed JSON document (no semantic
+    /// validation; [`parse`](Self::parse) layers that on).
+    pub fn from_json(doc: &JsonValue) -> Result<Scenario, ScenarioError> {
+        let fields = doc.as_object().ok_or(expected("top level", "an object"))?;
+        let mut version = None;
+        let mut name = None;
+        let mut insts = None;
+        let mut configs = None;
+        for (key, value) in fields {
+            match key.as_str() {
+                "version" => {
+                    let v = value.as_u64().ok_or(expected("version", "an integer"))?;
+                    if v != SCENARIO_VERSION {
+                        return Err(ScenarioError::UnsupportedVersion(v));
+                    }
+                    version = Some(v);
+                }
+                "name" => {
+                    name = Some(
+                        value
+                            .as_str()
+                            .ok_or(expected("name", "a string"))?
+                            .to_string(),
+                    );
+                }
+                "insts" => insts = Some(value.as_u64().ok_or(expected("insts", "an integer"))?),
+                "configs" => {
+                    let items = value.as_array().ok_or(expected("configs", "an array"))?;
+                    let mut out = Vec::with_capacity(items.len());
+                    for (i, item) in items.iter().enumerate() {
+                        out.push(ScenarioConfig::from_json(item, &format!("configs[{i}]"))?);
+                    }
+                    configs = Some(out);
+                }
+                other => {
+                    return Err(ScenarioError::UnknownField {
+                        at: "top level".into(),
+                        field: other.to_string(),
+                    })
+                }
+            }
+        }
+        // Requiring the version means a future format bump cannot silently
+        // misread an old hand-written file that never declared one.
+        version.ok_or(expected("top level", "a \"version\" field"))?;
+        Ok(Scenario {
+            name: name.ok_or(expected("top level", "a \"name\" field"))?,
+            insts: insts.ok_or(expected("top level", "an \"insts\" field"))?,
+            configs: configs.ok_or(expected("top level", "a \"configs\" field"))?,
+        })
+    }
+
+    /// Semantic checks beyond JSON structure: a positive budget, at least
+    /// one configuration, unique labels, and workload names that exist in
+    /// Table 1.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.insts == 0 {
+            return Err(ScenarioError::ZeroInsts);
+        }
+        if self.configs.is_empty() {
+            return Err(ScenarioError::Empty("\"configs\"".into()));
+        }
+        let known = contopt_workloads::names();
+        for (i, cfg) in self.configs.iter().enumerate() {
+            if self.configs[..i].iter().any(|c| c.label == cfg.label) {
+                return Err(ScenarioError::DuplicateLabel(cfg.label.clone()));
+            }
+            if cfg.workloads.is_empty() {
+                return Err(ScenarioError::Empty(format!(
+                    "config {:?} workload list",
+                    cfg.label
+                )));
+            }
+            for name in &cfg.workloads {
+                if name != ALL_WORKLOADS && !known.contains(&name.as_str()) {
+                    return Err(ScenarioError::UnknownWorkload {
+                        label: cfg.label.clone(),
+                        name: name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical file serialization: pretty-printed canonical JSON
+    /// plus a trailing newline. Writing this is exactly what
+    /// `--emit-scenarios` does, and the round-trip tests compare checked-in
+    /// files against it byte-for-byte.
+    pub fn canonical_json(&self) -> String {
+        let mut out = self.to_json().pretty();
+        out.push('\n');
+        out
+    }
+
+    /// This scenario with every optimizer block replaced by its
+    /// [`OptimizerConfig::normalized`] canonical form — the fixed point of
+    /// `parse(canonical_json())`, since serialization normalizes.
+    pub fn normalized(&self) -> Scenario {
+        let mut sc = self.clone();
+        for cfg in &mut sc.configs {
+            cfg.machine.optimizer = cfg.machine.optimizer.normalized();
+        }
+        sc
+    }
+}
+
+impl ScenarioConfig {
+    /// The workloads this configuration runs on, expanded and in
+    /// declaration order ([`ALL_WORKLOADS`] becomes the whole suite).
+    pub fn resolved_workloads(&self) -> Result<Vec<Workload>, ScenarioError> {
+        if self.workloads.iter().any(|n| n == ALL_WORKLOADS) {
+            return Ok(contopt_workloads::suite());
+        }
+        self.workloads
+            .iter()
+            .map(|name| {
+                contopt_workloads::build(name).ok_or_else(|| ScenarioError::UnknownWorkload {
+                    label: self.label.clone(),
+                    name: name.clone(),
+                })
+            })
+            .collect()
+    }
+
+    fn from_json(doc: &JsonValue, at: &str) -> Result<ScenarioConfig, ScenarioError> {
+        let fields = doc.as_object().ok_or(expected(at, "an object"))?;
+        let mut label = None;
+        let mut machine = None;
+        let mut workloads = None;
+        for (key, value) in fields {
+            match key.as_str() {
+                "label" => {
+                    label = Some(
+                        value
+                            .as_str()
+                            .ok_or(expected(format!("{at}.label"), "a string"))?
+                            .to_string(),
+                    );
+                }
+                "machine" => {
+                    machine = Some(machine_from_json(value, &format!("{at}.machine"))?);
+                }
+                "workloads" => {
+                    let items = value
+                        .as_array()
+                        .ok_or(expected(format!("{at}.workloads"), "an array"))?;
+                    let mut out = Vec::with_capacity(items.len());
+                    for (i, item) in items.iter().enumerate() {
+                        out.push(
+                            item.as_str()
+                                .ok_or(expected(format!("{at}.workloads[{i}]"), "a string"))?
+                                .to_string(),
+                        );
+                    }
+                    workloads = Some(out);
+                }
+                other => {
+                    return Err(ScenarioError::UnknownField {
+                        at: at.to_string(),
+                        field: other.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(ScenarioConfig {
+            label: label.ok_or(expected(at, "a \"label\" field"))?,
+            machine: machine.ok_or(expected(at, "a \"machine\" field"))?,
+            workloads: workloads.ok_or(expected(at, "a \"workloads\" field"))?,
+        })
+    }
+}
+
+/// Parses a machine block: Table 2 defaults overridden field by field.
+/// An absent `optimizer` key is the baseline (no optimizer); a present one
+/// starts from the paper's default optimizer and applies its fields.
+fn machine_from_json(doc: &JsonValue, at: &str) -> Result<MachineConfig, ScenarioError> {
+    let fields = doc.as_object().ok_or(expected(at, "an object"))?;
+    let mut machine = MachineConfig::default_paper();
+    for (key, value) in fields {
+        if key == "optimizer" {
+            machine.optimizer = optimizer_from_json(value, &format!("{at}.optimizer"))?;
+            continue;
+        }
+        let n = value
+            .as_u64()
+            .ok_or(expected(format!("{at}.{key}"), "an unsigned integer"))?;
+        machine
+            .set_scalar_field(key, n)
+            .map_err(|err| ScenarioError::Field {
+                at: at.to_string(),
+                err,
+            })?;
+    }
+    Ok(machine)
+}
+
+/// Parses an optimizer block onto the paper's default optimizer.
+fn optimizer_from_json(doc: &JsonValue, at: &str) -> Result<OptimizerConfig, ScenarioError> {
+    let fields = doc.as_object().ok_or(expected(at, "an object"))?;
+    let mut opt = OptimizerConfig::default();
+    for (key, value) in fields {
+        let scalar = match value {
+            JsonValue::Bool(b) => ConfigScalar::Bool(*b),
+            JsonValue::UInt(n) => ConfigScalar::UInt(*n),
+            _ => {
+                return Err(expected(
+                    format!("{at}.{key}"),
+                    "a bool or unsigned integer",
+                ))
+            }
+        };
+        opt.set_field(key, scalar)
+            .map_err(|err| ScenarioError::Field {
+                at: at.to_string(),
+                err,
+            })?;
+    }
+    Ok(opt)
+}
+
+impl ToJson for Scenario {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("version", SCENARIO_VERSION.into()),
+            ("name", self.name.as_str().into()),
+            ("insts", self.insts.into()),
+            (
+                "configs",
+                JsonValue::arr(self.configs.iter().map(|c| c.to_json())),
+            ),
+        ])
+    }
+}
+
+impl ToJson for ScenarioConfig {
+    fn to_json(&self) -> JsonValue {
+        let machine = JsonValue::obj(
+            self.machine
+                .scalar_fields()
+                .into_iter()
+                .map(|(k, v)| (k, JsonValue::UInt(v)))
+                .chain([(
+                    "optimizer",
+                    JsonValue::obj(
+                        self.machine
+                            .optimizer
+                            .normalized()
+                            .fields()
+                            .into_iter()
+                            .map(|(k, v)| {
+                                let v = match v {
+                                    ConfigScalar::Bool(b) => JsonValue::Bool(b),
+                                    ConfigScalar::UInt(n) => JsonValue::UInt(n),
+                                };
+                                (k, v)
+                            }),
+                    ),
+                )]),
+        );
+        JsonValue::obj([
+            ("label", self.label.as_str().into()),
+            (
+                "workloads",
+                JsonValue::arr(self.workloads.iter().map(|w| w.as_str().into())),
+            ),
+            ("machine", machine),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_config_scenario() -> Scenario {
+        Scenario {
+            name: "mini".into(),
+            insts: 50_000,
+            configs: vec![
+                ScenarioConfig {
+                    label: "baseline".into(),
+                    machine: MachineConfig::default_paper(),
+                    workloads: vec!["twf".into(), "untst".into()],
+                },
+                ScenarioConfig {
+                    label: "optimized".into(),
+                    machine: MachineConfig::default_with_optimizer(),
+                    workloads: vec![ALL_WORKLOADS.into()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn canonical_serialization_round_trips_bytes() {
+        let sc = two_config_scenario();
+        let text = sc.canonical_json();
+        let parsed = Scenario::parse(&text).unwrap();
+        assert_eq!(parsed, sc.normalized());
+        assert_eq!(parsed.canonical_json(), text);
+    }
+
+    #[test]
+    fn sparse_machine_blocks_fill_from_paper_defaults() {
+        let sc = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1000, "configs": [
+                {"label": "wide", "workloads": ["mcf"],
+                 "machine": {"fetch_width": 8}}]}"#,
+        )
+        .unwrap();
+        let m = sc.configs[0].machine;
+        assert_eq!(m.fetch_width, 8);
+        assert_eq!(m.rob_entries, MachineConfig::default_paper().rob_entries);
+        assert!(!m.optimizer.enabled, "absent optimizer block = baseline");
+    }
+
+    #[test]
+    fn partial_optimizer_block_starts_from_default_optimizer() {
+        let sc = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1000, "configs": [
+                {"label": "slow-feedback", "workloads": ["mcf"],
+                 "machine": {"optimizer": {"feedback_delay": 10}}}]}"#,
+        )
+        .unwrap();
+        let o = sc.configs[0].machine.optimizer;
+        assert!(o.enabled && o.optimize && o.value_feedback);
+        assert_eq!(o.feedback_delay, 10);
+    }
+
+    #[test]
+    fn unknown_fields_are_typed_errors_at_every_level() {
+        let top = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1, "configs": [], "extra": 1}"#,
+        );
+        assert!(
+            matches!(top, Err(ScenarioError::UnknownField { .. })),
+            "{top:?}"
+        );
+        let cfg = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1, "configs": [
+                {"label": "a", "workloads": ["mcf"], "machine": {}, "x": 1}]}"#,
+        );
+        assert!(
+            matches!(cfg, Err(ScenarioError::UnknownField { .. })),
+            "{cfg:?}"
+        );
+        let mach = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1, "configs": [
+                {"label": "a", "workloads": ["mcf"], "machine": {"warp": 9}}]}"#,
+        );
+        assert!(
+            matches!(
+                mach,
+                Err(ScenarioError::Field {
+                    err: ConfigFieldError::UnknownField(_),
+                    ..
+                })
+            ),
+            "{mach:?}"
+        );
+        let opt = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1, "configs": [
+                {"label": "a", "workloads": ["mcf"],
+                 "machine": {"optimizer": {"frobnicate": true}}}]}"#,
+        );
+        assert!(
+            matches!(
+                opt,
+                Err(ScenarioError::Field {
+                    err: ConfigFieldError::UnknownField(_),
+                    ..
+                })
+            ),
+            "{opt:?}"
+        );
+    }
+
+    #[test]
+    fn semantic_validation_catches_bad_scenarios() {
+        let dup = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1, "configs": [
+                {"label": "a", "workloads": ["mcf"], "machine": {}},
+                {"label": "a", "workloads": ["twf"], "machine": {}}]}"#,
+        );
+        assert_eq!(dup, Err(ScenarioError::DuplicateLabel("a".into())));
+        let unknown = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1, "configs": [
+                {"label": "a", "workloads": ["nope"], "machine": {}}]}"#,
+        );
+        assert!(matches!(
+            unknown,
+            Err(ScenarioError::UnknownWorkload { .. })
+        ));
+        let zero = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 0, "configs": [
+                {"label": "a", "workloads": ["mcf"], "machine": {}}]}"#,
+        );
+        assert_eq!(zero, Err(ScenarioError::ZeroInsts));
+        let empty = Scenario::parse(r#"{"version": 1, "name": "s", "insts": 1, "configs": []}"#);
+        assert!(matches!(empty, Err(ScenarioError::Empty(_))));
+        let version = Scenario::parse(r#"{"version": 99, "name": "s", "insts": 1, "configs": []}"#);
+        assert_eq!(version, Err(ScenarioError::UnsupportedVersion(99)));
+        let no_version = Scenario::parse(
+            r#"{"name": "s", "insts": 1, "configs": [
+                {"label": "a", "workloads": ["mcf"], "machine": {}}]}"#,
+        );
+        assert!(
+            matches!(no_version, Err(ScenarioError::Expected { what, .. }) if what.contains("version")),
+            "a file without \"version\" must be rejected"
+        );
+    }
+
+    #[test]
+    fn wrong_types_are_expected_errors() {
+        let e = Scenario::parse(r#"{"version": 1, "name": 5, "insts": 1, "configs": []}"#);
+        assert!(matches!(e, Err(ScenarioError::Expected { .. })));
+        let e = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1, "configs": [
+                {"label": "a", "workloads": ["mcf"],
+                 "machine": {"fetch_width": "four"}}]}"#,
+        );
+        assert!(matches!(e, Err(ScenarioError::Expected { .. })));
+        let e = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1, "configs": [
+                {"label": "a", "workloads": ["mcf"],
+                 "machine": {"optimizer": {"enabled": 1}}}]}"#,
+        );
+        assert!(
+            matches!(
+                e,
+                Err(ScenarioError::Field {
+                    err: ConfigFieldError::WrongType { .. },
+                    ..
+                })
+            ),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn workload_expansion() {
+        let sc = two_config_scenario();
+        assert_eq!(
+            sc.configs[0]
+                .resolved_workloads()
+                .unwrap()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>(),
+            ["twf", "untst"]
+        );
+        assert_eq!(sc.configs[1].resolved_workloads().unwrap().len(), 22);
+    }
+
+    #[test]
+    fn serialization_normalizes_the_optimizer() {
+        // Inert knobs on a disabled optimizer must not leak into the file:
+        // the emitted form is the canonical fingerprint the Lab caches by.
+        let mut sc = two_config_scenario();
+        sc.configs[0].machine.optimizer.mbc_entries = 7; // inert: disabled
+        let parsed = Scenario::parse(&sc.canonical_json()).unwrap();
+        assert_eq!(
+            parsed.configs[0].machine.optimizer,
+            OptimizerConfig::baseline().normalized()
+        );
+    }
+}

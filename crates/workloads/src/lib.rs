@@ -34,7 +34,7 @@ mod specint;
 
 use contopt_isa::{Program, DATA_BASE};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Address of the 8-byte checksum every workload stores before halting.
 pub const CHECKSUM_ADDR: u64 = DATA_BASE;
@@ -87,7 +87,18 @@ macro_rules! workload {
 }
 
 /// Builds the full 22-benchmark suite in Table 1 order.
+///
+/// The programs are assembled once per process and shared: every call
+/// (and every [`build`] lookup) clones `Arc` handles to the same images,
+/// so constructing many [`crate::Workload`] lists — one per scenario
+/// config, one per `Lab` — never re-assembles a kernel.
 pub fn suite() -> Vec<Workload> {
+    static SUITE: OnceLock<Vec<Workload>> = OnceLock::new();
+    SUITE.get_or_init(assemble_suite).clone()
+}
+
+/// Assembles all 22 kernels (called once, behind [`suite`]'s cache).
+fn assemble_suite() -> Vec<Workload> {
     use Suite::*;
     vec![
         workload!(
@@ -200,7 +211,8 @@ pub fn suite() -> Vec<Workload> {
     ]
 }
 
-/// Builds one benchmark by short name.
+/// Builds one benchmark by short name (an `Arc`-cheap clone out of the
+/// process-wide suite cache).
 pub fn build(name: &str) -> Option<Workload> {
     suite().into_iter().find(|w| w.name == name)
 }
@@ -212,6 +224,11 @@ pub fn names_in(s: Suite) -> Vec<&'static str> {
         .filter(|w| w.suite == s)
         .map(|w| w.name)
         .collect()
+}
+
+/// The names of all 22 benchmarks, in Table 1 order.
+pub fn names() -> Vec<&'static str> {
+    suite().into_iter().map(|w| w.name).collect()
 }
 
 #[cfg(test)]
@@ -264,7 +281,24 @@ mod tests {
         assert_eq!(names_in(Suite::SpecInt).len(), 10);
         assert_eq!(names_in(Suite::SpecFp).len(), 6);
         assert_eq!(names_in(Suite::MediaBench).len(), 6);
+        assert_eq!(names().len(), 22);
         assert!(build("nonexistent").is_none());
+    }
+
+    #[test]
+    fn suite_is_cached_and_shared() {
+        let a = suite();
+        let b = suite();
+        for (wa, wb) in a.iter().zip(&b) {
+            assert!(
+                Arc::ptr_eq(&wa.program, &wb.program),
+                "{} re-assembled",
+                wa.name
+            );
+        }
+        let mcf = build("mcf").unwrap();
+        let cached = a.iter().find(|w| w.name == "mcf").unwrap();
+        assert!(Arc::ptr_eq(&mcf.program, &cached.program));
     }
 
     #[test]

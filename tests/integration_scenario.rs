@@ -1,0 +1,198 @@
+//! Tests of the scenario-file subsystem: the checked-in `scenarios/*.json`
+//! files provably agree with the built-in figure plans, parsing is total
+//! (typed errors, no panics), serialization round-trips byte-for-byte, and
+//! the golden harness detects result drift.
+
+use contopt_experiments::{
+    builtin_scenarios, check_goldens, fig10_plan, fig11_plan, fig12_plan, fig6_plan, fig8_plan,
+    fig9_plan, record_goldens, scenario_plan, smoke_scenario, table3_plan, DriftKind, Lab, Plan,
+};
+use contopt_sim::{
+    MachineConfig, OptimizerConfig, Scenario, ScenarioConfig, ToJson, ALL_WORKLOADS,
+};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// The repository root (tests are registered under `crates/experiments`).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn checked_in_scenario_files_match_the_builtin_builders_byte_for_byte() {
+    for sc in builtin_scenarios() {
+        let path = repo_root()
+            .join("scenarios")
+            .join(format!("{}.json", sc.name));
+        let on_disk = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} (run --emit-scenarios)", path.display()));
+        assert_eq!(
+            on_disk,
+            sc.canonical_json(),
+            "{} differs from the built-in builder; regenerate with \
+             `cargo run -p contopt-experiments -- --emit-scenarios`",
+            path.display()
+        );
+        let parsed = Scenario::load(&path).unwrap();
+        assert_eq!(parsed, sc.normalized(), "{} round-trip", sc.name);
+    }
+}
+
+#[test]
+fn scenario_plans_match_the_builtin_figure_plans() {
+    let lab = Lab::new(1_000);
+    let builtin: Vec<(&str, Plan)> = vec![
+        ("fig6", fig6_plan(&lab)),
+        ("fig8", fig8_plan(&lab)),
+        ("fig9", fig9_plan(&lab)),
+        ("fig10", fig10_plan(&lab)),
+        ("fig11", fig11_plan(&lab)),
+        ("fig12", fig12_plan(&lab)),
+        ("table3", table3_plan(&lab)),
+    ];
+    for (name, plan) in builtin {
+        let path = repo_root().join("scenarios").join(format!("{name}.json"));
+        let sc = Scenario::load(&path).unwrap();
+        let from_file = scenario_plan(&sc).unwrap();
+        let file_cells: HashSet<_> = from_file.fingerprints().into_iter().collect();
+        let code_cells: HashSet<_> = plan.fingerprints().into_iter().collect();
+        // The scenario may add the shared baseline beyond what a plan
+        // strictly declares (table3 declares only the optimized machine),
+        // but every built-in cell must be covered, and nothing beyond the
+        // built-in cells plus the baseline may appear.
+        for cell in &code_cells {
+            assert!(
+                file_cells.contains(cell),
+                "{name}: cell for {:?} missing from scenario file",
+                cell.1
+            );
+        }
+        let baseline_key = {
+            let mut p = Plan::new();
+            for w in contopt_sim::workloads::suite() {
+                p.cell(MachineConfig::default_paper(), &w);
+            }
+            p.fingerprints().into_iter().collect::<HashSet<_>>()
+        };
+        for cell in &file_cells {
+            assert!(
+                code_cells.contains(cell) || baseline_key.contains(cell),
+                "{name}: scenario file declares unexpected cell {:?}",
+                cell.1
+            );
+        }
+    }
+}
+
+/// Deterministic splitmix64 (same generator the workload data sections
+/// use) to drive the round-trip property sweep.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn random_optimizer_configs_round_trip_through_scenario_json() {
+    let mut state = 0x5eed_c0de_u64;
+    let bit = |m: &mut u64| splitmix64(m) & 1 == 1;
+    for i in 0..200 {
+        let cfg = OptimizerConfig {
+            enabled: bit(&mut state),
+            optimize: bit(&mut state),
+            value_feedback: bit(&mut state),
+            feedback_delay: splitmix64(&mut state) % 16,
+            extra_stages: splitmix64(&mut state) % 8,
+            add_chain_depth: (splitmix64(&mut state) % 5) as u32,
+            mem_chain_depth: (splitmix64(&mut state) % 3) as u32,
+            mbc_entries: (splitmix64(&mut state) % 512 + 1) as usize,
+            flush_mbc_on_unknown_store: bit(&mut state),
+            enable_rle_sf: bit(&mut state),
+            enable_reassociation: bit(&mut state),
+            enable_branch_inference: bit(&mut state),
+            enable_early_exec: bit(&mut state),
+            discrete_interval: splitmix64(&mut state) % 1024,
+        };
+        let sc = Scenario {
+            name: format!("prop{i}"),
+            insts: 1 + splitmix64(&mut state) % 1_000_000,
+            configs: vec![ScenarioConfig {
+                label: "x".into(),
+                machine: MachineConfig::default_paper().with_optimizer(cfg),
+                workloads: vec![ALL_WORKLOADS.into()],
+            }],
+        };
+        // serialize → parse → serialize is the identity on bytes, and the
+        // parsed struct is the normalized fixed point.
+        let text = sc.canonical_json();
+        let parsed = Scenario::parse(&text).unwrap_or_else(|e| panic!("case {i}: {e}\n{text}"));
+        assert_eq!(parsed, sc.normalized(), "case {i}");
+        assert_eq!(parsed.canonical_json(), text, "case {i}");
+        // And the normalized config is what the plan engine fingerprints:
+        // both forms must land in the same cell.
+        assert_eq!(
+            parsed.configs[0].machine.optimizer,
+            cfg.normalized(),
+            "case {i}"
+        );
+    }
+}
+
+#[test]
+fn compact_and_pretty_scenario_json_parse_identically() {
+    let sc = smoke_scenario();
+    let compact = sc.to_json().to_string();
+    let pretty = sc.canonical_json();
+    assert_eq!(
+        Scenario::parse(&compact).unwrap(),
+        Scenario::parse(&pretty).unwrap()
+    );
+}
+
+#[test]
+fn checked_in_smoke_goldens_reproduce() {
+    let sc = Scenario::load(repo_root().join("scenarios/smoke.json")).unwrap();
+    let mut lab = Lab::new(sc.insts);
+    let drifts = check_goldens(&mut lab, &sc, &repo_root().join("goldens")).unwrap();
+    assert!(
+        drifts.is_empty(),
+        "smoke goldens drifted (re-record intentionally with --record): {drifts:?}"
+    );
+}
+
+#[test]
+fn golden_harness_detects_flag_flips_and_missing_files() {
+    let dir = std::env::temp_dir().join(format!("contopt-goldens-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Record a tiny one-cell scenario, then check it: clean.
+    let mut sc = Scenario {
+        name: "drift".into(),
+        insts: 50_000,
+        configs: vec![ScenarioConfig {
+            label: "optimized".into(),
+            machine: MachineConfig::default_with_optimizer(),
+            workloads: vec!["twf".into()],
+        }],
+    };
+    let mut lab = Lab::new(sc.insts);
+    let written = record_goldens(&mut lab, &sc, &dir).unwrap();
+    assert_eq!(written.len(), 1);
+    assert!(check_goldens(&mut lab, &sc, &dir).unwrap().is_empty());
+
+    // Flipping an optimizer flag in the scenario changes the simulated
+    // result, so the same goldens now report drift.
+    sc.configs[0].machine.optimizer.enable_rle_sf = false;
+    let drifts = check_goldens(&mut lab, &sc, &dir).unwrap();
+    assert_eq!(drifts.len(), 1);
+    assert_eq!(drifts[0].kind, DriftKind::Changed);
+
+    // A label with no recorded golden is drift too, not a pass.
+    sc.configs[0].label = "unrecorded".into();
+    let drifts = check_goldens(&mut lab, &sc, &dir).unwrap();
+    assert_eq!(drifts[0].kind, DriftKind::Missing);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
