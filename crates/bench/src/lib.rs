@@ -46,6 +46,7 @@ pub fn timed_speedup(w: &Workload, opt_cfg: MachineConfig) -> f64 {
     let base = session(w, MachineConfig::default_paper()).run();
     let opt = session(w, opt_cfg).run();
     opt.speedup_over(&base)
+        .expect("same workload under both configurations")
 }
 
 /// Runs a single configuration at the timed budget.

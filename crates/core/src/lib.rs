@@ -104,7 +104,7 @@ pub use optimizer::{Optimizer, RenameReq, Renamed, RenamedClass};
 pub use passes::{CpRa, EarlyExec, OptPass, Pass, PassId, PassSet, RleSf, ValueFeedback};
 pub use preg::{PhysReg, PregFile, SrcList, MAX_SRCS};
 pub use rat::SymRat;
-pub use stats::OptStats;
+pub use stats::{pct, OptStats, PassStats, ENGINE_BLOCK};
 pub use symval::{
     sym_add, sym_add_imm, sym_scaled_add, sym_shl, sym_sub, Folded, SymValue, MAX_SCALE,
 };

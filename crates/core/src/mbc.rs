@@ -37,6 +37,15 @@ pub struct MbcStats {
     pub flushes: u64,
 }
 
+impl MbcStats {
+    /// Percentage of lookups that matched, before value verification —
+    /// `0.0` (never `NaN`) when no lookups occurred. Shares the guarded
+    /// [`crate::pct`] helper with every other derived percentage.
+    pub fn pct_hits(&self) -> f64 {
+        crate::stats::pct(self.hits, self.lookups)
+    }
+}
+
 /// The Memory Bypass Cache.
 ///
 /// # Examples

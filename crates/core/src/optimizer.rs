@@ -21,7 +21,7 @@ use crate::feedback::FeedbackQueue;
 use crate::mbc::{Mbc, MbcStats};
 use crate::preg::{PhysReg, PregFile, SrcList};
 use crate::rat::SymRat;
-use crate::stats::OptStats;
+use crate::stats::{OptStats, PassStats};
 use crate::symval::SymValue;
 use contopt_emu::DynInst;
 use contopt_isa::{ArchReg, Inst};
@@ -169,7 +169,9 @@ pub struct Optimizer {
     pub(crate) rat: SymRat,
     pub(crate) mbc: Mbc,
     pub(crate) feedback: FeedbackQueue,
-    pub(crate) stats: OptStats,
+    /// Counters, attributed to the pass that earned them; the aggregate
+    /// [`OptStats`] is derived as the sum of the blocks, never stored.
+    pub(crate) stats: PassStats,
     /// Oracle architectural value of each physical register; used only for
     /// strict value checking, never to drive an optimization.
     pub(crate) oracle: Vec<u64>,
@@ -200,7 +202,7 @@ impl Optimizer {
             pregs,
             rat,
             feedback: FeedbackQueue::new(),
-            stats: OptStats::default(),
+            stats: PassStats::default(),
             oracle,
             bundle_scratch: Bundle::new(),
         }
@@ -211,8 +213,14 @@ impl Optimizer {
         &self.cfg
     }
 
-    /// Optimizer statistics (Table 3 counters).
+    /// Aggregate optimizer statistics (Table 3 counters): the sum of the
+    /// per-pass blocks in [`pass_stats`](Self::pass_stats).
     pub fn stats(&self) -> OptStats {
+        self.stats.total()
+    }
+
+    /// Optimizer statistics attributed to the pass unit that earned them.
+    pub fn pass_stats(&self) -> PassStats {
         self.stats
     }
 
@@ -271,12 +279,12 @@ impl Optimizer {
         // every trace boundary (§3.4).
         let interval = self.cfg.discrete_interval;
         if interval > 0 && self.optimizing() {
-            let before = self.stats.insts / interval;
-            let after = (self.stats.insts + reqs.len() as u64) / interval;
+            let before = self.stats.engine.insts / interval;
+            let after = (self.stats.engine.insts + reqs.len() as u64) / interval;
             if after > before {
                 self.rat.invalidate_syms(&mut self.pregs);
                 self.mbc.flush(&mut self.pregs);
-                self.stats.trace_resets += 1;
+                self.stats.engine.trace_resets += 1;
             }
         }
         let mut bundle = std::mem::take(&mut self.bundle_scratch);
@@ -383,7 +391,7 @@ impl Optimizer {
 
     fn process(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
         let d = &req.d;
-        self.stats.insts += 1;
+        self.stats.engine.insts += 1;
         match d.inst {
             Inst::Alu { op, ra, rb, rc } => self.process_alu(req, op, ra, rb, rc, bundle),
             Inst::Lda { rc, rb, disp } => self.process_lda(req, rc, rb, disp, bundle),

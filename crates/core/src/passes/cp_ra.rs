@@ -51,7 +51,7 @@ impl Optimizer {
         let budget = self.cfg.max_serial_adds();
         let (folded, va, vb) = match attempt {
             Some((f, inherited)) if inherited + f.used_add as u32 > budget => {
-                self.stats.chain_limited += 1;
+                self.stats.engine.chain_limited += 1;
                 let pa = Self::plain(&va);
                 let pb = vb.as_ref().map(Self::plain);
                 let f2 = self.fold_alu(op, &pa, rb, &pb).map(|(f, _)| f);
@@ -74,7 +74,7 @@ impl Optimizer {
         // so the stat is charged once here.
         let reduced_mul = op == AluOp::Mulq && folded.is_some();
         if reduced_mul {
-            self.stats.strength_reductions += 1;
+            self.stats.cp_ra.strength_reductions += 1;
         }
 
         match folded {
@@ -86,7 +86,7 @@ impl Optimizer {
                         let p = self.alloc_dst(d);
                         self.rat
                             .write(dst_a, p, SymValue::Known(v), &mut self.pregs);
-                        self.stats.executed_early += 1;
+                        self.stats.early_exec.executed_early += 1;
                         bundle.record(dst_arch, va.adds.max(vb.map_or(0, |x| x.adds)) + 1, 0);
                         let mut r =
                             self.renamed(d, RenamedClass::Done, SrcList::new(), Some(p), true);
@@ -95,7 +95,7 @@ impl Optimizer {
                     }
                     // Result discarded (dst is a zero register): nothing to do.
                     bundle.record(None, 0, 0);
-                    self.stats.executed_early += 1;
+                    self.stats.early_exec.executed_early += 1;
                     self.renamed(d, RenamedClass::Done, SrcList::new(), None, false)
                 }
                 SymValue::Known(v) => {
@@ -125,8 +125,8 @@ impl Optimizer {
                         // pass; without it the move executes as a
                         // simplified single-cycle op below.
                         self.rat.write(dst_a, base, e, &mut self.pregs);
-                        self.stats.moves_eliminated += 1;
-                        self.stats.executed_early += 1;
+                        self.stats.cp_ra.moves_eliminated += 1;
+                        self.stats.early_exec.executed_early += 1;
                         bundle.record(dst_arch, 0, 0);
                         return self.renamed(
                             d,
@@ -240,7 +240,7 @@ impl Optimizer {
         let mut f = sym_add_imm(vb.sym, disp);
         let mut inherited = vb.adds;
         if inherited + f.used_add as u32 > budget {
-            self.stats.chain_limited += 1;
+            self.stats.engine.chain_limited += 1;
             f = sym_add_imm(SymValue::reg(vb.map), disp);
             inherited = 0;
         }
@@ -252,14 +252,14 @@ impl Optimizer {
             SymValue::Known(v) if self.early_exec_ok() => {
                 let Some(dst_a) = dst_arch else {
                     bundle.record(None, 0, 0);
-                    self.stats.executed_early += 1;
+                    self.stats.early_exec.executed_early += 1;
                     return self.renamed(d, RenamedClass::Done, SrcList::new(), None, false);
                 };
                 self.verify("early lda", d, v);
                 let p = self.alloc_dst(d);
                 self.rat
                     .write(dst_a, p, SymValue::Known(v), &mut self.pregs);
-                self.stats.executed_early += 1;
+                self.stats.early_exec.executed_early += 1;
                 bundle.record(dst_arch, inherited + 1, 0);
                 let mut r = self.renamed(d, RenamedClass::Done, SrcList::new(), Some(p), true);
                 r.early_value = Some(v);
@@ -285,8 +285,8 @@ impl Optimizer {
                     // `mov` (lda 0(rb)): eliminated through reassociation.
                     // Completion at rename requires the EarlyExec pass.
                     self.rat.write(dst_a, base, e, &mut self.pregs);
-                    self.stats.moves_eliminated += 1;
-                    self.stats.executed_early += 1;
+                    self.stats.cp_ra.moves_eliminated += 1;
+                    self.stats.early_exec.executed_early += 1;
                     bundle.record(dst_arch, 0, 0);
                     return self.renamed(d, RenamedClass::Done, SrcList::new(), Some(base), false);
                 }
@@ -320,7 +320,7 @@ impl Optimizer {
         let f = sym_add_imm(vb.sym, disp);
         let budget = self.cfg.max_serial_adds();
         if vb.adds + f.used_add as u32 > budget {
-            self.stats.chain_limited += 1;
+            self.stats.engine.chain_limited += 1;
             return (SymValue::reg(vb.map), 0, 0);
         }
         (f.value, vb.adds, vb.mbcs)

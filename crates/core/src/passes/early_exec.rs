@@ -27,7 +27,7 @@ impl Optimizer {
     ) -> Renamed {
         let d = &req.d;
         if req.mispredicted {
-            self.stats.mispredicted_branches += 1;
+            self.stats.engine.mispredicted_branches += 1;
         }
         if !self.cfg.enabled {
             bundle.record(None, 0, 0);
@@ -48,10 +48,10 @@ impl Optimizer {
                 cond.eval(v),
                 d.taken
             );
-            self.stats.branches_resolved_early += 1;
-            self.stats.executed_early += 1;
+            self.stats.early_exec.branches_resolved_early += 1;
+            self.stats.early_exec.executed_early += 1;
             if req.mispredicted {
-                self.stats.mispredicts_recovered_early += 1;
+                self.stats.early_exec.mispredicts_recovered_early += 1;
             }
             bundle.record(None, va.adds, 0);
             let mut r = self.renamed(d, RenamedClass::Done, SrcList::new(), None, false);
@@ -65,7 +65,7 @@ impl Optimizer {
         if self.optimizing() && self.cfg.enable_branch_inference && cond.implies_zero(d.taken) {
             self.rat
                 .update_sym(ArchReg::from(ra), SymValue::Known(0), &mut self.pregs);
-            self.stats.branch_inferences += 1;
+            self.stats.cp_ra.branch_inferences += 1;
         }
         bundle.record(None, 0, 0);
         self.renamed(d, RenamedClass::SimpleInt, srcs, None, false)
@@ -88,7 +88,7 @@ impl Optimizer {
                         }
                         None => (None, false),
                     };
-                    self.stats.executed_early += 1;
+                    self.stats.early_exec.executed_early += 1;
                     bundle.record(dst_arch, 0, 0);
                     let mut r = self.renamed(d, RenamedClass::Done, SrcList::new(), dst, dst_new);
                     r.early_value = dst.map(|_| link);
@@ -104,7 +104,7 @@ impl Optimizer {
             }
             Inst::Jmp { ra, .. } => {
                 if req.mispredicted {
-                    self.stats.mispredicted_branches += 1;
+                    self.stats.engine.mispredicted_branches += 1;
                 }
                 if !self.cfg.enabled {
                     return self.process_plain(d, RenamedClass::SimpleInt, bundle);
@@ -137,9 +137,9 @@ impl Optimizer {
                 };
                 bundle.record(dst_arch, 0, 0);
                 if target_known {
-                    self.stats.executed_early += 1;
+                    self.stats.early_exec.executed_early += 1;
                     if req.mispredicted {
-                        self.stats.mispredicts_recovered_early += 1;
+                        self.stats.early_exec.mispredicts_recovered_early += 1;
                     }
                     let mut r = self.renamed(d, RenamedClass::Done, SrcList::new(), dst, dst_new);
                     r.resolved_early = true;

@@ -30,7 +30,7 @@ impl Optimizer {
         while let Some(f) = self.feedback.pop_ready(now) {
             let n = self.rat.feed_back(f.preg, f.value, &mut self.pregs)
                 + self.mbc.feed_back(f.preg, f.value, &mut self.pregs);
-            self.stats.feedback_integrations += n;
+            self.stats.value_feedback.feedback_integrations += n;
             self.pregs.release(f.preg); // in-flight claim
         }
     }

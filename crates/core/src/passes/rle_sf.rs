@@ -22,8 +22,8 @@ use contopt_isa::{ArchReg, Inst, MemSize};
 impl Optimizer {
     pub(crate) fn process_load(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
         let d = &req.d;
-        self.stats.mem_ops += 1;
-        self.stats.loads += 1;
+        self.stats.engine.mem_ops += 1;
+        self.stats.engine.loads += 1;
         let (rb, disp) = d.inst.mem_addr_spec().expect("load has address spec");
         let size = d.inst.mem_size().expect("load has size");
         let is_fp = matches!(d.inst, Inst::FLd { .. });
@@ -38,7 +38,7 @@ impl Optimizer {
                 d.eff_addr,
                 d.inst
             );
-            self.stats.mem_addr_generated += 1;
+            self.stats.engine.mem_addr_generated += 1;
         }
 
         let dst_arch = d.inst.dst();
@@ -50,7 +50,7 @@ impl Optimizer {
                 let chained = inh_mbcs + 1 > self.cfg.mem_chain_depth + 1
                     || (bundle.mbc_written.contains(&(a & !7)) && self.cfg.mem_chain_depth == 0);
                 if chained {
-                    self.stats.mem_chain_limited += 1;
+                    self.stats.rle_sf.mem_chain_limited += 1;
                 } else if self.early_exec_ok() {
                     // Forwarding completes the load at the rename stage, so
                     // it additionally requires the EarlyExec pass; without
@@ -119,7 +119,7 @@ impl Optimizer {
         if Some(loaded) != d.result {
             // Stale entry (speculative unknown-address store wrote this
             // location since) or a width-change mismatch: reject.
-            self.stats.mbc_rejects += 1;
+            self.stats.rle_sf.mbc_rejects += 1;
             self.mbc.invalidate(addr, &mut self.pregs);
             return None;
         }
@@ -129,8 +129,8 @@ impl Optimizer {
                 let p = self.alloc_dst(d);
                 self.rat
                     .write(dst_a, p, SymValue::Known(loaded), &mut self.pregs);
-                self.stats.loads_removed += 1;
-                self.stats.executed_early += 1;
+                self.stats.rle_sf.loads_removed += 1;
+                self.stats.early_exec.executed_early += 1;
                 bundle.record(d.inst.dst(), 1, inh_mbcs + 1);
                 let mut r = self.renamed(d, RenamedClass::Done, SrcList::new(), Some(p), true);
                 r.early_value = Some(loaded);
@@ -141,8 +141,8 @@ impl Optimizer {
             e @ SymValue::Expr { base, .. } if e.is_plain_reg() => {
                 // Pure move: the destination aliases the forwarding register.
                 self.rat.write(dst_a, base, e, &mut self.pregs);
-                self.stats.loads_removed += 1;
-                self.stats.executed_early += 1;
+                self.stats.rle_sf.loads_removed += 1;
+                self.stats.early_exec.executed_early += 1;
                 bundle.record(d.inst.dst(), 0, inh_mbcs + 1);
                 let mut r = self.renamed(d, RenamedClass::Done, SrcList::new(), Some(base), false);
                 r.load_removed = true;
@@ -162,7 +162,7 @@ impl Optimizer {
                 self.hold_srcs(&[base]);
                 let p = self.alloc_dst(d);
                 self.rat.write(dst_a, p, e, &mut self.pregs);
-                self.stats.loads_removed += 1;
+                self.stats.rle_sf.loads_removed += 1;
                 bundle.record(d.inst.dst(), 1, inh_mbcs + 1);
                 let mut r = self.renamed(
                     d,
@@ -180,7 +180,7 @@ impl Optimizer {
 
     pub(crate) fn process_store(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
         let d = &req.d;
-        self.stats.mem_ops += 1;
+        self.stats.engine.mem_ops += 1;
         let (rb, disp) = d.inst.mem_addr_spec().expect("store has address spec");
         let size = d.inst.mem_size().expect("store has size");
         let (addr_sym, _inh_adds, _inh_mbcs) = self.fold_addr(rb, disp, bundle);
@@ -211,7 +211,7 @@ impl Optimizer {
                 "strict check: early store address {a:#x} != oracle {:?}",
                 d.eff_addr
             );
-            self.stats.mem_addr_generated += 1;
+            self.stats.engine.mem_addr_generated += 1;
             if self.optimizing() && self.cfg.enable_rle_sf {
                 // Store forwarding: record the data's symbolic value. Use
                 // the mapping register when the symbol is a non-trivial

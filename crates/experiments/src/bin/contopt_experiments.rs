@@ -22,7 +22,7 @@
 use contopt_experiments::{
     builtin_scenarios, check_goldens, default_jobs, fig10, fig10_plan, fig11, fig11_plan, fig12,
     fig12_plan, fig6, fig6_plan, fig8, fig8_plan, fig9, fig9_plan, record_goldens, scenario_plan,
-    table1, table2, table3, table3_plan, Lab, Plan, DEFAULT_INSTS,
+    table1, table2, table3, table3_plan, Lab, Plan, TolerancePolicy, DEFAULT_INSTS,
 };
 use contopt_sim::{JsonValue, Scenario, ToJson};
 use std::path::{Path, PathBuf};
@@ -30,7 +30,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: contopt-experiments [--insts N] [--jobs N] [--json] \
      [--all | --table1 --table2 --table3 --fig6 --fig8 --fig9 --fig10 --fig11 --fig12] \
-     [--scenario FILE]... [--record | --check] [--goldens DIR] \
+     [--scenario FILE]... [--record | --check [--allow-field PATH]...] [--goldens DIR] \
      [--validate [FILE...]] [--emit-scenarios] [--scenarios-dir DIR]";
 
 fn main() -> ExitCode {
@@ -79,7 +79,28 @@ fn main() -> ExitCode {
     if !scenario_files.is_empty() {
         let record = args.iter().any(|a| a == "--record");
         let check = args.iter().any(|a| a == "--check");
-        return run_scenarios(&scenario_files, jobs, record, check, &goldens_dir, json);
+        // Explicit opt-in fields for intentional model changes; the
+        // default (no --allow-field) is exact byte equality.
+        let policy = TolerancePolicy::allowing(
+            args.iter()
+                .enumerate()
+                .filter(|(_, a)| *a == "--allow-field")
+                .map(|(i, _)| {
+                    args.get(i + 1)
+                        .filter(|v| !v.starts_with("--"))
+                        .unwrap_or_else(|| panic!("--allow-field takes a JSON field path"))
+                        .clone()
+                }),
+        );
+        return run_scenarios(
+            &scenario_files,
+            jobs,
+            record,
+            check,
+            &goldens_dir,
+            &policy,
+            json,
+        );
     }
 
     let all = args.iter().any(|a| a == "--all");
@@ -244,12 +265,14 @@ fn validate(args: &[String], scenarios_dir: &Path) -> ExitCode {
 }
 
 /// Loads, executes, and (optionally) records or checks scenarios.
+#[allow(clippy::too_many_arguments)] // one call site; mirrors the CLI surface
 fn run_scenarios(
     files: &[&String],
     jobs: usize,
     record: bool,
     check: bool,
     goldens_dir: &Path,
+    policy: &TolerancePolicy,
     json: bool,
 ) -> ExitCode {
     if record && check {
@@ -290,7 +313,7 @@ fn run_scenarios(
                 }
             })
         } else if check {
-            check_goldens(&mut lab, &sc, goldens_dir).map(|drifts| {
+            check_goldens(&mut lab, &sc, goldens_dir, policy).map(|drifts| {
                 if drifts.is_empty() {
                     println!("scenario {:?}: goldens match", sc.name);
                 } else {
@@ -349,19 +372,23 @@ fn print_scenario(
     }
     println!("Scenario {:?} ({} insts/cell)", sc.name, sc.insts);
     println!(
-        "{:<18} {:<8} {:>12} {:>12} {:>8}",
-        "config", "workload", "cycles", "retired", "IPC"
+        "{:<18} {:<8} {:>12} {:>12} {:>8} {:>9} {:>10} {:>9}",
+        "config", "workload", "cycles", "retired", "IPC", "ee.early%", "rle-sf.lds", "vf.integr"
     );
     for cfg in &sc.configs {
         for w in cfg.resolved_workloads()? {
             let r = lab.run(cfg.machine, &w);
+            let p = &r.passes;
             println!(
-                "{:<18} {:<8} {:>12} {:>12} {:>8.3}",
+                "{:<18} {:<8} {:>12} {:>12} {:>8.3} {:>8.1}% {:>10} {:>9}",
                 cfg.label,
                 w.name,
                 r.pipeline.cycles,
                 r.pipeline.retired,
-                r.ipc()
+                r.ipc(),
+                contopt_sim::pct(p.early_exec.executed_early, p.engine.insts),
+                p.rle_sf.loads_removed,
+                p.value_feedback.feedback_integrations
             );
         }
     }

@@ -83,7 +83,10 @@ pub fn fig6(lab: &mut Lab) -> Fig6 {
     for w in &ws {
         let b = lab.run(base(), w);
         let o = lab.run(opt(), w);
-        rows.push((w.suite.to_string(), w.name.to_string(), o.speedup_over(&b)));
+        let s = o
+            .speedup_over(&b)
+            .expect("same workload under both configurations");
+        rows.push((w.suite.to_string(), w.name.to_string(), s));
     }
     let means = lab.suite_speedups(opt(), base());
     Fig6 { rows, means }

@@ -137,7 +137,7 @@ pub fn default_jobs() -> usize {
 /// let w = contopt_sim::workloads::build("untst").unwrap();
 /// let base = lab.run(MachineConfig::default_paper(), &w);
 /// let opt = lab.run(MachineConfig::default_with_optimizer(), &w);
-/// println!("untst speedup: {:.3}", opt.speedup_over(&base));
+/// println!("untst speedup: {:.3}", opt.speedup_over(&base).unwrap());
 /// ```
 pub struct Lab {
     insts: u64,
@@ -269,10 +269,10 @@ impl Lab {
             let w = self.workloads[i].clone();
             let base = self.run(base_cfg, &w);
             let new = self.run(cfg, &w);
-            per_suite
-                .entry(w.suite)
-                .or_default()
-                .push(new.speedup_over(&base));
+            per_suite.entry(w.suite).or_default().push(
+                new.speedup_over(&base)
+                    .expect("same workload under both configurations"),
+            );
         }
         SuiteMeans {
             specint: geomean(&per_suite[&Suite::SpecInt]),

@@ -16,7 +16,9 @@ use crate::figures::{
     base, fig10_configs, fig11_configs, fig12_configs, fig8_configs, fig9_configs, opt,
 };
 use crate::lab::{Lab, Plan, DEFAULT_INSTS};
-use contopt_sim::{MachineConfig, Scenario, ScenarioConfig, ScenarioError, ALL_WORKLOADS};
+use contopt_sim::{
+    JsonValue, MachineConfig, Scenario, ScenarioConfig, ScenarioError, ALL_WORKLOADS,
+};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -129,14 +131,165 @@ pub enum DriftKind {
     /// No golden is recorded for the cell.
     Missing,
     /// The recorded bytes differ from the fresh run's canonical report.
-    Changed,
+    Changed {
+        /// The first differing line, with context, so drift is
+        /// diagnosable straight from CI logs.
+        diff: LineDiff,
+        /// JSON field paths that differed but are not covered by the
+        /// [`TolerancePolicy`] in force (empty for an exact-match check).
+        disallowed: Vec<String>,
+    },
+}
+
+/// The first line where a fresh canonical report diverges from its
+/// recorded golden.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineDiff {
+    /// 1-based line number of the first divergence.
+    pub line: usize,
+    /// The golden's line (empty if the golden ended first).
+    pub expected: String,
+    /// The fresh run's line (empty if the fresh output ended first).
+    pub actual: String,
+    /// Up to two common lines immediately preceding the divergence.
+    pub context: Vec<String>,
+}
+
+/// Finds the first differing line between two texts; `None` when equal.
+pub fn first_divergence(expected: &str, actual: &str) -> Option<LineDiff> {
+    let mut exp = expected.lines();
+    let mut act = actual.lines();
+    let mut context: Vec<String> = Vec::new();
+    let mut line = 0;
+    loop {
+        line += 1;
+        match (exp.next(), act.next()) {
+            (None, None) => return None,
+            (e, a) if e == a => {
+                if context.len() == 2 {
+                    context.remove(0);
+                }
+                context.push(e.expect("both sides present when equal").to_string());
+            }
+            (e, a) => {
+                return Some(LineDiff {
+                    line,
+                    expected: e.unwrap_or_default().to_string(),
+                    actual: a.unwrap_or_default().to_string(),
+                    context,
+                })
+            }
+        }
+    }
+}
+
+/// The per-cell comparison policy for [`check_goldens`].
+///
+/// The default is **exact**: a golden matches only byte-for-byte. For an
+/// intentional model change, an explicit list of JSON field paths can be
+/// opted in; those fields (and anything nested under them) may differ
+/// while every other field must still match exactly. A path permits
+/// itself, any dotted descendant, and any array element under it —
+/// `"pipeline"` covers `pipeline.ipc`, and `"passes.cp-ra"` covers every
+/// counter in that block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TolerancePolicy {
+    allowed: Vec<String>,
+}
+
+impl TolerancePolicy {
+    /// The default policy: byte-for-byte equality, no exceptions.
+    pub fn exact() -> TolerancePolicy {
+        TolerancePolicy::default()
+    }
+
+    /// A policy permitting the listed JSON field paths to differ.
+    pub fn allowing<I: IntoIterator<Item = S>, S: Into<String>>(fields: I) -> TolerancePolicy {
+        TolerancePolicy {
+            allowed: fields.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Whether this is the exact-match policy (no opted-in fields).
+    pub fn is_exact(&self) -> bool {
+        self.allowed.is_empty()
+    }
+
+    /// Whether a differing leaf path is covered by the opt-in list.
+    fn permits(&self, path: &str) -> bool {
+        self.allowed.iter().any(|a| {
+            path == a
+                || path
+                    .strip_prefix(a.as_str())
+                    .is_some_and(|rest| rest.starts_with('.') || rest.starts_with('['))
+        })
+    }
+}
+
+/// Collects the dotted paths of every leaf difference between two JSON
+/// documents (array elements as `xs[3]`; a length or type mismatch is
+/// reported at the containing path).
+fn json_diff_paths(expected: &JsonValue, actual: &JsonValue, at: &str, out: &mut Vec<String>) {
+    let join = |key: &str| {
+        if at.is_empty() {
+            key.to_string()
+        } else {
+            format!("{at}.{key}")
+        }
+    };
+    match (expected, actual) {
+        (JsonValue::Object(e), JsonValue::Object(a)) => {
+            for (k, ev) in e {
+                match a.iter().find(|(ak, _)| ak == k) {
+                    Some((_, av)) => json_diff_paths(ev, av, &join(k), out),
+                    None => out.push(join(k)),
+                }
+            }
+            for (k, _) in a {
+                if !e.iter().any(|(ek, _)| ek == k) {
+                    out.push(join(k));
+                }
+            }
+        }
+        (JsonValue::Array(e), JsonValue::Array(a)) if e.len() == a.len() => {
+            for (i, (ev, av)) in e.iter().zip(a).enumerate() {
+                json_diff_paths(ev, av, &format!("{at}[{i}]"), out);
+            }
+        }
+        (e, a) if e == a => {}
+        _ => out.push(if at.is_empty() {
+            "$".to_string()
+        } else {
+            at.to_string()
+        }),
+    }
 }
 
 impl fmt::Display for GoldenDrift {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.kind {
+        match &self.kind {
             DriftKind::Missing => write!(f, "missing golden {}", self.path.display()),
-            DriftKind::Changed => write!(f, "result drift in {}", self.path.display()),
+            DriftKind::Changed { diff, disallowed } => {
+                write!(
+                    f,
+                    "result drift in {} at line {}:",
+                    self.path.display(),
+                    diff.line
+                )?;
+                for c in &diff.context {
+                    write!(f, "\n    {c}")?;
+                }
+                write!(f, "\n  - expected: {}", diff.expected)?;
+                write!(f, "\n  + actual:   {}", diff.actual)?;
+                if !disallowed.is_empty() {
+                    write!(
+                        f,
+                        "\n  fields outside the tolerance policy: {}",
+                        disallowed.join(", ")
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -220,23 +373,60 @@ pub fn record_goldens(lab: &mut Lab, sc: &Scenario, dir: &Path) -> Result<Vec<Pa
     Ok(written)
 }
 
-/// Runs every cell of `sc` and byte-compares it against the goldens under
-/// `dir`. Returns every drift found (empty = the scenario reproduces its
-/// pinned results exactly).
+/// Runs every cell of `sc` and compares it against the goldens under
+/// `dir` per `policy` (byte equality by default; opted-in fields may
+/// differ). Returns every drift found (empty = the scenario reproduces
+/// its pinned results).
 pub fn check_goldens(
     lab: &mut Lab,
     sc: &Scenario,
     dir: &Path,
+    policy: &TolerancePolicy,
 ) -> Result<Vec<GoldenDrift>, CellError> {
     let mut drifts = Vec::new();
     for_each_cell(lab, sc, |cfg, workload, canonical| {
         let path = golden_path(dir, &sc.name, &cfg.label, workload);
         match std::fs::read_to_string(&path) {
             Ok(recorded) if recorded == canonical => {}
-            Ok(_) => drifts.push(GoldenDrift {
-                path,
-                kind: DriftKind::Changed,
-            }),
+            Ok(recorded) => {
+                // Exact mode (the default and the CI path) never parses;
+                // every byte difference drifts.
+                let disallowed = if policy.is_exact() {
+                    Vec::new()
+                } else {
+                    match (JsonValue::parse(&recorded), JsonValue::parse(&canonical)) {
+                        (Ok(exp), Ok(act)) => {
+                            let mut paths = Vec::new();
+                            json_diff_paths(&exp, &act, "", &mut paths);
+                            let outside: Vec<String> =
+                                paths.into_iter().filter(|p| !policy.permits(p)).collect();
+                            if outside.is_empty() {
+                                return Ok(()); // every difference was opted in
+                            }
+                            outside
+                        }
+                        // Unparseable golden: report it as a plain change.
+                        _ => Vec::new(),
+                    }
+                };
+                // Bytes can differ while every line compares equal (a
+                // missing trailing newline, CRLF endings): `lines()`
+                // normalizes both, so synthesize a diff rather than
+                // treating "no differing line" as impossible.
+                let diff = first_divergence(&recorded, &canonical).unwrap_or_else(|| LineDiff {
+                    line: 0,
+                    expected: format!("{} bytes", recorded.len()),
+                    actual: format!(
+                        "{} bytes (line endings or trailing newline differ)",
+                        canonical.len()
+                    ),
+                    context: Vec::new(),
+                });
+                drifts.push(GoldenDrift {
+                    path,
+                    kind: DriftKind::Changed { diff, disallowed },
+                });
+            }
             Err(e) if e.kind() == io::ErrorKind::NotFound => drifts.push(GoldenDrift {
                 path,
                 kind: DriftKind::Missing,
@@ -288,7 +478,13 @@ mod tests {
         let mut lab = Lab::new(sc.insts);
         // The collision is caught before any cell simulates or any file
         // is touched.
-        let err = check_goldens(&mut lab, &sc, Path::new("goldens")).unwrap_err();
+        let err = check_goldens(
+            &mut lab,
+            &sc,
+            Path::new("goldens"),
+            &TolerancePolicy::exact(),
+        )
+        .unwrap_err();
         assert!(matches!(err, CellError::LabelCollision { .. }), "{err}");
         let err = record_goldens(&mut lab, &sc, Path::new("goldens")).unwrap_err();
         assert!(matches!(err, CellError::LabelCollision { .. }), "{err}");
@@ -304,5 +500,97 @@ mod tests {
                 .join("fetch_bound_opt")
                 .join("mcf.json")
         );
+    }
+
+    #[test]
+    fn first_divergence_reports_line_and_context() {
+        assert_eq!(first_divergence("a\nb\n", "a\nb\n"), None);
+        let d = first_divergence("a\nb\nc\nx\ne\n", "a\nb\nc\ny\ne\n").unwrap();
+        assert_eq!(d.line, 4);
+        assert_eq!(d.expected, "x");
+        assert_eq!(d.actual, "y");
+        assert_eq!(d.context, ["b", "c"], "at most two preceding lines");
+        // One side ending early is a divergence with an empty line.
+        let d = first_divergence("a\n", "a\nb\n").unwrap();
+        assert_eq!(
+            (d.line, d.expected.as_str(), d.actual.as_str()),
+            (2, "", "b")
+        );
+    }
+
+    #[test]
+    fn trailing_newline_only_drift_is_reported_not_a_panic() {
+        // Bytes differ but `lines()` sees identical content on both
+        // sides; the checker must report drift, not panic.
+        let dir = std::env::temp_dir().join(format!("contopt-nl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sc = Scenario {
+            name: "nl".to_string(),
+            insts: 10_000,
+            configs: vec![ScenarioConfig {
+                label: "baseline".to_string(),
+                machine: base(),
+                workloads: vec!["twf".to_string()],
+            }],
+        };
+        let mut lab = Lab::new(sc.insts);
+        let written = record_goldens(&mut lab, &sc, &dir).unwrap();
+        // Strip the canonical trailing newline from the recorded golden.
+        let text = std::fs::read_to_string(&written[0]).unwrap();
+        std::fs::write(&written[0], text.trim_end_matches('\n')).unwrap();
+        let drifts = check_goldens(&mut lab, &sc, &dir, &TolerancePolicy::exact()).unwrap();
+        assert_eq!(drifts.len(), 1);
+        let DriftKind::Changed { diff, .. } = &drifts[0].kind else {
+            panic!("expected Changed, got {:?}", drifts[0].kind);
+        };
+        assert!(diff.actual.contains("trailing newline"), "{diff:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drift_display_shows_the_diff() {
+        let drift = GoldenDrift {
+            path: PathBuf::from("goldens/smoke/optimized/twf.json"),
+            kind: DriftKind::Changed {
+                diff: LineDiff {
+                    line: 17,
+                    expected: "    \"cycles\": 100,".into(),
+                    actual: "    \"cycles\": 101,".into(),
+                    context: vec!["  \"pipeline\": {".into()],
+                },
+                disallowed: vec!["pipeline.cycles".into()],
+            },
+        };
+        let text = drift.to_string();
+        assert!(text.contains("at line 17"), "{text}");
+        assert!(text.contains("- expected:     \"cycles\": 100,"), "{text}");
+        assert!(text.contains("+ actual:       \"cycles\": 101,"), "{text}");
+        assert!(text.contains("pipeline.cycles"), "{text}");
+    }
+
+    #[test]
+    fn tolerance_policy_permits_opted_in_subtrees_only() {
+        let p = TolerancePolicy::allowing(["pipeline.ipc", "passes"]);
+        assert!(!p.is_exact());
+        assert!(p.permits("pipeline.ipc"));
+        assert!(p.permits("passes.cp-ra.moves_eliminated"));
+        assert!(p.permits("passes[0]"));
+        assert!(!p.permits("pipeline.cycles"));
+        assert!(!p.permits("pipeline.ipcx"), "no bare prefix matching");
+        assert!(TolerancePolicy::exact().is_exact());
+    }
+
+    #[test]
+    fn json_diff_paths_finds_leaf_differences() {
+        let a = JsonValue::parse(r#"{"x": {"y": 1, "z": [1, 2]}, "w": 3}"#).unwrap();
+        let b = JsonValue::parse(r#"{"x": {"y": 2, "z": [1, 5]}, "w": 3}"#).unwrap();
+        let mut paths = Vec::new();
+        json_diff_paths(&a, &b, "", &mut paths);
+        assert_eq!(paths, ["x.y", "x.z[1]"]);
+        // A missing key is reported at its path.
+        let c = JsonValue::parse(r#"{"x": {"y": 1, "z": [1, 2]}}"#).unwrap();
+        paths.clear();
+        json_diff_paths(&a, &c, "", &mut paths);
+        assert_eq!(paths, ["w"]);
     }
 }

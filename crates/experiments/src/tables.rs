@@ -3,7 +3,7 @@
 use crate::lab::{Lab, Plan};
 use contopt_sim::emu::Emulator;
 use contopt_sim::workloads::Suite;
-use contopt_sim::{JsonValue, MachineConfig, OptStats, ToJson};
+use contopt_sim::{JsonValue, MachineConfig, OptStats, PassStats, ToJson};
 use std::fmt;
 
 /// Table 1 — the experimental workload and its dynamic instruction counts.
@@ -197,7 +197,8 @@ pub struct Table3 {
     pub rows: Vec<Table3Row>,
 }
 
-/// One Table 3 row (all values in percent).
+/// One Table 3 row (percentages plus the per-pass attribution the
+/// aggregates are derived from).
 #[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Suite label (or "avg").
@@ -210,6 +211,8 @@ pub struct Table3Row {
     pub addr_generated: f64,
     /// % of loads removed by RLE/SF.
     pub loads_removed: f64,
+    /// Counters attributed per pass, summed over the suite.
+    pub passes: PassStats,
 }
 
 impl ToJson for Table3Row {
@@ -220,6 +223,7 @@ impl ToJson for Table3Row {
             ("recovered_mispredicts", self.recovered_mispredicts.into()),
             ("addr_generated", self.addr_generated.into()),
             ("loads_removed", self.loads_removed.into()),
+            ("passes", self.passes.to_json()),
         ])
     }
 }
@@ -237,16 +241,22 @@ pub fn table3_plan(lab: &Lab) -> Plan {
     plan
 }
 
-/// Regenerates Table 3 from default-optimizer runs.
+/// Regenerates Table 3 from default-optimizer runs. The percentages are
+/// computed from the aggregate counters; each row also carries the
+/// per-pass attribution blocks those aggregates are the sum of.
 pub fn table3(lab: &mut Lab) -> Table3 {
     let runs = lab.run_all(MachineConfig::default_with_optimizer());
     let mut rows = Vec::new();
     let mut all = OptStats::default();
+    let mut all_passes = PassStats::default();
     for suite in [Suite::SpecInt, Suite::SpecFp, Suite::MediaBench] {
         let mut agg = OptStats::default();
+        let mut passes = PassStats::default();
         for (_, r) in runs.iter().filter(|(w, _)| w.suite == suite) {
             agg.merge(&r.optimizer);
             all.merge(&r.optimizer);
+            passes.merge(&r.passes);
+            all_passes.merge(&r.passes);
         }
         rows.push(Table3Row {
             suite: suite.to_string(),
@@ -254,6 +264,7 @@ pub fn table3(lab: &mut Lab) -> Table3 {
             recovered_mispredicts: agg.pct_mispredicts_recovered(),
             addr_generated: agg.pct_mem_addr_generated(),
             loads_removed: agg.pct_loads_removed(),
+            passes,
         });
     }
     rows.push(Table3Row {
@@ -262,6 +273,7 @@ pub fn table3(lab: &mut Lab) -> Table3 {
         recovered_mispredicts: all.pct_mispredicts_recovered(),
         addr_generated: all.pct_mem_addr_generated(),
         loads_removed: all.pct_loads_removed(),
+        passes: all_passes,
     });
     Table3 { rows }
 }
@@ -280,6 +292,38 @@ impl fmt::Display for Table3 {
                 f,
                 "{:<12} {:>10.1}% {:>19.1}% {:>15.1}% {:>11.1}%",
                 r.suite, r.exec_early, r.recovered_mispredicts, r.addr_generated, r.loads_removed
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "Per-pass attribution (counters summed per suite; aggregates above are their sum)"
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "Benchmark",
+            "cp-ra.elim",
+            "cp-ra.infer",
+            "rle-sf.lds",
+            "rle-sf.rej",
+            "vf.integr",
+            "ee.early",
+            "ee.brs"
+        )?;
+        for r in &self.rows {
+            let p = &r.passes;
+            writeln!(
+                f,
+                "{:<12} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+                r.suite,
+                p.cp_ra.moves_eliminated + p.cp_ra.strength_reductions,
+                p.cp_ra.branch_inferences,
+                p.rle_sf.loads_removed,
+                p.rle_sf.mbc_rejects,
+                p.value_feedback.feedback_integrations,
+                p.early_exec.executed_early,
+                p.early_exec.branches_resolved_early
             )?;
         }
         Ok(())

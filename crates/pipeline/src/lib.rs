@@ -24,7 +24,7 @@
 //! let base = simulate(MachineConfig::default_paper(), program.clone(), 100_000);
 //! let opt = simulate(MachineConfig::default_with_optimizer(), program, 100_000);
 //! assert_eq!(base.pipeline.retired, opt.pipeline.retired);
-//! println!("speedup: {:.3}", opt.speedup_over(&base));
+//! println!("speedup: {:.3}", opt.speedup_over(&base)?);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -37,4 +37,4 @@ mod stats;
 
 pub use config::MachineConfig;
 pub use machine::{simulate, Machine};
-pub use stats::{PipelineStats, RunReport};
+pub use stats::{PipelineStats, RunReport, SpeedupError};

@@ -183,6 +183,7 @@ impl Machine {
         RunReport {
             pipeline: self.stats,
             optimizer: self.opt.stats(),
+            passes: self.opt.pass_stats(),
             mbc: self.opt.mbc_stats(),
             predictor: self.pred.stats(),
             memory: self.hier.stats(),
@@ -665,7 +666,7 @@ mod tests {
             sum_loop(500),
             1_000_000,
         );
-        let s = opt.speedup_over(&base);
+        let s = opt.speedup_over(&base).unwrap();
         assert!(s > 1.0, "speedup = {s:.3}");
     }
 

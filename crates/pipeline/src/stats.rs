@@ -1,8 +1,9 @@
 //! Pipeline-level statistics and the run report.
 
-use contopt::{MbcStats, OptStats};
+use contopt::{MbcStats, OptStats, PassStats};
 use contopt_bpred::PredictorStats;
 use contopt_mem::HierarchyStats;
+use std::fmt;
 
 /// Cycle-level statistics of one simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -44,13 +45,77 @@ impl PipelineStats {
     }
 }
 
+/// Why a speedup ratio cannot be formed from a pair of reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpeedupError {
+    /// The two runs retired different instruction streams; their cycle
+    /// counts are not comparable.
+    MismatchedStreams {
+        /// Instructions retired by the run being measured.
+        ours: u64,
+        /// Instructions retired by the baseline run.
+        baseline: u64,
+    },
+    /// At least one run simulated zero cycles, so the ratio is undefined
+    /// (it would be `inf` or `NaN`).
+    EmptyRun {
+        /// Cycles of the run being measured.
+        ours: u64,
+        /// Cycles of the baseline run.
+        baseline: u64,
+    },
+}
+
+impl fmt::Display for SpeedupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpeedupError::MismatchedStreams { ours, baseline } => write!(
+                f,
+                "speedup requires identical instruction streams \
+                 (retired {ours} vs baseline {baseline})"
+            ),
+            SpeedupError::EmptyRun { ours, baseline } => write!(
+                f,
+                "speedup undefined over an empty run \
+                 (cycles {ours} vs baseline {baseline})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpeedupError {}
+
+/// The guarded cycle ratio shared by [`RunReport::speedup_over`] and the
+/// sim facade's `Report::speedup_over`: one implementation, so the two
+/// can never disagree on edge-case handling.
+pub(crate) fn speedup(ours: &PipelineStats, baseline: &PipelineStats) -> Result<f64, SpeedupError> {
+    if ours.retired != baseline.retired {
+        return Err(SpeedupError::MismatchedStreams {
+            ours: ours.retired,
+            baseline: baseline.retired,
+        });
+    }
+    if ours.cycles == 0 || baseline.cycles == 0 {
+        return Err(SpeedupError::EmptyRun {
+            ours: ours.cycles,
+            baseline: baseline.cycles,
+        });
+    }
+    Ok(baseline.cycles as f64 / ours.cycles as f64)
+}
+
 /// Everything measured in one run: pipeline, optimizer, predictor, memory.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// Core pipeline counters.
     pub pipeline: PipelineStats,
-    /// Optimizer counters (Table 3 inputs).
+    /// Aggregate optimizer counters (Table 3 inputs): always the sum of
+    /// the [`passes`](Self::passes) blocks.
     pub optimizer: OptStats,
+    /// The same optimizer counters attributed to the pass that earned
+    /// them (plus the engine block for shared denominators).
+    pub passes: PassStats,
     /// Memory Bypass Cache counters (lookups, hits, inserts, flushes).
     pub mbc: MbcStats,
     /// Branch predictor counters.
@@ -128,12 +193,12 @@ impl RunReport {
     }
 
     /// Speedup of this run over a baseline run of the same program.
-    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
-        debug_assert_eq!(
-            self.pipeline.retired, baseline.pipeline.retired,
-            "speedup requires identical instruction streams"
-        );
-        baseline.pipeline.cycles as f64 / self.pipeline.cycles as f64
+    ///
+    /// Returns a typed [`SpeedupError`] — never panics and never yields
+    /// `inf`/`NaN` — when the two runs retired different streams or either
+    /// simulated zero cycles.
+    pub fn speedup_over(&self, baseline: &RunReport) -> Result<f64, SpeedupError> {
+        speedup(&self.pipeline, &baseline.pipeline)
     }
 }
 
@@ -171,6 +236,36 @@ mod tests {
         a.pipeline.retired = 100;
         b.pipeline.cycles = 100;
         b.pipeline.retired = 100;
-        assert!((a.speedup_over(&b) - 1.25).abs() < 1e-12);
+        assert!((a.speedup_over(&b).unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_rejects_mismatched_and_empty_runs() {
+        let mut a = RunReport::default();
+        let mut b = RunReport::default();
+        a.pipeline.cycles = 80;
+        a.pipeline.retired = 100;
+        b.pipeline.cycles = 100;
+        b.pipeline.retired = 99;
+        assert_eq!(
+            a.speedup_over(&b),
+            Err(SpeedupError::MismatchedStreams {
+                ours: 100,
+                baseline: 99
+            })
+        );
+        b.pipeline.retired = 100;
+        b.pipeline.cycles = 0;
+        assert_eq!(
+            a.speedup_over(&b),
+            Err(SpeedupError::EmptyRun {
+                ours: 80,
+                baseline: 0
+            })
+        );
+        // Both empty (two default reports) is still an error, not NaN.
+        assert!(RunReport::default()
+            .speedup_over(&RunReport::default())
+            .is_err());
     }
 }

@@ -19,9 +19,9 @@
 //! // The baseline: same machine, no passes registered.
 //! let base = SimSession::builder().workload("untst").insts(60_000).build()?;
 //!
-//! let speedup = opt.run().speedup_over(&base.run());
+//! let speedup = opt.run().speedup_over(&base.run())?;
 //! assert!(speedup > 1.0);
-//! # Ok::<(), contopt_sim::Error>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! The paper's ablation scenarios are pass lists, not preset
@@ -54,14 +54,16 @@ pub use session::{SimBuilder, SimSession, DEFAULT_INSTS};
 
 // The core optimizer surface (passes, configs, stats, symbolic algebra).
 pub use contopt::{
-    passes, sym_add, sym_add_imm, sym_scaled_add, sym_shl, sym_sub, ConfigFieldError, ConfigScalar,
-    CpRa, EarlyExec, Folded, Mbc, MbcStats, OptPass, OptStats, Optimizer, OptimizerConfig, Pass,
-    PassId, PassSet, PhysReg, PregFile, RenameReq, Renamed, RenamedClass, RleSf, SymValue,
-    ValueFeedback, MAX_SCALE,
+    passes, pct, sym_add, sym_add_imm, sym_scaled_add, sym_shl, sym_sub, ConfigFieldError,
+    ConfigScalar, CpRa, EarlyExec, Folded, Mbc, MbcStats, OptPass, OptStats, Optimizer,
+    OptimizerConfig, Pass, PassId, PassSet, PassStats, PhysReg, PregFile, RenameReq, Renamed,
+    RenamedClass, RleSf, SymValue, ValueFeedback, ENGINE_BLOCK, MAX_SCALE,
 };
 
 // The cycle-level machine.
-pub use contopt_pipeline::{simulate, Machine, MachineConfig, PipelineStats, RunReport};
+pub use contopt_pipeline::{
+    simulate, Machine, MachineConfig, PipelineStats, RunReport, SpeedupError,
+};
 
 /// The simulated instruction set and assembler.
 pub use contopt_isa as isa;

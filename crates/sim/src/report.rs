@@ -1,10 +1,10 @@
 //! The unified run report.
 
-use crate::json::JsonValue;
-use contopt::{MbcStats, OptStats};
+use crate::json::{JsonValue, ToJson};
+use contopt::{MbcStats, OptStats, PassStats};
 use contopt_bpred::PredictorStats;
 use contopt_mem::HierarchyStats;
-use contopt_pipeline::{PipelineStats, RunReport};
+use contopt_pipeline::{PipelineStats, RunReport, SpeedupError};
 use std::fmt;
 
 /// Everything one simulation run measured, in one place: the cycle-level
@@ -19,8 +19,14 @@ use std::fmt;
 pub struct Report {
     /// Core pipeline counters (cycles, retired, stalls, redirects).
     pub pipeline: PipelineStats,
-    /// Optimizer counters (Table 3 inputs).
+    /// Aggregate optimizer counters (Table 3 inputs). Always equals the
+    /// sum of the [`passes`](Self::passes) blocks — the aggregate is
+    /// derived, never separately maintained.
     pub optimizer: OptStats,
+    /// The same optimizer counters attributed to the pass unit that
+    /// earned them ([`contopt::OptPass::name`]-keyed in JSON), plus the
+    /// `engine` block for shared denominators and structural limits.
+    pub passes: PassStats,
     /// Memory Bypass Cache counters.
     pub mbc: MbcStats,
     /// Branch predictor counters.
@@ -38,12 +44,13 @@ impl Report {
     }
 
     /// Speedup of this run over a baseline run of the same program.
-    pub fn speedup_over(&self, baseline: &Report) -> f64 {
-        debug_assert_eq!(
-            self.pipeline.retired, baseline.pipeline.retired,
-            "speedup requires identical instruction streams"
-        );
-        baseline.pipeline.cycles as f64 / self.pipeline.cycles as f64
+    ///
+    /// Returns a typed [`SpeedupError`] — never panics and never yields
+    /// `inf`/`NaN` — when the two runs retired different instruction
+    /// streams or either simulated zero cycles. The check shares one
+    /// implementation with [`RunReport::speedup_over`].
+    pub fn speedup_over(&self, baseline: &Report) -> Result<f64, SpeedupError> {
+        self.as_run_report().speedup_over(&baseline.as_run_report())
     }
 
     /// A multi-line human-readable summary of the run.
@@ -66,6 +73,7 @@ impl Report {
         RunReport {
             pipeline: self.pipeline,
             optimizer: self.optimizer,
+            passes: self.passes,
             mbc: self.mbc,
             predictor: self.predictor,
             memory: self.memory,
@@ -84,9 +92,30 @@ impl Report {
     }
 
     /// Serializes the full report as JSON.
+    ///
+    /// The `"optimizer"` object carries the aggregate counters (via the
+    /// same [`ToJson`] impl the per-pass blocks use, so the two cannot
+    /// drift in shape or float formatting) plus the Table 3 derived
+    /// percentages; `"passes"` is the [`contopt::OptPass::name`]-keyed
+    /// attribution map in the stable [`PassStats::named_blocks`] order.
     pub fn to_json(&self) -> JsonValue {
         let p = &self.pipeline;
         let o = &self.optimizer;
+        let JsonValue::Object(mut optimizer) = o.to_json() else {
+            unreachable!("OptStats serializes as an object");
+        };
+        optimizer.extend([
+            ("pct_executed_early".into(), o.pct_executed_early().into()),
+            (
+                "pct_mispredicts_recovered".into(),
+                o.pct_mispredicts_recovered().into(),
+            ),
+            (
+                "pct_mem_addr_generated".into(),
+                o.pct_mem_addr_generated().into(),
+            ),
+            ("pct_loads_removed".into(), o.pct_loads_removed().into()),
+        ]);
         JsonValue::obj([
             (
                 "pipeline",
@@ -105,29 +134,8 @@ impl Report {
                     ("late_redirects", p.late_redirects.into()),
                 ]),
             ),
-            (
-                "optimizer",
-                JsonValue::obj([
-                    ("insts", o.insts.into()),
-                    ("executed_early", o.executed_early.into()),
-                    ("pct_executed_early", o.pct_executed_early().into()),
-                    ("branches_resolved_early", o.branches_resolved_early.into()),
-                    ("mispredicted_branches", o.mispredicted_branches.into()),
-                    (
-                        "mispredicts_recovered_early",
-                        o.mispredicts_recovered_early.into(),
-                    ),
-                    ("mem_addr_generated", o.mem_addr_generated.into()),
-                    ("loads_removed", o.loads_removed.into()),
-                    ("moves_eliminated", o.moves_eliminated.into()),
-                    ("strength_reductions", o.strength_reductions.into()),
-                    ("branch_inferences", o.branch_inferences.into()),
-                    ("feedback_integrations", o.feedback_integrations.into()),
-                    ("mbc_rejects", o.mbc_rejects.into()),
-                    ("chain_limited", o.chain_limited.into()),
-                    ("trace_resets", o.trace_resets.into()),
-                ]),
-            ),
+            ("optimizer", JsonValue::Object(optimizer)),
+            ("passes", self.passes.to_json()),
             (
                 "mbc",
                 JsonValue::obj([
@@ -135,6 +143,7 @@ impl Report {
                     ("hits", self.mbc.hits.into()),
                     ("inserts", self.mbc.inserts.into()),
                     ("flushes", self.mbc.flushes.into()),
+                    ("pct_hits", self.mbc.pct_hits().into()),
                 ]),
             ),
             (
@@ -161,6 +170,52 @@ impl Report {
     }
 }
 
+/// The raw counters, in `OptStats` declaration order. Both the aggregate
+/// `"optimizer"` object and every `"passes"` block serialize through this
+/// one impl, so their shapes and float formatting cannot drift.
+impl ToJson for OptStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("insts", self.insts.into()),
+            ("executed_early", self.executed_early.into()),
+            (
+                "branches_resolved_early",
+                self.branches_resolved_early.into(),
+            ),
+            ("mispredicted_branches", self.mispredicted_branches.into()),
+            (
+                "mispredicts_recovered_early",
+                self.mispredicts_recovered_early.into(),
+            ),
+            ("mem_ops", self.mem_ops.into()),
+            ("mem_addr_generated", self.mem_addr_generated.into()),
+            ("loads", self.loads.into()),
+            ("loads_removed", self.loads_removed.into()),
+            ("mbc_rejects", self.mbc_rejects.into()),
+            ("moves_eliminated", self.moves_eliminated.into()),
+            ("strength_reductions", self.strength_reductions.into()),
+            ("branch_inferences", self.branch_inferences.into()),
+            ("feedback_integrations", self.feedback_integrations.into()),
+            ("chain_limited", self.chain_limited.into()),
+            ("mem_chain_limited", self.mem_chain_limited.into()),
+            ("trace_resets", self.trace_resets.into()),
+        ])
+    }
+}
+
+/// The per-pass attribution map: one counters object per block, keyed by
+/// pass name (plus `"engine"`), in the stable
+/// [`PassStats::named_blocks`] order.
+impl ToJson for PassStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(
+            self.named_blocks()
+                .into_iter()
+                .map(|(name, block)| (name, block.to_json())),
+        )
+    }
+}
+
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.summary())
@@ -172,6 +227,7 @@ impl From<RunReport> for Report {
         Report {
             pipeline: r.pipeline,
             optimizer: r.optimizer,
+            passes: r.passes,
             mbc: r.mbc,
             predictor: r.predictor,
             memory: r.memory,
@@ -204,14 +260,96 @@ mod tests {
         a.pipeline.retired = 100;
         b.pipeline.cycles = 100;
         b.pipeline.retired = 100;
-        assert!((a.speedup_over(&b) - 1.25).abs() < 1e-12);
+        assert!((a.speedup_over(&b).unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_never_panics_or_returns_non_finite() {
+        use contopt_pipeline::SpeedupError;
+        let mut a = Report::default();
+        a.pipeline.cycles = 80;
+        a.pipeline.retired = 100;
+        // Mismatched streams: a typed error, not a panic.
+        let mut other = Report::default();
+        other.pipeline.cycles = 90;
+        other.pipeline.retired = 90;
+        assert!(matches!(
+            a.speedup_over(&other),
+            Err(SpeedupError::MismatchedStreams {
+                ours: 100,
+                baseline: 90
+            })
+        ));
+        // Zero-cycle runs on either side: a typed error, not inf/NaN.
+        let empty = Report::default();
+        assert!(matches!(
+            a.speedup_over(&Report {
+                pipeline: PipelineStats {
+                    retired: 100,
+                    ..PipelineStats::default()
+                },
+                ..Report::default()
+            }),
+            Err(SpeedupError::EmptyRun { .. })
+        ));
+        assert!(empty.speedup_over(&empty).is_err());
+        // Every Ok value is finite by construction.
+        let mut b = Report::default();
+        b.pipeline.cycles = 100;
+        b.pipeline.retired = 100;
+        assert!(a.speedup_over(&b).unwrap().is_finite());
     }
 
     #[test]
     fn json_has_all_sections() {
         let j = Report::default().to_json().to_string();
-        for key in ["pipeline", "optimizer", "mbc", "predictor", "memory"] {
+        for key in [
+            "pipeline",
+            "optimizer",
+            "passes",
+            "mbc",
+            "predictor",
+            "memory",
+        ] {
             assert!(j.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn json_passes_map_is_name_keyed_in_stable_order() {
+        let mut r = Report::default();
+        r.passes.rle_sf.loads_removed = 4;
+        r.passes.early_exec.executed_early = 9;
+        let j = r.to_json();
+        let passes = j.get("passes").expect("passes object");
+        let keys: Vec<&str> = passes
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            keys,
+            ["engine", "cp-ra", "rle-sf", "value-feedback", "early-exec"]
+        );
+        assert_eq!(
+            passes
+                .get("rle-sf")
+                .and_then(|b| b.get("loads_removed"))
+                .and_then(JsonValue::as_u64),
+            Some(4)
+        );
+        // Every block shares the aggregate's counter shape (same serializer).
+        let counter_keys = |v: &JsonValue| -> Vec<String> {
+            v.as_object()
+                .unwrap()
+                .iter()
+                .map(|(k, _)| k.clone())
+                .collect()
+        };
+        let agg = r.optimizer.to_json();
+        for (_, block) in passes.as_object().unwrap() {
+            assert_eq!(counter_keys(block), counter_keys(&agg));
         }
     }
 }

@@ -13,7 +13,7 @@
 
 use contopt_sim::{CpRa, EarlyExec, PassSet, RleSf, SimSession, ValueFeedback};
 
-fn main() -> Result<(), contopt_sim::Error> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = contopt_sim::workloads::build("untst").expect("untst is in the suite");
     println!("workload: {} — {}", w.name, w.description);
 
@@ -51,7 +51,7 @@ fn main() -> Result<(), contopt_sim::Error> {
             } else {
                 entries.to_string()
             },
-            r.speedup_over(&base),
+            r.speedup_over(&base)?,
             r.optimizer.pct_loads_removed(),
             r.optimizer.pct_executed_early()
         );

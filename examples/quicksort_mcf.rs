@@ -9,7 +9,7 @@
 
 use contopt_sim::{MachineConfig, SimSession};
 
-fn main() -> Result<(), contopt_sim::Error> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base_session = SimSession::builder()
         .workload("mcf")
         .insts(2_000_000)
@@ -32,7 +32,7 @@ fn main() -> Result<(), contopt_sim::Error> {
         base.pipeline.cycles, opt.pipeline.cycles
     );
     println!("IPC               {:>12.3} {:>15.3}", base.ipc(), opt.ipc());
-    println!("speedup over baseline: {:.3}x", opt.speedup_over(&base));
+    println!("speedup over baseline: {:.3}x", opt.speedup_over(&base)?);
     println!();
     println!("what the optimizer did to the quicksort (paper §5.2):");
     println!(

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         opt.pipeline.cycles,
         opt.ipc()
     );
-    println!("speedup  : {:.3}x", opt.speedup_over(&base));
+    println!("speedup  : {:.3}x", opt.speedup_over(&base)?);
     println!();
     println!(
         "executed early     : {:5.1}% of instructions",

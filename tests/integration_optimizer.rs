@@ -351,7 +351,10 @@ fn discrete_optimization_is_weaker_than_continuous() {
         "boundaries must fire"
     );
     assert_eq!(discrete.pipeline.retired, continuous.pipeline.retired);
-    let (sc, sd) = (continuous.speedup_over(&base), discrete.speedup_over(&base));
+    let (sc, sd) = (
+        continuous.speedup_over(&base).unwrap(),
+        discrete.speedup_over(&base).unwrap(),
+    );
     assert!(
         sc > sd,
         "continuous ({sc:.3}) must beat 64-inst discrete traces ({sd:.3})"
@@ -362,7 +365,7 @@ fn discrete_optimization_is_weaker_than_continuous() {
         w.program,
         300_000,
     );
-    assert!(long.speedup_over(&base) >= sd);
+    assert!(long.speedup_over(&base).unwrap() >= sd);
 }
 
 #[test]
@@ -376,10 +379,10 @@ fn feedback_alone_is_weaker_than_optimization() {
     );
     let opt = run_cfg(MachineConfig::default_with_optimizer(), w.program, 300_000);
     assert!(
-        opt.speedup_over(&base) > fb.speedup_over(&base),
+        opt.speedup_over(&base).unwrap() > fb.speedup_over(&base).unwrap(),
         "Figure 9: optimization must add over feedback alone ({:.3} vs {:.3})",
-        opt.speedup_over(&base),
-        fb.speedup_over(&base)
+        opt.speedup_over(&base).unwrap(),
+        fb.speedup_over(&base).unwrap()
     );
 }
 

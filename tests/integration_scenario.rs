@@ -6,6 +6,7 @@
 use contopt_experiments::{
     builtin_scenarios, check_goldens, fig10_plan, fig11_plan, fig12_plan, fig6_plan, fig8_plan,
     fig9_plan, record_goldens, scenario_plan, smoke_scenario, table3_plan, DriftKind, Lab, Plan,
+    TolerancePolicy,
 };
 use contopt_sim::{
     MachineConfig, OptimizerConfig, Scenario, ScenarioConfig, ToJson, ALL_WORKLOADS,
@@ -155,7 +156,13 @@ fn compact_and_pretty_scenario_json_parse_identically() {
 fn checked_in_smoke_goldens_reproduce() {
     let sc = Scenario::load(repo_root().join("scenarios/smoke.json")).unwrap();
     let mut lab = Lab::new(sc.insts);
-    let drifts = check_goldens(&mut lab, &sc, &repo_root().join("goldens")).unwrap();
+    let drifts = check_goldens(
+        &mut lab,
+        &sc,
+        &repo_root().join("goldens"),
+        &TolerancePolicy::exact(),
+    )
+    .unwrap();
     assert!(
         drifts.is_empty(),
         "smoke goldens drifted (re-record intentionally with --record): {drifts:?}"
@@ -180,18 +187,60 @@ fn golden_harness_detects_flag_flips_and_missing_files() {
     let mut lab = Lab::new(sc.insts);
     let written = record_goldens(&mut lab, &sc, &dir).unwrap();
     assert_eq!(written.len(), 1);
-    assert!(check_goldens(&mut lab, &sc, &dir).unwrap().is_empty());
+    let exact = TolerancePolicy::exact();
+    assert!(check_goldens(&mut lab, &sc, &dir, &exact)
+        .unwrap()
+        .is_empty());
 
     // Flipping an optimizer flag in the scenario changes the simulated
-    // result, so the same goldens now report drift.
+    // result, so the same goldens now report drift — and the drift names
+    // the first differing line so it is diagnosable from CI logs.
     sc.configs[0].machine.optimizer.enable_rle_sf = false;
-    let drifts = check_goldens(&mut lab, &sc, &dir).unwrap();
+    let drifts = check_goldens(&mut lab, &sc, &dir, &exact).unwrap();
     assert_eq!(drifts.len(), 1);
-    assert_eq!(drifts[0].kind, DriftKind::Changed);
+    let DriftKind::Changed { diff, disallowed } = &drifts[0].kind else {
+        panic!("expected Changed, got {:?}", drifts[0].kind);
+    };
+    assert!(diff.line > 1);
+    assert_ne!(diff.expected, diff.actual);
+    assert!(disallowed.is_empty(), "exact checks list no field paths");
+    let shown = drifts[0].to_string();
+    assert!(shown.contains("- expected:"), "{shown}");
+    assert!(shown.contains("+ actual:"), "{shown}");
+
+    // A tolerance policy opting in every top-level section that can
+    // legitimately move under the flag flip accepts the same run...
+    let lenient = TolerancePolicy::allowing([
+        "pipeline",
+        "optimizer",
+        "passes",
+        "mbc",
+        "predictor",
+        "memory",
+    ]);
+    assert!(check_goldens(&mut lab, &sc, &dir, &lenient)
+        .unwrap()
+        .is_empty());
+    // ...while a policy covering only an unrelated field still drifts and
+    // names the uncovered paths.
+    let narrow = TolerancePolicy::allowing(["insts_budget"]);
+    let drifts = check_goldens(&mut lab, &sc, &dir, &narrow).unwrap();
+    assert_eq!(drifts.len(), 1);
+    let DriftKind::Changed { disallowed, .. } = &drifts[0].kind else {
+        panic!("expected Changed");
+    };
+    assert!(
+        !disallowed.is_empty(),
+        "uncovered drift must name its field paths"
+    );
+    assert!(
+        drifts[0].to_string().contains(&disallowed[0]),
+        "drift display must include the uncovered paths"
+    );
 
     // A label with no recorded golden is drift too, not a pass.
     sc.configs[0].label = "unrecorded".into();
-    let drifts = check_goldens(&mut lab, &sc, &dir).unwrap();
+    let drifts = check_goldens(&mut lab, &sc, &dir, &exact).unwrap();
     assert_eq!(drifts[0].kind, DriftKind::Missing);
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -64,7 +64,7 @@ fn suite_speedup_ordering_matches_the_paper() {
         for w in suite().into_iter().filter(|w| w.suite == s) {
             let base = simulate(MachineConfig::default_paper(), w.program.clone(), CAP);
             let opt = simulate(MachineConfig::default_with_optimizer(), w.program, CAP);
-            prod *= opt.speedup_over(&base);
+            prod *= opt.speedup_over(&base).unwrap();
             n += 1;
         }
         means.insert(s, prod.powf(1.0 / n as f64));
@@ -89,7 +89,7 @@ fn amp_is_flat_mcf_and_untst_stand_out() {
         let w = contopt_sim::workloads::build(name).unwrap();
         let base = simulate(MachineConfig::default_paper(), w.program.clone(), CAP);
         let opt = simulate(MachineConfig::default_with_optimizer(), w.program, CAP);
-        opt.speedup_over(&base)
+        opt.speedup_over(&base).unwrap()
     };
     let amp = speedup("amp");
     assert!(
