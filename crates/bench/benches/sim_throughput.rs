@@ -2,13 +2,16 @@
 //! committed instructions per wall-clock second) for the baseline and the
 //! full-pass machine on two workloads, so every future PR can check the
 //! simulator's own speed against `BENCH_throughput.json` at the repository
-//! root. The JSON is rewritten on every run; commit it when the numbers
-//! move meaningfully.
+//! root. Each run *appends* one timestamped entry to the file's `"runs"`
+//! array (never overwrites history), so the file is a perf trajectory;
+//! commit it when the numbers move meaningfully. The experiment driver's
+//! `--validate` checks the trajectory stays monotonically timestamped.
 
+use contopt_experiments::append_bench_run;
 use contopt_sim::workloads::build;
 use contopt_sim::{JsonValue, MachineConfig, SimSession};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Instruction budget per measured run: large enough that steady state
 /// dominates the cold start.
@@ -64,13 +67,15 @@ fn bench(c: &mut Criterion) {
             ]));
         }
     }
-    let doc = JsonValue::obj([
-        ("insts_per_run", INSTS.into()),
-        ("cells", JsonValue::arr(cells)),
-    ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
-    std::fs::write(path, doc.pretty() + "\n").expect("write BENCH_throughput.json");
-    println!("sim_throughput: wrote {path}");
+    let existing = std::fs::read_to_string(path).ok();
+    let unix_secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let text = append_bench_run(existing.as_deref(), unix_secs, INSTS, cells);
+    std::fs::write(path, text).expect("write BENCH_throughput.json");
+    println!("sim_throughput: appended run to {path}");
 
     // Phase 2: the same cells under the criterion harness for trend lines.
     let mut g = c.benchmark_group("sim_throughput");

@@ -68,6 +68,20 @@ pub enum PassId {
 }
 
 impl PassId {
+    /// Every stock pass unit, in pipeline (and report) order.
+    pub const ALL: [PassId; 4] = [
+        PassId::CpRa,
+        PassId::RleSf,
+        PassId::ValueFeedback,
+        PassId::EarlyExec,
+    ];
+
+    /// Looks a stock pass up by its [`name`](Self::name) (`"cp-ra"`,
+    /// `"rle-sf"`, `"value-feedback"`, `"early-exec"`).
+    pub fn from_name(name: &str) -> Option<PassId> {
+        PassId::ALL.into_iter().find(|id| id.name() == name)
+    }
+
     /// Short human-readable name.
     pub fn name(self) -> &'static str {
         match self {
@@ -412,6 +426,20 @@ impl PassSet {
         self.passes.iter().any(|p| p.id() == Some(id))
     }
 
+    /// Decomposes `cfg` into its stock pass units and keeps only those
+    /// `keep` accepts, preserving each kept pass's parameters and the
+    /// engine-level `extra_stages`/`discrete_interval`. This is the subset
+    /// constructor behind counterfactual ablations: compiling the result
+    /// ([`to_config`](Self::to_config)) yields the leave-out / keep-only
+    /// machine for any stock-pass combination. Keeping no pass compiles to
+    /// the baseline (a plain renamer paying no extra stages) — the empty
+    /// set has no cost-only representation.
+    pub fn subset(cfg: OptimizerConfig, keep: impl Fn(PassId) -> bool) -> PassSet {
+        let mut set = PassSet::from(cfg);
+        set.passes.retain(|p| p.id().is_some_and(&keep));
+        set
+    }
+
     /// Compiles the pass set into the flat configuration the rename engine
     /// executes. An empty set yields the (normalized) baseline.
     pub fn to_config(&self) -> OptimizerConfig {
@@ -495,6 +523,37 @@ impl From<&PassSet> for OptimizerConfig {
 impl From<PassSet> for OptimizerConfig {
     fn from(set: PassSet) -> OptimizerConfig {
         set.to_config()
+    }
+}
+
+/// Stock-pass subset views of a flat configuration, built on
+/// [`PassSet::subset`]. These are the counterfactual constructors the
+/// ablation engine uses: every leave-one-out and keep-only-one machine is
+/// the same configuration with a pass subset removed or kept.
+impl OptimizerConfig {
+    /// The stock pass units active in this configuration, in
+    /// [`PassId::ALL`] order (empty for the baseline).
+    pub fn active_passes(&self) -> Vec<PassId> {
+        PassSet::from(*self).iter().filter_map(|p| p.id()).collect()
+    }
+
+    /// This configuration with the listed stock passes removed and every
+    /// other pass's parameters (and the pipeline cost) intact. Removing a
+    /// pass that is not active is the identity on the normalized form, so
+    /// the result lands in the same simulation cell — an ablation of an
+    /// inactive pass measures exactly zero marginal cycles without
+    /// simulating anything new. Removing the last active pass yields the
+    /// baseline machine.
+    pub fn without_passes(&self, removed: &[PassId]) -> OptimizerConfig {
+        PassSet::subset(*self, |id| !removed.contains(&id)).to_config()
+    }
+
+    /// This configuration reduced to only the listed stock passes (the
+    /// add-one-in direction of an ablation matrix), keeping their
+    /// parameters and the pipeline cost. Keeping no active pass yields the
+    /// baseline machine.
+    pub fn only_passes(&self, kept: &[PassId]) -> OptimizerConfig {
+        PassSet::subset(*self, |id| kept.contains(&id)).to_config()
     }
 }
 
@@ -603,6 +662,87 @@ mod tests {
         assert!(!cfg.enable_reassociation && !cfg.enable_branch_inference);
         // And it survives the round trip.
         assert_eq!(OptimizerConfig::from(PassSet::from(cfg)), cfg.normalized());
+    }
+
+    #[test]
+    fn pass_id_name_round_trips() {
+        for id in PassId::ALL {
+            assert_eq!(PassId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(PassId::from_name("engine"), None);
+        assert_eq!(PassId::from_name("cp_ra"), None, "names are hyphenated");
+    }
+
+    #[test]
+    fn active_passes_reflect_the_decomposition() {
+        assert_eq!(
+            OptimizerConfig::default().active_passes(),
+            PassId::ALL.to_vec()
+        );
+        assert!(OptimizerConfig::baseline().active_passes().is_empty());
+        assert_eq!(
+            OptimizerConfig::feedback_only().active_passes(),
+            [PassId::ValueFeedback, PassId::EarlyExec]
+        );
+    }
+
+    #[test]
+    fn without_passes_is_leave_one_out() {
+        let full = OptimizerConfig {
+            mbc_entries: 64,
+            feedback_delay: 5,
+            extra_stages: 4,
+            ..OptimizerConfig::default()
+        };
+        // Removing RLE/SF keeps the other passes' parameters and the
+        // pipeline cost intact.
+        let no_rle = full.without_passes(&[PassId::RleSf]);
+        assert!(!no_rle.enable_rle_sf);
+        assert_eq!(no_rle.feedback_delay, 5, "value-feedback params survive");
+        assert_eq!(no_rle.extra_stages, 4, "pipeline cost survives");
+        assert_eq!(
+            no_rle.active_passes(),
+            [PassId::CpRa, PassId::ValueFeedback, PassId::EarlyExec]
+        );
+        // Removing an inactive pass is the identity on the normalized form.
+        let feedback_only = OptimizerConfig::feedback_only();
+        assert_eq!(
+            feedback_only.without_passes(&[PassId::RleSf]),
+            feedback_only.normalized()
+        );
+        // Removing every pass is the baseline.
+        assert_eq!(
+            full.without_passes(&PassId::ALL),
+            OptimizerConfig::baseline().normalized()
+        );
+    }
+
+    #[test]
+    fn only_passes_is_add_one_in() {
+        let full = OptimizerConfig::default();
+        let only_vf = full.only_passes(&[PassId::ValueFeedback]);
+        assert!(only_vf.enabled && only_vf.value_feedback);
+        assert!(!only_vf.optimize && !only_vf.enable_early_exec);
+        assert_eq!(only_vf.extra_stages, 2, "still pays the pipeline cost");
+        assert_eq!(only_vf.active_passes(), [PassId::ValueFeedback]);
+        // Keeping a pass the config never had yields the baseline.
+        assert_eq!(
+            OptimizerConfig::feedback_only().only_passes(&[PassId::RleSf]),
+            OptimizerConfig::baseline().normalized()
+        );
+    }
+
+    #[test]
+    fn subset_drops_custom_passes_but_keeps_stock_parameters() {
+        let cfg = OptimizerConfig {
+            add_chain_depth: 3,
+            mem_chain_depth: 1,
+            ..OptimizerConfig::default()
+        };
+        let kept = PassSet::subset(cfg, |id| id == PassId::CpRa).to_config();
+        assert_eq!(kept.add_chain_depth, 3, "CP/RA parameters preserved");
+        assert!(!kept.enable_rle_sf);
+        assert_eq!(kept.mem_chain_depth, 0, "RLE/SF parameters gone");
     }
 
     #[test]

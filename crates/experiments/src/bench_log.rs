@@ -1,0 +1,174 @@
+//! The simulator-throughput trajectory file (`BENCH_throughput.json`).
+//!
+//! `cargo bench --bench sim_throughput` measures simulated MIPS and
+//! *appends* one timestamped entry per run to the `"runs"` array, so the
+//! file is a perf trajectory to diff against — not a snapshot that every
+//! run overwrites. The experiment driver's `--validate` checks the file
+//! through [`validate_bench_trajectory`]: entries must be structurally
+//! complete and monotonically timestamped.
+
+use contopt_sim::JsonValue;
+
+/// The trajectory file's name at the repository root. `--validate`
+/// applies the trajectory checks to any file with this name.
+pub const BENCH_LOG_NAME: &str = "BENCH_throughput.json";
+
+/// Appends one bench run to the trajectory and returns the new file text
+/// (pretty JSON plus a trailing newline).
+///
+/// `existing` is the current file text, if any; a missing or
+/// structurally unusable file starts a fresh trajectory rather than
+/// failing, so the bench always records. The appended entry's timestamp
+/// is clamped to the last entry's so a clock step backwards cannot
+/// produce a file that fails its own validation.
+pub fn append_bench_run(
+    existing: Option<&str>,
+    unix_secs: u64,
+    insts_per_run: u64,
+    cells: Vec<JsonValue>,
+) -> String {
+    let mut runs: Vec<JsonValue> = existing
+        .and_then(|text| JsonValue::parse(text).ok())
+        .and_then(|doc| {
+            doc.get("runs")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::to_vec)
+        })
+        .unwrap_or_default();
+    let last_secs = runs
+        .last()
+        .and_then(|r| r.get("unix_secs"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    runs.push(JsonValue::obj([
+        ("unix_secs", unix_secs.max(last_secs).into()),
+        ("insts_per_run", insts_per_run.into()),
+        ("cells", JsonValue::arr(cells)),
+    ]));
+    let doc = JsonValue::obj([("runs", JsonValue::arr(runs))]);
+    let mut out = doc.pretty();
+    out.push('\n');
+    out
+}
+
+/// Validates a parsed trajectory document: a top-level `"runs"` array
+/// with at least one entry, each entry carrying `unix_secs`,
+/// `insts_per_run`, and a non-empty `cells` array, with timestamps
+/// monotonically non-decreasing.
+pub fn validate_bench_trajectory(doc: &JsonValue) -> Result<(), String> {
+    let runs = doc
+        .get("runs")
+        .and_then(JsonValue::as_array)
+        .ok_or("expected a top-level \"runs\" array")?;
+    if runs.is_empty() {
+        return Err(
+            "\"runs\" is empty; record one with `cargo bench --bench sim_throughput`".into(),
+        );
+    }
+    let mut last = 0u64;
+    for (i, run) in runs.iter().enumerate() {
+        let secs = run
+            .get("unix_secs")
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("runs[{i}]: expected an unsigned \"unix_secs\""))?;
+        if secs < last {
+            return Err(format!(
+                "runs[{i}]: timestamp {secs} goes backwards (previous entry: {last}); \
+                 the trajectory must be monotonically timestamped"
+            ));
+        }
+        last = secs;
+        run.get("insts_per_run")
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("runs[{i}]: expected an unsigned \"insts_per_run\""))?;
+        let cells = run
+            .get("cells")
+            .and_then(JsonValue::as_array)
+            .ok_or(format!("runs[{i}]: expected a \"cells\" array"))?;
+        if cells.is_empty() {
+            return Err(format!("runs[{i}]: \"cells\" is empty"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> JsonValue {
+        JsonValue::obj([("workload", "mcf".into()), ("mips", 4.5.into())])
+    }
+
+    #[test]
+    fn append_accumulates_a_trajectory() {
+        let first = append_bench_run(None, 100, 150_000, vec![cell()]);
+        let doc = JsonValue::parse(&first).unwrap();
+        validate_bench_trajectory(&doc).unwrap();
+        assert_eq!(
+            doc.get("runs").and_then(JsonValue::as_array).unwrap().len(),
+            1
+        );
+
+        let second = append_bench_run(Some(&first), 200, 150_000, vec![cell()]);
+        let doc = JsonValue::parse(&second).unwrap();
+        validate_bench_trajectory(&doc).unwrap();
+        let runs = doc.get("runs").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(runs.len(), 2, "append, not overwrite");
+        assert_eq!(
+            runs[0].get("unix_secs").and_then(JsonValue::as_u64),
+            Some(100),
+            "earlier entries survive"
+        );
+    }
+
+    #[test]
+    fn append_clamps_backwards_clocks() {
+        let first = append_bench_run(None, 500, 1, vec![cell()]);
+        let second = append_bench_run(Some(&first), 300, 1, vec![cell()]);
+        let doc = JsonValue::parse(&second).unwrap();
+        validate_bench_trajectory(&doc).unwrap();
+        let runs = doc.get("runs").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(
+            runs[1].get("unix_secs").and_then(JsonValue::as_u64),
+            Some(500),
+            "clamped to the previous timestamp"
+        );
+    }
+
+    #[test]
+    fn unusable_existing_text_starts_fresh() {
+        for broken in ["not json", "{\"cells\": []}", "[]"] {
+            let text = append_bench_run(Some(broken), 42, 1, vec![cell()]);
+            let doc = JsonValue::parse(&text).unwrap();
+            validate_bench_trajectory(&doc).unwrap();
+        }
+    }
+
+    #[test]
+    fn validation_names_the_defect() {
+        let no_runs = JsonValue::parse("{}").unwrap();
+        assert!(validate_bench_trajectory(&no_runs)
+            .unwrap_err()
+            .contains("runs"));
+        let empty = JsonValue::parse("{\"runs\": []}").unwrap();
+        assert!(validate_bench_trajectory(&empty)
+            .unwrap_err()
+            .contains("empty"));
+        let backwards = JsonValue::parse(
+            r#"{"runs": [
+                {"unix_secs": 10, "insts_per_run": 1, "cells": [1]},
+                {"unix_secs": 5, "insts_per_run": 1, "cells": [1]}]}"#,
+        )
+        .unwrap();
+        assert!(validate_bench_trajectory(&backwards)
+            .unwrap_err()
+            .contains("backwards"));
+        let no_cells =
+            JsonValue::parse(r#"{"runs": [{"unix_secs": 10, "insts_per_run": 1, "cells": []}]}"#)
+                .unwrap();
+        assert!(validate_bench_trajectory(&no_cells)
+            .unwrap_err()
+            .contains("cells"));
+    }
+}

@@ -7,6 +7,8 @@
 //! contopt-experiments --scenario scenarios/fig9.json [--jobs N]
 //! contopt-experiments --scenario scenarios/smoke.json --record   # pin goldens
 //! contopt-experiments --scenario scenarios/smoke.json --check    # fail on drift
+//! contopt-experiments --ablate scenarios/ablate_smoke.json --table  # per-pass cycles
+//! contopt-experiments --ablate scenarios/ablate_smoke.json --check  # pin/verify ablation
 //! contopt-experiments --validate [FILE...]        # parse-check JSON artifacts
 //! contopt-experiments --emit-scenarios            # regenerate scenarios/*.json
 //! ```
@@ -20,18 +22,48 @@
 //! budget (`--insts` does not apply to them).
 
 use contopt_experiments::{
-    builtin_scenarios, check_goldens, default_jobs, fig10, fig10_plan, fig11, fig11_plan, fig12,
-    fig12_plan, fig6, fig6_plan, fig8, fig8_plan, fig9, fig9_plan, record_goldens, scenario_plan,
-    table1, table2, table3, table3_plan, Lab, Plan, TolerancePolicy, DEFAULT_INSTS,
+    builtin_scenarios, check_ablation_golden, check_goldens, default_jobs, fig10, fig10_plan,
+    fig11, fig11_plan, fig12, fig12_plan, fig6, fig6_plan, fig8, fig8_plan, fig9, fig9_plan,
+    record_ablation_golden, record_goldens, scenario_plan, table1, table2, table3, table3_plan,
+    validate_bench_trajectory, Lab, Plan, TolerancePolicy, BENCH_LOG_NAME, DEFAULT_INSTS,
 };
 use contopt_sim::{JsonValue, Scenario, ToJson};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: contopt-experiments [--insts N] [--jobs N] [--json] \
-     [--all | --table1 --table2 --table3 --fig6 --fig8 --fig9 --fig10 --fig11 --fig12] \
-     [--scenario FILE]... [--record | --check [--allow-field PATH]...] [--goldens DIR] \
-     [--validate [FILE...]] [--emit-scenarios] [--scenarios-dir DIR]";
+const USAGE: &str = "usage: contopt-experiments [OPTIONS]
+
+artifacts (combinable; --all selects every table and figure):
+  --all --table1 --table2 --table3 --fig6 --fig8 --fig9 --fig10 --fig11 --fig12
+
+scenario files:
+  --scenario FILE ...      run a checked-in sweep through the parallel Lab
+  --ablate FILE ...        expand the scenario's counterfactual ablation
+                           matrix (full / leave-one-out / baseline / opt-in
+                           add-one-in) and attribute cycles per pass
+  --record | --check       pin or verify goldens for the named scenarios
+                           (per-cell reports for --scenario, the
+                           AblationReport for --ablate)
+  --allow-field PATH ...   with --check: JSON fields allowed to differ
+  --goldens DIR            golden root (default: goldens)
+  --table                  render the per-pass attribution table (the
+                           default --ablate output; --json overrides)
+
+maintenance:
+  --validate [FILE...]     parse-check JSON artifacts (default: every
+                           scenarios/*.json plus BENCH_throughput.json,
+                           whose run trajectory must be monotonically
+                           timestamped)
+  --emit-scenarios         regenerate scenarios/*.json from the builders
+  --scenarios-dir DIR      scenario directory (default: scenarios)
+
+tuning:
+  --insts N                instruction budget for built-in artifacts
+                           (scenario files pin their own budget)
+  --jobs N                 worker threads; 0 means auto-detect via the
+                           machine's available parallelism (the default;
+                           the CONTOPT_JOBS env var behaves the same way)
+  --json                   emit JSON instead of text tables";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,9 +88,16 @@ fn main() -> ExitCode {
         })
     };
     let insts = flag_value("--insts").unwrap_or(DEFAULT_INSTS);
-    let jobs = flag_value("--jobs")
-        .map(|v| v as usize)
-        .unwrap_or_else(default_jobs);
+    // `--jobs 0` (like `CONTOPT_JOBS=0`) means auto-detect, so scripts can
+    // pass an explicit "use every core" without knowing the core count.
+    let jobs = match args.iter().position(|a| a == "--jobs") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(0) => default_jobs(),
+            Some(n) => n,
+            None => panic!("--jobs takes a non-negative number"),
+        },
+        None => default_jobs(),
+    };
     let json = args.iter().any(|a| a == "--json");
     let scenarios_dir = string_value("--scenarios-dir").unwrap_or_else(|| "scenarios".into());
     let goldens_dir = PathBuf::from(string_value("--goldens").unwrap_or_else(|| "goldens".into()));
@@ -70,15 +109,25 @@ fn main() -> ExitCode {
         return validate(&args, Path::new(&scenarios_dir));
     }
 
-    let scenario_files: Vec<&String> = args
-        .iter()
-        .enumerate()
-        .filter(|(_, a)| *a == "--scenario")
-        .map(|(i, _)| args.get(i + 1).expect("--scenario takes a file path"))
-        .collect();
-    if !scenario_files.is_empty() {
+    let files_for = |flag: &'static str| -> Vec<&String> {
+        args.iter()
+            .enumerate()
+            .filter(|(_, a)| *a == flag)
+            .map(|(i, _)| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("{flag} takes a file path"))
+            })
+            .collect()
+    };
+    let scenario_files = files_for("--scenario");
+    let ablate_files = files_for("--ablate");
+    if !scenario_files.is_empty() || !ablate_files.is_empty() {
         let record = args.iter().any(|a| a == "--record");
         let check = args.iter().any(|a| a == "--check");
+        if record && check {
+            eprintln!("contopt-experiments: --record and --check are mutually exclusive");
+            return ExitCode::FAILURE;
+        }
         // Explicit opt-in fields for intentional model changes; the
         // default (no --allow-field) is exact byte equality.
         let policy = TolerancePolicy::allowing(
@@ -92,7 +141,9 @@ fn main() -> ExitCode {
                         .clone()
                 }),
         );
-        return run_scenarios(
+        // Evaluate both unconditionally: a scenario failure or drift must
+        // not silently skip the requested ablation work (or vice versa).
+        let scenarios_ok = run_scenarios(
             &scenario_files,
             jobs,
             record,
@@ -101,6 +152,27 @@ fn main() -> ExitCode {
             &policy,
             json,
         );
+        let ablations_ok = run_ablations(
+            &ablate_files,
+            jobs,
+            record,
+            check,
+            &goldens_dir,
+            &policy,
+            json,
+        );
+        return if scenarios_ok && ablations_ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    // Past this point no scenario or ablation was requested; a stray
+    // `--table` would otherwise be a silent no-op.
+    if args.iter().any(|a| a == "--table") {
+        eprintln!("contopt-experiments: --table selects the per-pass table of an --ablate run");
+        return ExitCode::FAILURE;
     }
 
     let all = args.iter().any(|a| a == "--all");
@@ -241,12 +313,18 @@ fn validate(args: &[String], scenarios_dir: &Path) -> ExitCode {
         let result = if in_scenarios {
             Scenario::load(path).map(|_| ()).map_err(|e| e.to_string())
         } else {
+            let is_bench_log = path.file_name().is_some_and(|n| n == BENCH_LOG_NAME);
             std::fs::read_to_string(path)
                 .map_err(|e| e.to_string())
-                .and_then(|text| {
-                    JsonValue::parse(&text)
-                        .map(|_| ())
-                        .map_err(|e| e.to_string())
+                .and_then(|text| JsonValue::parse(&text).map_err(|e| e.to_string()))
+                .and_then(|doc| {
+                    if is_bench_log {
+                        // The bench trajectory must also be structurally
+                        // sound and monotonically timestamped.
+                        validate_bench_trajectory(&doc)
+                    } else {
+                        Ok(())
+                    }
                 })
         };
         match result {
@@ -265,6 +343,7 @@ fn validate(args: &[String], scenarios_dir: &Path) -> ExitCode {
 }
 
 /// Loads, executes, and (optionally) records or checks scenarios.
+/// Returns `false` on any failure or drift.
 #[allow(clippy::too_many_arguments)] // one call site; mirrors the CLI surface
 fn run_scenarios(
     files: &[&String],
@@ -274,25 +353,21 @@ fn run_scenarios(
     goldens_dir: &Path,
     policy: &TolerancePolicy,
     json: bool,
-) -> ExitCode {
-    if record && check {
-        eprintln!("contopt-experiments: --record and --check are mutually exclusive");
-        return ExitCode::FAILURE;
-    }
+) -> bool {
     let mut any_drift = false;
     for file in files {
         let sc = match Scenario::load(file) {
             Ok(sc) => sc,
             Err(e) => {
                 eprintln!("contopt-experiments: {file}: {e}");
-                return ExitCode::FAILURE;
+                return false;
             }
         };
         let plan = match scenario_plan(&sc) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("contopt-experiments: {file}: {e}");
-                return ExitCode::FAILURE;
+                return false;
             }
         };
         // Each scenario pins its own instruction budget, so each gets its
@@ -328,17 +403,93 @@ fn run_scenarios(
         };
         if let Err(e) = outcome {
             eprintln!("contopt-experiments: {file}: {e}");
-            return ExitCode::FAILURE;
+            return false;
         }
     }
     if any_drift {
         eprintln!(
             "contopt-experiments: golden drift detected; re-record intentionally with --record"
         );
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
     }
+    !any_drift
+}
+
+/// Loads each scenario, expands and executes its counterfactual ablation
+/// matrix, and prints, records, or checks the per-pass cycle attribution.
+/// Returns `false` on any failure or drift.
+#[allow(clippy::too_many_arguments)] // one call site; mirrors the CLI surface
+fn run_ablations(
+    files: &[&String],
+    jobs: usize,
+    record: bool,
+    check: bool,
+    goldens_dir: &Path,
+    policy: &TolerancePolicy,
+    json: bool,
+) -> bool {
+    let mut any_drift = false;
+    for file in files {
+        let sc = match Scenario::load(file) {
+            Ok(sc) => sc,
+            Err(e) => {
+                eprintln!("contopt-experiments: {file}: {e}");
+                return false;
+            }
+        };
+        let plan = match contopt_experiments::ablation_plan(&sc) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("contopt-experiments: {file}: {e}");
+                return false;
+            }
+        };
+        let mut lab = Lab::new(sc.insts);
+        eprintln!(
+            "contopt-experiments: ablation {:?}: simulating {} unique counterfactual cells \
+             on {} worker(s)",
+            sc.name,
+            plan.len(),
+            jobs
+        );
+        lab.execute(&plan, jobs);
+
+        let outcome = if record {
+            record_ablation_golden(&mut lab, &sc, goldens_dir).map(|path| {
+                println!("recorded {}", path.display());
+            })
+        } else if check {
+            check_ablation_golden(&mut lab, &sc, goldens_dir, policy).map(|drifts| {
+                if drifts.is_empty() {
+                    println!("ablation {:?}: golden matches", sc.name);
+                } else {
+                    any_drift = true;
+                    for d in &drifts {
+                        println!("ablation {:?}: {d}", sc.name);
+                    }
+                }
+            })
+        } else {
+            contopt_experiments::ablation_report(&mut lab, &sc).map(|report| {
+                if json {
+                    println!("{}", report.to_json().pretty());
+                } else {
+                    // The per-pass attribution table (also what an
+                    // explicit --table selects).
+                    println!("{report}");
+                }
+            })
+        };
+        if let Err(e) = outcome {
+            eprintln!("contopt-experiments: {file}: {e}");
+            return false;
+        }
+    }
+    if any_drift {
+        eprintln!(
+            "contopt-experiments: ablation drift detected; re-record intentionally with --record"
+        );
+    }
+    !any_drift
 }
 
 /// Prints per-cell results of a scenario run (no goldens involved).

@@ -112,7 +112,9 @@ impl Plan {
 
 /// The default worker count for [`Lab::execute`]: the `CONTOPT_JOBS`
 /// environment variable if set to a positive integer, otherwise
-/// [`std::thread::available_parallelism`].
+/// [`std::thread::available_parallelism`]. Setting `CONTOPT_JOBS=0` (like
+/// passing `--jobs 0` to the binary) explicitly requests auto-detection —
+/// it is never an error and never means "serialize".
 pub fn default_jobs() -> usize {
     std::env::var("CONTOPT_JOBS")
         .ok()

@@ -33,23 +33,40 @@
 //! the figure constructors, and [`record_goldens`]/[`check_goldens`] pin
 //! per-cell reports under `goldens/` so result drift fails CI
 //! (`--scenario … --record/--check` on the binary).
+//!
+//! On top of the scenarios sits the **counterfactual ablation engine**
+//! (`--ablate` on the binary): [`ablation_plan`] expands each scenario
+//! cell into its full / leave-one-out / baseline / add-one-in
+//! counterfactuals (deduplicated by configuration fingerprint through the
+//! same [`Lab`]), and [`ablation_report`] attributes *cycles* — not just
+//! events — per optimizer pass, with interaction residuals and
+//! `speedup_over`-based shares
+//! ([`record_ablation_golden`]/[`check_ablation_golden`] pin the result).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod ablation;
+mod bench_log;
 mod figures;
 mod lab;
 mod scenario;
 mod tables;
 
+pub use ablation::{
+    ablation_golden_path, ablation_plan, ablation_report, check_ablation_golden,
+    record_ablation_golden, AblationError,
+};
+pub use bench_log::{append_bench_run, validate_bench_trajectory, BENCH_LOG_NAME};
 pub use figures::{
     fig10, fig10_plan, fig11, fig11_plan, fig12, fig12_plan, fig6, fig6_plan, fig8, fig8_plan,
     fig9, fig9_plan, Fig6, SuiteFigure,
 };
 pub use lab::{default_jobs, geomean, Lab, Plan, SuiteMeans, DEFAULT_INSTS};
 pub use scenario::{
-    builtin_scenarios, check_goldens, first_divergence, golden_path, record_goldens, scenario_plan,
-    smoke_scenario, CellError, DriftKind, GoldenDrift, LineDiff, TolerancePolicy,
+    ablate_smoke_scenario, builtin_scenarios, check_goldens, first_divergence, golden_path,
+    record_goldens, scenario_plan, smoke_scenario, CellError, DriftKind, GoldenDrift, LineDiff,
+    TolerancePolicy,
 };
 pub use tables::{
     table1, table2, table3, table3_plan, Table1, Table1Row, Table2, Table3, Table3Row,

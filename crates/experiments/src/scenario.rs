@@ -43,6 +43,7 @@ fn suite_scenario(
     Scenario {
         name: name.to_string(),
         insts,
+        ablation: None,
         configs: configs
             .into_iter()
             .map(|(label, machine)| ScenarioConfig {
@@ -60,6 +61,7 @@ pub fn smoke_scenario() -> Scenario {
     Scenario {
         name: "smoke".to_string(),
         insts: 50_000,
+        ablation: None,
         configs: [("baseline", base()), ("optimized", opt())]
             .into_iter()
             .map(|(label, machine)| ScenarioConfig {
@@ -68,6 +70,23 @@ pub fn smoke_scenario() -> Scenario {
                 workloads: vec!["twf".to_string(), "untst".to_string()],
             })
             .collect(),
+    }
+}
+
+/// The CI ablation gate: the default optimized machine on two fast
+/// benchmarks at a reduced budget, with the add-one-in direction on —
+/// the counterfactual matrix `--ablate` expands from this is pinned as
+/// `goldens/ablate_smoke/ablation.json`.
+pub fn ablate_smoke_scenario() -> Scenario {
+    Scenario {
+        name: "ablate_smoke".to_string(),
+        insts: 50_000,
+        ablation: Some(contopt_sim::AblationSpec { add_one_in: true }),
+        configs: vec![ScenarioConfig {
+            label: "optimized".to_string(),
+            machine: opt(),
+            workloads: vec!["twf".to_string(), "untst".to_string()],
+        }],
     }
 }
 
@@ -81,6 +100,7 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
     };
     vec![
         smoke_scenario(),
+        ablate_smoke_scenario(),
         suite_scenario(
             "fig6",
             DEFAULT_INSTS,
@@ -96,7 +116,7 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
 }
 
 /// Maps a scenario/label/workload name onto a filesystem-safe stem.
-fn file_stem(s: &str) -> String {
+pub(crate) fn file_stem(s: &str) -> String {
     s.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
@@ -265,6 +285,56 @@ fn json_diff_paths(expected: &JsonValue, actual: &JsonValue, at: &str, out: &mut
     }
 }
 
+/// Compares recorded golden text against a fresh canonical serialization
+/// under `policy`: `None` when the bytes match, or when every difference
+/// is covered by the policy's opt-in list. Shared by the per-cell report
+/// checker ([`check_goldens`]) and the ablation checker
+/// ([`crate::check_ablation_golden`]), so the two cannot diverge in
+/// comparison semantics.
+pub(crate) fn drift_between(
+    recorded: &str,
+    canonical: &str,
+    policy: &TolerancePolicy,
+) -> Option<DriftKind> {
+    if recorded == canonical {
+        return None;
+    }
+    // Exact mode (the default and the CI path) never parses; every byte
+    // difference drifts.
+    let disallowed = if policy.is_exact() {
+        Vec::new()
+    } else {
+        match (JsonValue::parse(recorded), JsonValue::parse(canonical)) {
+            (Ok(exp), Ok(act)) => {
+                let mut paths = Vec::new();
+                json_diff_paths(&exp, &act, "", &mut paths);
+                let outside: Vec<String> =
+                    paths.into_iter().filter(|p| !policy.permits(p)).collect();
+                if outside.is_empty() {
+                    return None; // every difference was opted in
+                }
+                outside
+            }
+            // Unparseable golden: report it as a plain change.
+            _ => Vec::new(),
+        }
+    };
+    // Bytes can differ while every line compares equal (a missing
+    // trailing newline, CRLF endings): `lines()` normalizes both, so
+    // synthesize a diff rather than treating "no differing line" as
+    // impossible.
+    let diff = first_divergence(recorded, canonical).unwrap_or_else(|| LineDiff {
+        line: 0,
+        expected: format!("{} bytes", recorded.len()),
+        actual: format!(
+            "{} bytes (line endings or trailing newline differ)",
+            canonical.len()
+        ),
+        context: Vec::new(),
+    });
+    Some(DriftKind::Changed { diff, disallowed })
+}
+
 impl fmt::Display for GoldenDrift {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
@@ -387,45 +457,10 @@ pub fn check_goldens(
     for_each_cell(lab, sc, |cfg, workload, canonical| {
         let path = golden_path(dir, &sc.name, &cfg.label, workload);
         match std::fs::read_to_string(&path) {
-            Ok(recorded) if recorded == canonical => {}
             Ok(recorded) => {
-                // Exact mode (the default and the CI path) never parses;
-                // every byte difference drifts.
-                let disallowed = if policy.is_exact() {
-                    Vec::new()
-                } else {
-                    match (JsonValue::parse(&recorded), JsonValue::parse(&canonical)) {
-                        (Ok(exp), Ok(act)) => {
-                            let mut paths = Vec::new();
-                            json_diff_paths(&exp, &act, "", &mut paths);
-                            let outside: Vec<String> =
-                                paths.into_iter().filter(|p| !policy.permits(p)).collect();
-                            if outside.is_empty() {
-                                return Ok(()); // every difference was opted in
-                            }
-                            outside
-                        }
-                        // Unparseable golden: report it as a plain change.
-                        _ => Vec::new(),
-                    }
-                };
-                // Bytes can differ while every line compares equal (a
-                // missing trailing newline, CRLF endings): `lines()`
-                // normalizes both, so synthesize a diff rather than
-                // treating "no differing line" as impossible.
-                let diff = first_divergence(&recorded, &canonical).unwrap_or_else(|| LineDiff {
-                    line: 0,
-                    expected: format!("{} bytes", recorded.len()),
-                    actual: format!(
-                        "{} bytes (line endings or trailing newline differ)",
-                        canonical.len()
-                    ),
-                    context: Vec::new(),
-                });
-                drifts.push(GoldenDrift {
-                    path,
-                    kind: DriftKind::Changed { diff, disallowed },
-                });
+                if let Some(kind) = drift_between(&recorded, &canonical, policy) {
+                    drifts.push(GoldenDrift { path, kind });
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => drifts.push(GoldenDrift {
                 path,
@@ -445,7 +480,7 @@ mod tests {
     #[test]
     fn builtin_scenarios_are_valid_and_uniquely_named() {
         let all = builtin_scenarios();
-        assert_eq!(all.len(), 8);
+        assert_eq!(all.len(), 9);
         for (i, sc) in all.iter().enumerate() {
             sc.validate().unwrap_or_else(|e| panic!("{}: {e}", sc.name));
             assert!(
@@ -472,6 +507,7 @@ mod tests {
         let sc = Scenario {
             name: "collide".to_string(),
             insts: 1_000,
+            ablation: None,
             configs: vec![cfg("fetch bound"), cfg("fetch_bound")],
         };
         sc.validate().expect("labels are distinct as strings");
@@ -527,6 +563,7 @@ mod tests {
         let sc = Scenario {
             name: "nl".to_string(),
             insts: 10_000,
+            ablation: None,
             configs: vec![ScenarioConfig {
                 label: "baseline".to_string(),
                 machine: base(),

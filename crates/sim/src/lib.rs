@@ -40,16 +40,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod ablation;
 mod error;
 mod json;
 mod report;
 mod scenario;
 mod session;
 
+pub use ablation::{AblationReport, AddOneIn, ConfigAblation, PassAblation, WorkloadAblation};
 pub use error::Error;
 pub use json::{JsonError, JsonErrorKind, JsonValue, ToJson};
 pub use report::Report;
-pub use scenario::{Scenario, ScenarioConfig, ScenarioError, ALL_WORKLOADS, SCENARIO_VERSION};
+pub use scenario::{
+    AblationSpec, Scenario, ScenarioConfig, ScenarioError, ALL_WORKLOADS, SCENARIO_VERSION,
+};
 pub use session::{SimBuilder, SimSession, DEFAULT_INSTS};
 
 // The core optimizer surface (passes, configs, stats, symbolic algebra).

@@ -46,8 +46,23 @@ pub struct Scenario {
     pub name: String,
     /// Dynamic-instruction budget per simulation cell.
     pub insts: u64,
+    /// Counterfactual-ablation settings (the optional `"ablation"` block);
+    /// `None` when the file declares none. A scenario is ablatable either
+    /// way — the block only tunes the matrix.
+    pub ablation: Option<AblationSpec>,
     /// The labelled configurations, in declaration order.
     pub configs: Vec<ScenarioConfig>,
+}
+
+/// The optional `"ablation"` block of a scenario file: how the
+/// counterfactual matrix is expanded when the scenario is run under
+/// `--ablate`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AblationSpec {
+    /// Also simulate the add-one-in direction (baseline plus exactly one
+    /// pass) for every stock pass, in addition to the always-present
+    /// leave-one-out cells. Defaults to `false` when the block omits it.
+    pub add_one_in: bool,
 }
 
 /// One labelled machine configuration and the workloads it runs on.
@@ -196,6 +211,7 @@ impl Scenario {
         let mut version = None;
         let mut name = None;
         let mut insts = None;
+        let mut ablation = None;
         let mut configs = None;
         for (key, value) in fields {
             match key.as_str() {
@@ -215,6 +231,7 @@ impl Scenario {
                     );
                 }
                 "insts" => insts = Some(value.as_u64().ok_or(expected("insts", "an integer"))?),
+                "ablation" => ablation = Some(AblationSpec::from_json(value)?),
                 "configs" => {
                     let items = value.as_array().ok_or(expected("configs", "an array"))?;
                     let mut out = Vec::with_capacity(items.len());
@@ -237,6 +254,7 @@ impl Scenario {
         Ok(Scenario {
             name: name.ok_or(expected("top level", "a \"name\" field"))?,
             insts: insts.ok_or(expected("top level", "an \"insts\" field"))?,
+            ablation,
             configs: configs.ok_or(expected("top level", "a \"configs\" field"))?,
         })
     }
@@ -293,6 +311,35 @@ impl Scenario {
             cfg.machine.optimizer = cfg.machine.optimizer.normalized();
         }
         sc
+    }
+}
+
+impl AblationSpec {
+    fn from_json(doc: &JsonValue) -> Result<AblationSpec, ScenarioError> {
+        let fields = doc.as_object().ok_or(expected("ablation", "an object"))?;
+        let mut spec = AblationSpec::default();
+        for (key, value) in fields {
+            match key.as_str() {
+                "add_one_in" => {
+                    spec.add_one_in = value
+                        .as_bool()
+                        .ok_or(expected("ablation.add_one_in", "a bool"))?;
+                }
+                other => {
+                    return Err(ScenarioError::UnknownField {
+                        at: "ablation".into(),
+                        field: other.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+impl ToJson for AblationSpec {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([("add_one_in", self.add_one_in.into())])
     }
 }
 
@@ -412,15 +459,21 @@ fn optimizer_from_json(doc: &JsonValue, at: &str) -> Result<OptimizerConfig, Sce
 
 impl ToJson for Scenario {
     fn to_json(&self) -> JsonValue {
-        JsonValue::obj([
-            ("version", SCENARIO_VERSION.into()),
+        let mut fields = vec![
+            ("version", JsonValue::from(SCENARIO_VERSION)),
             ("name", self.name.as_str().into()),
             ("insts", self.insts.into()),
-            (
-                "configs",
-                JsonValue::arr(self.configs.iter().map(|c| c.to_json())),
-            ),
-        ])
+        ];
+        // An absent block stays absent, so files written before the
+        // ablation block existed still round-trip byte-for-byte.
+        if let Some(spec) = &self.ablation {
+            fields.push(("ablation", spec.to_json()));
+        }
+        fields.push((
+            "configs",
+            JsonValue::arr(self.configs.iter().map(|c| c.to_json())),
+        ));
+        JsonValue::obj(fields)
     }
 }
 
@@ -468,6 +521,7 @@ mod tests {
         Scenario {
             name: "mini".into(),
             insts: 50_000,
+            ablation: None,
             configs: vec![
                 ScenarioConfig {
                     label: "baseline".into(),
@@ -626,6 +680,48 @@ mod tests {
                 })
             ),
             "{e:?}"
+        );
+    }
+
+    #[test]
+    fn ablation_block_round_trips_and_stays_optional() {
+        // A file without the block parses to None and re-serializes
+        // without it.
+        let mut sc = two_config_scenario();
+        assert!(Scenario::parse(&sc.canonical_json())
+            .unwrap()
+            .ablation
+            .is_none());
+        assert!(!sc.canonical_json().contains("ablation"));
+        // With the block, both fields round-trip byte-for-byte.
+        sc.ablation = Some(AblationSpec { add_one_in: true });
+        let text = sc.canonical_json();
+        let parsed = Scenario::parse(&text).unwrap();
+        assert_eq!(parsed.ablation, Some(AblationSpec { add_one_in: true }));
+        assert_eq!(parsed.canonical_json(), text);
+        // An empty block means the defaults.
+        let sc = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1, "ablation": {}, "configs": [
+                {"label": "a", "workloads": ["mcf"], "machine": {}}]}"#,
+        )
+        .unwrap();
+        assert_eq!(sc.ablation, Some(AblationSpec::default()));
+        // Unknown fields and wrong types inside the block are typed errors.
+        let bad = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1, "ablation": {"frob": 1}, "configs": [
+                {"label": "a", "workloads": ["mcf"], "machine": {}}]}"#,
+        );
+        assert!(
+            matches!(bad, Err(ScenarioError::UnknownField { ref at, .. }) if at == "ablation"),
+            "{bad:?}"
+        );
+        let bad = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1, "ablation": {"add_one_in": 1}, "configs": [
+                {"label": "a", "workloads": ["mcf"], "machine": {}}]}"#,
+        );
+        assert!(
+            matches!(bad, Err(ScenarioError::Expected { .. })),
+            "{bad:?}"
         );
     }
 

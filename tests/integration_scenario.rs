@@ -119,6 +119,7 @@ fn random_optimizer_configs_round_trip_through_scenario_json() {
         let sc = Scenario {
             name: format!("prop{i}"),
             insts: 1 + splitmix64(&mut state) % 1_000_000,
+            ablation: None,
             configs: vec![ScenarioConfig {
                 label: "x".into(),
                 machine: MachineConfig::default_paper().with_optimizer(cfg),
@@ -178,6 +179,7 @@ fn golden_harness_detects_flag_flips_and_missing_files() {
     let mut sc = Scenario {
         name: "drift".into(),
         insts: 50_000,
+        ablation: None,
         configs: vec![ScenarioConfig {
             label: "optimized".into(),
             machine: MachineConfig::default_with_optimizer(),
