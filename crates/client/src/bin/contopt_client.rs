@@ -1,0 +1,252 @@
+//! `contopt-client` — submit scenario sweeps to a `contopt-server`.
+//!
+//! The remote counterpart of `contopt-experiments --scenario FILE`: the
+//! scenario is parsed and validated locally, shipped to the server, and
+//! the returned canonical reports are printed — or, with `--check`,
+//! byte-compared against the local `goldens/` tree through the exact
+//! harness (`check_cell` + `TolerancePolicy`) the local runner uses, with
+//! the same exit codes.
+
+use contopt_client::protocol::SweepStatus;
+use contopt_client::Client;
+use contopt_experiments::{CheckOutcome, TolerancePolicy};
+use contopt_sim::{JsonValue, Scenario};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+contopt-client — submit sweeps to a contopt sweep server
+
+USAGE:
+  contopt-client --scenario FILE [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT         server to submit to (default: CONTOPT_SERVER
+                           env var, else 127.0.0.1:4077)
+  --scenario FILE          scenario file to submit (repeatable)
+  --check                  compare each returned report byte-for-byte
+                           against its golden under --goldens
+  --json                   print the raw canonical report JSON instead
+                           of the summary table
+  --jobs N                 worker-count hint forwarded to the server
+                           (the server clamps it to its own pool)
+  --goldens DIR            goldens directory for --check
+                           (default: goldens)
+  --allow-field PATH ...   with --check: JSON field paths allowed to
+                           differ (default: exact byte equality)
+  --help                   print this help
+
+EXIT CODES (matching contopt-experiments --check):
+  0  success; with --check, every report matches its golden
+  1  drift: a golden exists but the server's report differs
+  2  missing: at least one cell has no recorded golden
+  3  error: connection, protocol, I/O, or bad invocation
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| args.get(i + 1).cloned())
+    };
+
+    let addr = match value_of("--addr") {
+        Some(Some(a)) => a,
+        Some(None) => {
+            eprintln!("contopt-client: --addr takes HOST:PORT");
+            return ExitCode::from(CheckOutcome::Error.exit_code());
+        }
+        None => std::env::var("CONTOPT_SERVER").unwrap_or_else(|_| "127.0.0.1:4077".to_string()),
+    };
+    let jobs = match value_of("--jobs") {
+        Some(Some(n)) => match n.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("contopt-client: --jobs takes a number, got {n:?}");
+                return ExitCode::from(CheckOutcome::Error.exit_code());
+            }
+        },
+        Some(None) => {
+            eprintln!("contopt-client: --jobs takes a number");
+            return ExitCode::from(CheckOutcome::Error.exit_code());
+        }
+        None => None,
+    };
+    let goldens_dir = match value_of("--goldens") {
+        Some(Some(d)) => d,
+        Some(None) => {
+            eprintln!("contopt-client: --goldens takes a directory");
+            return ExitCode::from(CheckOutcome::Error.exit_code());
+        }
+        None => "goldens".to_string(),
+    };
+    let policy = TolerancePolicy::allowing(
+        args.iter()
+            .enumerate()
+            .filter(|(_, a)| *a == "--allow-field")
+            .map(|(i, _)| {
+                args.get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("--allow-field takes a JSON field path"))
+            }),
+    );
+
+    let scenarios: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--scenario")
+        .filter_map(|(i, _)| args.get(i + 1))
+        .collect();
+    if scenarios.is_empty() {
+        eprintln!("contopt-client: --scenario FILE is required\n\n{USAGE}");
+        return ExitCode::from(CheckOutcome::Error.exit_code());
+    }
+
+    let client = Client::new(addr);
+    let mut worst = CheckOutcome::Ok;
+    for file in scenarios {
+        worst = worst.merge(run_one(
+            &client,
+            file,
+            jobs,
+            flag("--check"),
+            flag("--json"),
+            Path::new(&goldens_dir),
+            &policy,
+        ));
+    }
+    match worst {
+        CheckOutcome::Drift => {
+            eprintln!("contopt-client: golden drift detected; the server's reports differ")
+        }
+        CheckOutcome::MissingGolden => {
+            eprintln!("contopt-client: goldens missing; record them locally with contopt-experiments --record")
+        }
+        _ => {}
+    }
+    ExitCode::from(worst.exit_code())
+}
+
+/// Submits one scenario file and prints (or checks) its reports.
+fn run_one(
+    client: &Client,
+    file: &str,
+    jobs: Option<u64>,
+    check: bool,
+    json: bool,
+    goldens_dir: &Path,
+    policy: &TolerancePolicy,
+) -> CheckOutcome {
+    let sc = match Scenario::load(file) {
+        Ok(sc) => sc,
+        Err(e) => {
+            eprintln!("contopt-client: {file}: {e}");
+            return CheckOutcome::Error;
+        }
+    };
+    let sweep = match client.submit_scenario(&sc, jobs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("contopt-client: {file}: {e}");
+            return CheckOutcome::Error;
+        }
+    };
+    let status = sweep.status();
+    eprintln!(
+        "contopt-client: scenario {:?} @ {}: {} cells ({} unique: {} simulated, {} cached, {} joined); server lifetime {} simulations, {} cache entries",
+        sc.name,
+        client.addr(),
+        status.results,
+        status.unique,
+        status.simulated,
+        status.cache_hits,
+        status.joined,
+        status.total_simulations,
+        status.cache_entries,
+    );
+    let cells = match sweep.fetch_reports() {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("contopt-client: {file}: {e}");
+            return CheckOutcome::Error;
+        }
+    };
+
+    if check {
+        let mut drifts = Vec::new();
+        for cell in &cells {
+            match contopt_experiments::check_cell(
+                goldens_dir,
+                &sc.name,
+                &cell.label,
+                &cell.workload,
+                &cell.report,
+                policy,
+            ) {
+                Ok(None) => {}
+                Ok(Some(drift)) => {
+                    println!("scenario {:?}: {drift}", sc.name);
+                    drifts.push(drift);
+                }
+                Err(e) => {
+                    eprintln!("contopt-client: {file}: {e}");
+                    return CheckOutcome::Error;
+                }
+            }
+        }
+        if drifts.is_empty() {
+            println!("scenario {:?}: goldens match", sc.name);
+        }
+        CheckOutcome::from_drifts(&drifts)
+    } else if json {
+        for cell in &cells {
+            print!("{}", cell.report);
+        }
+        CheckOutcome::Ok
+    } else {
+        print_table(&sc.name, &status, &cells);
+        CheckOutcome::Ok
+    }
+}
+
+/// Renders the sweep as a compact summary table.
+fn print_table(name: &str, status: &SweepStatus, cells: &[contopt_client::protocol::CellResult]) {
+    println!(
+        "scenario {name:?} — {} cells, {} unique",
+        status.results, status.unique
+    );
+    println!(
+        "{:<16} {:<8} {:>12} {:>12} {:>6}  fingerprint",
+        "label", "workload", "cycles", "retired", "ipc"
+    );
+    for cell in cells {
+        let (cycles, retired, ipc) = match JsonValue::parse(&cell.report) {
+            Ok(doc) => {
+                let p = |key: &str| doc.get("pipeline").and_then(|p| p.get(key).cloned());
+                (
+                    p("cycles")
+                        .and_then(|v| v.as_u64())
+                        .map_or_else(|| "?".into(), |v| v.to_string()),
+                    p("retired")
+                        .and_then(|v| v.as_u64())
+                        .map_or_else(|| "?".into(), |v| v.to_string()),
+                    p("ipc")
+                        .and_then(|v| v.as_f64())
+                        .map_or_else(|| "?".into(), |v| format!("{v:.3}")),
+                )
+            }
+            Err(_) => ("?".into(), "?".into(), "?".into()),
+        };
+        println!(
+            "{:<16} {:<8} {cycles:>12} {retired:>12} {ipc:>6}  {}",
+            cell.label, cell.workload, cell.fingerprint
+        );
+    }
+}

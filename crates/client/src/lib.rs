@@ -1,0 +1,171 @@
+//! # contopt-client — SDK and CLI for the contopt sweep service
+//!
+//! This crate is the client half of *sweep-as-a-service*: it owns the
+//! [`protocol`] module both sides compile against, and layers a small
+//! blocking SDK on top of it. A [`Client`] submits a scenario (the same
+//! checked-in `scenarios/*.json` format the local harness runs) or a raw
+//! cell plan to a `contopt-server`, and streams back per-cell canonical
+//! `Report` JSON — byte-identical to what a local run would have written
+//! under `goldens/`, so the golden-check machinery in
+//! `contopt-experiments` applies unchanged to remote results.
+//!
+//! ```no_run
+//! use contopt_client::Client;
+//! use contopt_sim::Scenario;
+//!
+//! let scenario = Scenario::parse(&std::fs::read_to_string("scenarios/smoke.json")?)?;
+//! let sweep = Client::new("127.0.0.1:4077").submit_scenario(&scenario, None)?;
+//! println!("{} unique cells, {} from cache", sweep.status().unique, sweep.status().cache_hits);
+//! for cell in sweep.fetch_reports()? {
+//!     print!("{}/{} [{}]\n{}", cell.label, cell.workload, cell.fingerprint, cell.report);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The `contopt-client` binary wraps this in a CLI whose `--check` mode
+//! reuses the experiments crate's golden harness (`check_cell` +
+//! `TolerancePolicy`), so a remote check exits with the same code — and
+//! for the same bytes — as a local `contopt-experiments --scenario FILE
+//! --check`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod protocol;
+
+use contopt_sim::Scenario;
+use protocol::{
+    read_frame, write_frame, CellResult, Message, PlanCell, ProtocolError, SweepStatus, WireError,
+};
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::TcpStream;
+
+/// A client-side failure: transport, protocol, or a server-reported
+/// error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting to the server failed.
+    Connect(io::Error),
+    /// The conversation broke down at the wire level.
+    Protocol(ProtocolError),
+    /// The server rejected the request or failed mid-sweep.
+    Remote(WireError),
+    /// The server sent a message the protocol allows but this exchange
+    /// does not (e.g. a request type in a response position).
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "cannot reach sweep server: {e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Remote(e) => write!(f, "{e}"),
+            ClientError::Unexpected(what) => {
+                write!(f, "server sent an out-of-place message: expected {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A handle on a sweep server, addressed as `HOST:PORT`.
+///
+/// The client is connectionless between submissions: each
+/// [`submit_scenario`](Client::submit_scenario) /
+/// [`submit_plan`](Client::submit_plan) opens one TCP connection that
+/// carries exactly that request and its response stream.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// Creates a client for the server at `addr` (`HOST:PORT`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// The server address this client submits to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Submits a full scenario sweep.
+    ///
+    /// `jobs` hints how many workers the server should dedicate; the
+    /// server clamps it to its own pool. The scenario is validated
+    /// locally before anything is sent, so a malformed file fails fast
+    /// with the same [`ScenarioError`](contopt_sim::ScenarioError)
+    /// diagnostics a local run would produce.
+    pub fn submit_scenario(
+        &self,
+        scenario: &Scenario,
+        jobs: Option<u64>,
+    ) -> Result<Sweep, ClientError> {
+        scenario.validate().map_err(ProtocolError::Scenario)?;
+        self.submit(Message::SubmitScenario {
+            jobs,
+            scenario: scenario.clone(),
+        })
+    }
+
+    /// Submits a raw list of cells under one instruction budget.
+    pub fn submit_plan(
+        &self,
+        insts: u64,
+        cells: Vec<PlanCell>,
+        jobs: Option<u64>,
+    ) -> Result<Sweep, ClientError> {
+        self.submit(Message::SubmitPlan { jobs, insts, cells })
+    }
+
+    fn submit(&self, request: Message) -> Result<Sweep, ClientError> {
+        let stream = TcpStream::connect(&self.addr).map_err(ClientError::Connect)?;
+        let mut writer = BufWriter::new(stream.try_clone().map_err(ClientError::Connect)?);
+        write_frame(&mut writer, &request)?;
+        let mut reader = BufReader::new(stream);
+        match read_frame(&mut reader)? {
+            Message::SweepStatus(status) => Ok(Sweep { reader, status }),
+            Message::Error(e) => Err(ClientError::Remote(e)),
+            _ => Err(ClientError::Unexpected("sweep_status or error")),
+        }
+    }
+}
+
+/// An accepted sweep: the server's [`SweepStatus`] plus the still-open
+/// response stream carrying the per-cell reports.
+pub struct Sweep {
+    reader: BufReader<TcpStream>,
+    status: SweepStatus,
+}
+
+impl Sweep {
+    /// The server's accounting for this sweep (cache hits, fresh
+    /// simulations, lifetime totals).
+    pub fn status(&self) -> SweepStatus {
+        self.status
+    }
+
+    /// Drains the response stream, returning one [`CellResult`] per
+    /// requested cell, in the request's declaration order.
+    pub fn fetch_reports(mut self) -> Result<Vec<CellResult>, ClientError> {
+        let mut cells = Vec::with_capacity(self.status.results as usize);
+        for _ in 0..self.status.results {
+            match read_frame(&mut self.reader)? {
+                Message::CellResult(cell) => cells.push(cell),
+                Message::Error(e) => return Err(ClientError::Remote(e)),
+                _ => return Err(ClientError::Unexpected("cell_result or error")),
+            }
+        }
+        Ok(cells)
+    }
+}

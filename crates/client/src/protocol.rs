@@ -1,0 +1,687 @@
+//! The sweep-service wire protocol: length-prefixed JSON over TCP.
+//!
+//! Both sides of the service — `contopt-server` and the client SDK —
+//! speak this module and nothing else, so the protocol cannot drift
+//! between them. A connection carries exactly one request and its
+//! response stream:
+//!
+//! ```text
+//! client                                server
+//!   │ ── SubmitScenario / SubmitPlan ──▶ │
+//!   │ ◀── SweepStatus ─────────────────  │   (or Error)
+//!   │ ◀── CellResult × status.results ─  │
+//! ```
+//!
+//! # Framing
+//!
+//! Every message is one *frame*: a 4-byte big-endian payload length
+//! followed by that many bytes of compact JSON. Frames larger than
+//! [`MAX_FRAME_LEN`] are rejected on both sides before any allocation.
+//! Each payload is an object carrying `"v"` ([`PROTOCOL_VERSION`]) and a
+//! `"type"` tag; a version mismatch is a typed error, never a
+//! misinterpretation, so old clients fail loudly against new servers.
+//!
+//! # Payload fidelity
+//!
+//! Machine configurations travel as the same canonical JSON the scenario
+//! files use ([`machine_to_json`] / [`machine_from_json`]), and each
+//! [`CellResult`] carries the cell's canonical `Report` serialization as
+//! an opaque *string* — the exact bytes the server's golden harness would
+//! write locally — so a remote `--check` can byte-compare without any
+//! re-serialization step that could perturb formatting.
+
+use contopt_sim::{
+    machine_from_json, machine_to_json, JsonError, JsonValue, MachineConfig, Scenario,
+    ScenarioError, ToJson,
+};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The protocol version this build speaks. Bump on any incompatible
+/// framing or payload change; both sides reject other versions with a
+/// typed error.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on one frame's JSON payload, enforced before allocating
+/// the receive buffer. Generous: a full-figure sweep's largest frame is
+/// a few kilobytes.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// One `(label, machine, workload)` cell of a raw-plan submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCell {
+    /// Caller-chosen label echoed back in the matching [`CellResult`].
+    pub label: String,
+    /// The machine configuration to simulate.
+    pub machine: MachineConfig,
+    /// A Table 1 workload short name.
+    pub workload: String,
+}
+
+/// What the server did to satisfy a sweep, and how much of it was free.
+///
+/// `simulated + cache_hits + joined == unique`: every unique cell was
+/// either freshly simulated by this request, served from the result
+/// cache, or *joined* — another client's in-flight simulation of the same
+/// fingerprint was awaited instead of duplicated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStatus {
+    /// Number of [`CellResult`] frames that follow, one per requested
+    /// cell in declaration order (duplicates included).
+    pub results: u64,
+    /// Unique cells after fingerprint deduplication.
+    pub unique: u64,
+    /// Unique cells this request simulated fresh.
+    pub simulated: u64,
+    /// Unique cells served from the completed-result cache.
+    pub cache_hits: u64,
+    /// Unique cells that waited on another request's in-flight
+    /// simulation of the same fingerprint.
+    pub joined: u64,
+    /// Server-lifetime count of simulations performed, across all
+    /// clients. A repeated submission that was served entirely from
+    /// cache leaves this unchanged.
+    pub total_simulations: u64,
+    /// Entries currently held in the server's result cache.
+    pub cache_entries: u64,
+}
+
+/// One simulated cell's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellResult {
+    /// The configuration label (scenario label, or [`PlanCell::label`]).
+    pub label: String,
+    /// The workload short name.
+    pub workload: String,
+    /// The cell's behavioural fingerprint ([`cell_fingerprint`]) — the
+    /// server's result-cache key in hex form.
+    pub fingerprint: String,
+    /// The canonical `Report` JSON, byte-for-byte as
+    /// `Report::canonical_json` produced it on the server.
+    pub report: String,
+}
+
+/// A server-reported failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// A stable machine-readable cause (`"bad-request"`, `"version"`,
+    /// `"internal"`).
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server error [{}]: {}", self.code, self.message)
+    }
+}
+
+/// Every message either side can frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: execute a full scenario sweep.
+    SubmitScenario {
+        /// Worker-count hint for this sweep; the server clamps it to its
+        /// own pool size. `None` means "the server's default".
+        jobs: Option<u64>,
+        /// The sweep, in the checked-in scenario-file format (including
+        /// its own `"version"` field); validated on receipt.
+        scenario: Scenario,
+    },
+    /// Client → server: execute a raw list of cells under one budget.
+    SubmitPlan {
+        /// Worker-count hint, as for
+        /// [`SubmitScenario`](Self::SubmitScenario).
+        jobs: Option<u64>,
+        /// Dynamic-instruction budget per cell.
+        insts: u64,
+        /// The cells, in the order results should come back.
+        cells: Vec<PlanCell>,
+    },
+    /// Server → client: the sweep completed; results follow.
+    SweepStatus(SweepStatus),
+    /// Server → client: one cell's report.
+    CellResult(CellResult),
+    /// Server → client: the request failed; the connection closes.
+    Error(WireError),
+}
+
+/// A protocol failure: transport, framing, or payload.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// A frame declared a payload beyond [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// A frame's payload was not valid UTF-8 JSON.
+    Json(JsonError),
+    /// The payload was not valid UTF-8.
+    Utf8,
+    /// A structurally malformed message object.
+    Malformed {
+        /// Path to the offending value (`cells[1].machine`).
+        at: String,
+        /// What was required there.
+        what: &'static str,
+    },
+    /// The peer speaks a different protocol version.
+    VersionMismatch(u64),
+    /// An unrecognized `"type"` tag.
+    UnknownType(String),
+    /// An embedded scenario or machine block failed to parse or
+    /// validate.
+    Scenario(ScenarioError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "connection failed: {e}"),
+            ProtocolError::FrameTooLarge(n) => {
+                write!(
+                    f,
+                    "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+                )
+            }
+            ProtocolError::Json(e) => write!(f, "frame payload is not valid JSON: {e}"),
+            ProtocolError::Utf8 => write!(f, "frame payload is not valid UTF-8"),
+            ProtocolError::Malformed { at, what } => {
+                write!(f, "malformed message: expected {what} at {at}")
+            }
+            ProtocolError::VersionMismatch(v) => write!(
+                f,
+                "peer speaks protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+            ),
+            ProtocolError::UnknownType(t) => write!(f, "unknown message type {t:?}"),
+            ProtocolError::Scenario(e) => write!(f, "invalid scenario payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> ProtocolError {
+        ProtocolError::Io(e)
+    }
+}
+
+impl From<JsonError> for ProtocolError {
+    fn from(e: JsonError) -> ProtocolError {
+        ProtocolError::Json(e)
+    }
+}
+
+impl From<ScenarioError> for ProtocolError {
+    fn from(e: ScenarioError) -> ProtocolError {
+        ProtocolError::Scenario(e)
+    }
+}
+
+fn malformed(at: impl Into<String>, what: &'static str) -> ProtocolError {
+    ProtocolError::Malformed {
+        at: at.into(),
+        what,
+    }
+}
+
+impl ToJson for SweepStatus {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("results", self.results.into()),
+            ("unique", self.unique.into()),
+            ("simulated", self.simulated.into()),
+            ("cache_hits", self.cache_hits.into()),
+            ("joined", self.joined.into()),
+            ("total_simulations", self.total_simulations.into()),
+            ("cache_entries", self.cache_entries.into()),
+        ])
+    }
+}
+
+impl SweepStatus {
+    fn from_json(doc: &JsonValue, at: &str) -> Result<SweepStatus, ProtocolError> {
+        let field = |key: &'static str| {
+            doc.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or(malformed(format!("{at}.{key}"), "an unsigned integer"))
+        };
+        Ok(SweepStatus {
+            results: field("results")?,
+            unique: field("unique")?,
+            simulated: field("simulated")?,
+            cache_hits: field("cache_hits")?,
+            joined: field("joined")?,
+            total_simulations: field("total_simulations")?,
+            cache_entries: field("cache_entries")?,
+        })
+    }
+}
+
+impl Message {
+    /// The message's `"type"` tag.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Message::SubmitScenario { .. } => "submit_scenario",
+            Message::SubmitPlan { .. } => "submit_plan",
+            Message::SweepStatus(_) => "sweep_status",
+            Message::CellResult(_) => "cell_result",
+            Message::Error(_) => "error",
+        }
+    }
+
+    /// Serializes the message as one versioned payload object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("v".to_string(), JsonValue::from(PROTOCOL_VERSION)),
+            ("type".to_string(), self.type_tag().into()),
+        ];
+        match self {
+            Message::SubmitScenario { jobs, scenario } => {
+                if let Some(j) = jobs {
+                    fields.push(("jobs".into(), (*j).into()));
+                }
+                fields.push(("scenario".into(), scenario.to_json()));
+            }
+            Message::SubmitPlan { jobs, insts, cells } => {
+                if let Some(j) = jobs {
+                    fields.push(("jobs".into(), (*j).into()));
+                }
+                fields.push(("insts".into(), (*insts).into()));
+                fields.push((
+                    "cells".into(),
+                    JsonValue::arr(cells.iter().map(|c| {
+                        JsonValue::obj([
+                            ("label", c.label.as_str().into()),
+                            ("workload", c.workload.as_str().into()),
+                            ("machine", machine_to_json(&c.machine)),
+                        ])
+                    })),
+                ));
+            }
+            Message::SweepStatus(status) => {
+                let JsonValue::Object(inner) = status.to_json() else {
+                    unreachable!("SweepStatus serializes as an object");
+                };
+                fields.extend(inner);
+            }
+            Message::CellResult(cell) => {
+                fields.extend([
+                    ("label".to_string(), cell.label.as_str().into()),
+                    ("workload".to_string(), cell.workload.as_str().into()),
+                    ("fingerprint".to_string(), cell.fingerprint.as_str().into()),
+                    ("report".to_string(), cell.report.as_str().into()),
+                ]);
+            }
+            Message::Error(e) => {
+                fields.extend([
+                    ("code".to_string(), e.code.as_str().into()),
+                    ("message".to_string(), e.message.as_str().into()),
+                ]);
+            }
+        }
+        JsonValue::Object(fields)
+    }
+
+    /// Parses and validates one payload object.
+    ///
+    /// An embedded scenario is fully validated (workload names, label
+    /// uniqueness, budget) so a malformed submission is rejected at the
+    /// protocol boundary, before any simulation is planned.
+    pub fn from_json(doc: &JsonValue) -> Result<Message, ProtocolError> {
+        if doc.as_object().is_none() {
+            return Err(malformed("payload", "an object"));
+        }
+        let v = doc
+            .get("v")
+            .and_then(JsonValue::as_u64)
+            .ok_or(malformed("payload.v", "an unsigned integer"))?;
+        if v != PROTOCOL_VERSION {
+            return Err(ProtocolError::VersionMismatch(v));
+        }
+        let tag = doc
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or(malformed("payload.type", "a string"))?;
+        let jobs = match doc.get("jobs") {
+            None => None,
+            Some(j) => Some(
+                j.as_u64()
+                    .ok_or(malformed("payload.jobs", "an unsigned integer"))?,
+            ),
+        };
+        match tag {
+            "submit_scenario" => {
+                let sc_doc = doc
+                    .get("scenario")
+                    .ok_or(malformed("payload.scenario", "a scenario object"))?;
+                let scenario = Scenario::from_json(sc_doc)?;
+                scenario.validate()?;
+                Ok(Message::SubmitScenario { jobs, scenario })
+            }
+            "submit_plan" => {
+                let insts = doc
+                    .get("insts")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or(malformed("payload.insts", "an unsigned integer"))?;
+                let items = doc
+                    .get("cells")
+                    .and_then(JsonValue::as_array)
+                    .ok_or(malformed("payload.cells", "an array"))?;
+                let mut cells = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let at = format!("payload.cells[{i}]");
+                    let label = item
+                        .get("label")
+                        .and_then(JsonValue::as_str)
+                        .ok_or(malformed(format!("{at}.label"), "a string"))?
+                        .to_string();
+                    let workload = item
+                        .get("workload")
+                        .and_then(JsonValue::as_str)
+                        .ok_or(malformed(format!("{at}.workload"), "a string"))?
+                        .to_string();
+                    let machine_doc = item
+                        .get("machine")
+                        .ok_or(malformed(format!("{at}.machine"), "a machine object"))?;
+                    let machine = machine_from_json(machine_doc, &format!("{at}.machine"))?;
+                    cells.push(PlanCell {
+                        label,
+                        machine,
+                        workload,
+                    });
+                }
+                Ok(Message::SubmitPlan { jobs, insts, cells })
+            }
+            "sweep_status" => Ok(Message::SweepStatus(SweepStatus::from_json(
+                doc, "payload",
+            )?)),
+            "cell_result" => {
+                let field = |key: &'static str| {
+                    doc.get(key)
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string)
+                        .ok_or(malformed(format!("payload.{key}"), "a string"))
+                };
+                Ok(Message::CellResult(CellResult {
+                    label: field("label")?,
+                    workload: field("workload")?,
+                    fingerprint: field("fingerprint")?,
+                    report: field("report")?,
+                }))
+            }
+            "error" => {
+                let field = |key: &'static str| {
+                    doc.get(key)
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string)
+                        .ok_or(malformed(format!("payload.{key}"), "a string"))
+                };
+                Ok(Message::Error(WireError {
+                    code: field("code")?,
+                    message: field("message")?,
+                }))
+            }
+            other => Err(ProtocolError::UnknownType(other.to_string())),
+        }
+    }
+}
+
+/// Writes one framed message and flushes.
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<(), ProtocolError> {
+    let text = msg.to_json().to_string();
+    let bytes = text.as_bytes();
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(bytes.len()));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message.
+pub fn read_frame(r: &mut impl Read) -> Result<Message, ProtocolError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    let text = String::from_utf8(buf).map_err(|_| ProtocolError::Utf8)?;
+    let doc = JsonValue::parse(&text)?;
+    Message::from_json(&doc)
+}
+
+/// The behavioural fingerprint of one simulation cell, as a 16-hex-digit
+/// string: FNV-1a over the canonical machine JSON ([`machine_to_json`],
+/// which normalizes the optimizer block), the workload name, and the
+/// instruction budget.
+///
+/// Two cells that cannot differ in simulation — however their
+/// configurations were constructed — fingerprint identically, which is
+/// what lets the server's result cache and in-flight dedup collapse
+/// overlapping sweeps from unrelated clients. (The server keys its cache
+/// on the full configuration value, not this hash, so a hash collision
+/// can never serve the wrong report; the fingerprint is the wire-visible
+/// name of the key.)
+pub fn cell_fingerprint(machine: &MachineConfig, workload: &str, insts: u64) -> String {
+    let canonical = machine_to_json(machine).to_string();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(canonical.as_bytes());
+    eat(&[0]);
+    eat(workload.as_bytes());
+    eat(&[0]);
+    eat(&insts.to_be_bytes());
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contopt_sim::ScenarioConfig;
+
+    fn smoke_like_scenario() -> Scenario {
+        Scenario {
+            name: "wire".into(),
+            insts: 50_000,
+            ablation: None,
+            configs: vec![
+                ScenarioConfig {
+                    label: "baseline".into(),
+                    machine: MachineConfig::default_paper(),
+                    workloads: vec!["twf".into()],
+                },
+                ScenarioConfig {
+                    label: "optimized".into(),
+                    machine: MachineConfig::default_with_optimizer(),
+                    workloads: vec!["twf".into(), "untst".into()],
+                },
+            ],
+        }
+    }
+
+    fn round_trip(msg: &Message) -> Message {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, msg).unwrap();
+        read_frame(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn every_message_round_trips_through_a_frame() {
+        let messages = [
+            Message::SubmitScenario {
+                jobs: Some(2),
+                scenario: smoke_like_scenario(),
+            },
+            Message::SubmitScenario {
+                jobs: None,
+                scenario: smoke_like_scenario(),
+            },
+            Message::SubmitPlan {
+                jobs: None,
+                insts: 10_000,
+                cells: vec![PlanCell {
+                    label: "base".into(),
+                    machine: MachineConfig::default_paper(),
+                    workload: "mcf".into(),
+                }],
+            },
+            Message::SweepStatus(SweepStatus {
+                results: 4,
+                unique: 3,
+                simulated: 1,
+                cache_hits: 2,
+                joined: 0,
+                total_simulations: 17,
+                cache_entries: 9,
+            }),
+            Message::CellResult(CellResult {
+                label: "baseline".into(),
+                workload: "twf".into(),
+                fingerprint: "0123456789abcdef".into(),
+                report: "{\n  \"pipeline\": {}\n}\n".into(),
+            }),
+            Message::Error(WireError {
+                code: "bad-request".into(),
+                message: "no such workload \"nope\"".into(),
+            }),
+        ];
+        for msg in &messages {
+            let back = round_trip(msg);
+            // Optimizer blocks normalize in flight (machine_to_json is
+            // canonical); everything else must be exactly preserved.
+            match (msg, &back) {
+                (
+                    Message::SubmitScenario {
+                        scenario: a,
+                        jobs: ja,
+                    },
+                    Message::SubmitScenario {
+                        scenario: b,
+                        jobs: jb,
+                    },
+                ) => {
+                    assert_eq!(ja, jb);
+                    assert_eq!(&a.normalized(), b);
+                }
+                (Message::SubmitPlan { cells: a, .. }, Message::SubmitPlan { cells: b, .. }) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.label, y.label);
+                        assert_eq!(x.workload, y.workload);
+                        let mut normalized = x.machine;
+                        normalized.optimizer = normalized.optimizer.normalized();
+                        assert_eq!(normalized, y.machine);
+                    }
+                }
+                _ => assert_eq!(msg, &back, "{}", msg.type_tag()),
+            }
+        }
+    }
+
+    #[test]
+    fn report_text_survives_byte_exact() {
+        // The report travels as an opaque string: every byte — newlines,
+        // indentation, trailing newline — must come back identical.
+        let report = "{\n  \"x\": 1.0,\n  \"s\": \"q\\\"uote\"\n}\n";
+        let msg = Message::CellResult(CellResult {
+            label: "l".into(),
+            workload: "w".into(),
+            fingerprint: "f".into(),
+            report: report.into(),
+        });
+        let Message::CellResult(back) = round_trip(&msg) else {
+            panic!("wrong type back");
+        };
+        assert_eq!(back.report, report);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
+        let doc =
+            JsonValue::parse(r#"{"v": 99, "type": "error", "code": "x", "message": "y"}"#).unwrap();
+        assert!(matches!(
+            Message::from_json(&doc),
+            Err(ProtocolError::VersionMismatch(99))
+        ));
+    }
+
+    #[test]
+    fn unknown_type_and_malformed_payloads_are_typed_errors() {
+        let doc = JsonValue::parse(r#"{"v": 1, "type": "frobnicate"}"#).unwrap();
+        assert!(matches!(
+            Message::from_json(&doc),
+            Err(ProtocolError::UnknownType(_))
+        ));
+        let doc = JsonValue::parse(r#"{"v": 1, "type": "sweep_status"}"#).unwrap();
+        assert!(matches!(
+            Message::from_json(&doc),
+            Err(ProtocolError::Malformed { .. })
+        ));
+        // An invalid embedded scenario is rejected at the protocol
+        // boundary (unknown workload).
+        let doc = JsonValue::parse(
+            r#"{"v": 1, "type": "submit_scenario", "scenario": {
+                "version": 1, "name": "s", "insts": 1, "configs": [
+                  {"label": "a", "workloads": ["nope"], "machine": {}}]}}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            Message::from_json(&doc),
+            Err(ProtocolError::Scenario(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(ProtocolError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors() {
+        let msg = Message::Error(WireError {
+            code: "x".into(),
+            message: "y".into(),
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(ProtocolError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprints_normalize_and_discriminate() {
+        let base = MachineConfig::default_paper();
+        let mut inert = base;
+        inert.optimizer.mbc_entries = 7; // inert: optimizer disabled
+        assert_eq!(
+            cell_fingerprint(&base, "twf", 1000),
+            cell_fingerprint(&inert, "twf", 1000),
+            "behaviourally identical configs share a fingerprint"
+        );
+        let opt = MachineConfig::default_with_optimizer();
+        let f = cell_fingerprint(&base, "twf", 1000);
+        assert_ne!(f, cell_fingerprint(&opt, "twf", 1000), "config matters");
+        assert_ne!(f, cell_fingerprint(&base, "mcf", 1000), "workload matters");
+        assert_ne!(f, cell_fingerprint(&base, "twf", 2000), "budget matters");
+        assert_eq!(f.len(), 16);
+    }
+}

@@ -25,7 +25,8 @@ use contopt_experiments::{
     builtin_scenarios, check_ablation_golden, check_goldens, default_jobs, fig10, fig10_plan,
     fig11, fig11_plan, fig12, fig12_plan, fig6, fig6_plan, fig8, fig8_plan, fig9, fig9_plan,
     record_ablation_golden, record_goldens, scenario_plan, table1, table2, table3, table3_plan,
-    validate_bench_trajectory, Lab, Plan, TolerancePolicy, BENCH_LOG_NAME, DEFAULT_INSTS,
+    validate_bench_trajectory, CheckOutcome, Lab, Plan, TolerancePolicy, BENCH_LOG_NAME,
+    DEFAULT_INSTS,
 };
 use contopt_sim::{JsonValue, Scenario, ToJson};
 use std::path::{Path, PathBuf};
@@ -51,9 +52,10 @@ scenario files:
 
 maintenance:
   --validate [FILE...]     parse-check JSON artifacts (default: every
-                           scenarios/*.json plus BENCH_throughput.json,
-                           whose run trajectory must be monotonically
-                           timestamped)
+                           scenarios/*.json, every checked-in golden under
+                           the --goldens directory, plus
+                           BENCH_throughput.json, whose run trajectory
+                           must be monotonically timestamped)
   --emit-scenarios         regenerate scenarios/*.json from the builders
   --scenarios-dir DIR      scenario directory (default: scenarios)
 
@@ -63,7 +65,14 @@ tuning:
   --jobs N                 worker threads; 0 means auto-detect via the
                            machine's available parallelism (the default;
                            the CONTOPT_JOBS env var behaves the same way)
-  --json                   emit JSON instead of text tables";
+  --json                   emit JSON instead of text tables
+
+exit codes (--scenario/--ablate runs; CI and the sweep server key on
+these to report precise causes):
+  0  success: goldens match (or the run/record completed)
+  1  drift: at least one recorded golden differs from the fresh run
+  2  missing: some goldens are not recorded (and none drifted)
+  3  error: the run itself failed (unreadable scenario, I/O failure)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,7 +115,7 @@ fn main() -> ExitCode {
         return emit_scenarios(Path::new(&scenarios_dir));
     }
     if args.iter().any(|a| a == "--validate") {
-        return validate(&args, Path::new(&scenarios_dir));
+        return validate(&args, Path::new(&scenarios_dir), &goldens_dir);
     }
 
     let files_for = |flag: &'static str| -> Vec<&String> {
@@ -143,7 +152,9 @@ fn main() -> ExitCode {
         );
         // Evaluate both unconditionally: a scenario failure or drift must
         // not silently skip the requested ablation work (or vice versa).
-        let scenarios_ok = run_scenarios(
+        // The combined exit code keeps the most severe outcome (see the
+        // "exit codes" section of --help).
+        let scenarios = run_scenarios(
             &scenario_files,
             jobs,
             record,
@@ -152,7 +163,7 @@ fn main() -> ExitCode {
             &policy,
             json,
         );
-        let ablations_ok = run_ablations(
+        let ablations = run_ablations(
             &ablate_files,
             jobs,
             record,
@@ -161,11 +172,7 @@ fn main() -> ExitCode {
             &policy,
             json,
         );
-        return if scenarios_ok && ablations_ok {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        };
+        return ExitCode::from(scenarios.merge(ablations).exit_code());
     }
 
     // Past this point no scenario or ablation was requested; a stray
@@ -258,11 +265,32 @@ fn emit_scenarios(dir: &Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Collects every `*.json` under `dir`, recursively, in sorted order —
+/// the shape of the `goldens/` tree (`<scenario>/<label>/<workload>.json`
+/// plus `<scenario>/ablation.json`).
+fn json_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            json_files_under(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "json") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
 /// Parse-checks JSON artifacts: the files listed after `--validate`, or
-/// (with none listed) every `<scenarios-dir>/*.json` plus
-/// `BENCH_throughput.json`. Scenario files get full semantic validation;
-/// other JSON files must merely parse.
-fn validate(args: &[String], scenarios_dir: &Path) -> ExitCode {
+/// (with none listed) every `<scenarios-dir>/*.json`, every checked-in
+/// golden under `<goldens-dir>/`, plus `BENCH_throughput.json`. Scenario
+/// files get full semantic validation; other JSON files must merely parse
+/// — which still catches a hand-edited or truncated golden before the
+/// regression job burns a full re-simulation discovering it.
+fn validate(args: &[String], scenarios_dir: &Path, goldens_dir: &Path) -> ExitCode {
     let pos = args.iter().position(|a| a == "--validate").unwrap();
     let mut files: Vec<PathBuf> = args[pos + 1..]
         .iter()
@@ -284,6 +312,17 @@ fn validate(args: &[String], scenarios_dir: &Path) -> ExitCode {
                 eprintln!(
                     "contopt-experiments: cannot list {}: {e}",
                     scenarios_dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        // A repository without recorded goldens is fine; an unreadable
+        // goldens tree is not.
+        if goldens_dir.exists() {
+            if let Err(e) = json_files_under(goldens_dir, &mut files) {
+                eprintln!(
+                    "contopt-experiments: cannot list {}: {e}",
+                    goldens_dir.display()
                 );
                 return ExitCode::FAILURE;
             }
@@ -343,7 +382,7 @@ fn validate(args: &[String], scenarios_dir: &Path) -> ExitCode {
 }
 
 /// Loads, executes, and (optionally) records or checks scenarios.
-/// Returns `false` on any failure or drift.
+/// Returns the most severe [`CheckOutcome`] across the files.
 #[allow(clippy::too_many_arguments)] // one call site; mirrors the CLI surface
 fn run_scenarios(
     files: &[&String],
@@ -353,21 +392,21 @@ fn run_scenarios(
     goldens_dir: &Path,
     policy: &TolerancePolicy,
     json: bool,
-) -> bool {
-    let mut any_drift = false;
+) -> CheckOutcome {
+    let mut worst = CheckOutcome::Ok;
     for file in files {
         let sc = match Scenario::load(file) {
             Ok(sc) => sc,
             Err(e) => {
                 eprintln!("contopt-experiments: {file}: {e}");
-                return false;
+                return CheckOutcome::Error;
             }
         };
         let plan = match scenario_plan(&sc) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("contopt-experiments: {file}: {e}");
-                return false;
+                return CheckOutcome::Error;
             }
         };
         // Each scenario pins its own instruction budget, so each gets its
@@ -392,31 +431,35 @@ fn run_scenarios(
                 if drifts.is_empty() {
                     println!("scenario {:?}: goldens match", sc.name);
                 } else {
-                    any_drift = true;
                     for d in &drifts {
                         println!("scenario {:?}: {d}", sc.name);
                     }
                 }
+                worst = worst.merge(CheckOutcome::from_drifts(&drifts));
             })
         } else {
             print_scenario(&mut lab, &sc, json).map_err(contopt_experiments::CellError::Scenario)
         };
         if let Err(e) = outcome {
             eprintln!("contopt-experiments: {file}: {e}");
-            return false;
+            return CheckOutcome::Error;
         }
     }
-    if any_drift {
-        eprintln!(
+    match worst {
+        CheckOutcome::Drift => eprintln!(
             "contopt-experiments: golden drift detected; re-record intentionally with --record"
-        );
+        ),
+        CheckOutcome::MissingGolden => {
+            eprintln!("contopt-experiments: goldens missing; record them with --record")
+        }
+        _ => {}
     }
-    !any_drift
+    worst
 }
 
 /// Loads each scenario, expands and executes its counterfactual ablation
 /// matrix, and prints, records, or checks the per-pass cycle attribution.
-/// Returns `false` on any failure or drift.
+/// Returns the most severe [`CheckOutcome`] across the files.
 #[allow(clippy::too_many_arguments)] // one call site; mirrors the CLI surface
 fn run_ablations(
     files: &[&String],
@@ -426,21 +469,21 @@ fn run_ablations(
     goldens_dir: &Path,
     policy: &TolerancePolicy,
     json: bool,
-) -> bool {
-    let mut any_drift = false;
+) -> CheckOutcome {
+    let mut worst = CheckOutcome::Ok;
     for file in files {
         let sc = match Scenario::load(file) {
             Ok(sc) => sc,
             Err(e) => {
                 eprintln!("contopt-experiments: {file}: {e}");
-                return false;
+                return CheckOutcome::Error;
             }
         };
         let plan = match contopt_experiments::ablation_plan(&sc) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("contopt-experiments: {file}: {e}");
-                return false;
+                return CheckOutcome::Error;
             }
         };
         let mut lab = Lab::new(sc.insts);
@@ -462,11 +505,11 @@ fn run_ablations(
                 if drifts.is_empty() {
                     println!("ablation {:?}: golden matches", sc.name);
                 } else {
-                    any_drift = true;
                     for d in &drifts {
                         println!("ablation {:?}: {d}", sc.name);
                     }
                 }
+                worst = worst.merge(CheckOutcome::from_drifts(&drifts));
             })
         } else {
             contopt_experiments::ablation_report(&mut lab, &sc).map(|report| {
@@ -481,15 +524,19 @@ fn run_ablations(
         };
         if let Err(e) = outcome {
             eprintln!("contopt-experiments: {file}: {e}");
-            return false;
+            return CheckOutcome::Error;
         }
     }
-    if any_drift {
-        eprintln!(
+    match worst {
+        CheckOutcome::Drift => eprintln!(
             "contopt-experiments: ablation drift detected; re-record intentionally with --record"
-        );
+        ),
+        CheckOutcome::MissingGolden => {
+            eprintln!("contopt-experiments: ablation golden missing; record it with --record")
+        }
+        _ => {}
     }
-    !any_drift
+    worst
 }
 
 /// Prints per-cell results of a scenario run (no goldens involved).

@@ -335,6 +335,87 @@ pub(crate) fn drift_between(
     Some(DriftKind::Changed { diff, disallowed })
 }
 
+/// The overall outcome of a golden `--check` run, ordered by severity
+/// (`Ok < MissingGolden < Drift < Error`). Each maps to a distinct
+/// process exit code so CI and the sweep server can report the precise
+/// cause without parsing logs: `0` everything matched, `2` only missing
+/// goldens (record them), `1` at least one recorded golden drifted, `3`
+/// the check itself failed (unreadable scenario, I/O, protocol).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckOutcome {
+    /// Every cell matched its recorded golden.
+    #[default]
+    Ok,
+    /// Some cells have no recorded golden, but nothing drifted.
+    MissingGolden,
+    /// At least one recorded golden differs from the fresh run.
+    Drift,
+    /// The check could not complete (load, I/O, or transport failure).
+    Error,
+}
+
+impl CheckOutcome {
+    /// Classifies a completed check's drift list: [`Drift`](Self::Drift)
+    /// if any recorded golden changed, else [`MissingGolden`](Self::MissingGolden)
+    /// if any golden was absent, else [`Ok`](Self::Ok).
+    pub fn from_drifts(drifts: &[GoldenDrift]) -> CheckOutcome {
+        if drifts
+            .iter()
+            .any(|d| matches!(d.kind, DriftKind::Changed { .. }))
+        {
+            CheckOutcome::Drift
+        } else if drifts.is_empty() {
+            CheckOutcome::Ok
+        } else {
+            CheckOutcome::MissingGolden
+        }
+    }
+
+    /// Combines two outcomes, keeping the more severe.
+    pub fn merge(self, other: CheckOutcome) -> CheckOutcome {
+        self.max(other)
+    }
+
+    /// The process exit code this outcome reports.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            CheckOutcome::Ok => 0,
+            CheckOutcome::Drift => 1,
+            CheckOutcome::MissingGolden => 2,
+            CheckOutcome::Error => 3,
+        }
+    }
+}
+
+/// Byte-compares one cell's fresh canonical report against its recorded
+/// golden under `dir`, per `policy`.
+///
+/// This is the transport-agnostic core of the golden harness: it takes
+/// the canonical report *text* rather than a [`Lab`], so the same
+/// comparison backs the local checker ([`check_goldens`]) and a remote
+/// `contopt-client --check` whose reports arrived over the sweep-service
+/// protocol — a remote check must byte-match a local one by construction.
+pub fn check_cell(
+    dir: &Path,
+    scenario: &str,
+    label: &str,
+    workload: &str,
+    canonical: &str,
+    policy: &TolerancePolicy,
+) -> io::Result<Option<GoldenDrift>> {
+    let path = golden_path(dir, scenario, label, workload);
+    match std::fs::read_to_string(&path) {
+        Ok(recorded) => {
+            Ok(drift_between(&recorded, canonical, policy).map(|kind| GoldenDrift { path, kind }))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Some(GoldenDrift {
+            path,
+            kind: DriftKind::Missing,
+        })),
+        Err(e) => Err(e),
+    }
+}
+
 impl fmt::Display for GoldenDrift {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
@@ -455,19 +536,9 @@ pub fn check_goldens(
 ) -> Result<Vec<GoldenDrift>, CellError> {
     let mut drifts = Vec::new();
     for_each_cell(lab, sc, |cfg, workload, canonical| {
-        let path = golden_path(dir, &sc.name, &cfg.label, workload);
-        match std::fs::read_to_string(&path) {
-            Ok(recorded) => {
-                if let Some(kind) = drift_between(&recorded, &canonical, policy) {
-                    drifts.push(GoldenDrift { path, kind });
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => drifts.push(GoldenDrift {
-                path,
-                kind: DriftKind::Missing,
-            }),
-            Err(e) => return Err(e),
-        }
+        drifts.extend(check_cell(
+            dir, &sc.name, &cfg.label, workload, &canonical, policy,
+        )?);
         Ok(())
     })?;
     Ok(drifts)
@@ -581,6 +652,88 @@ mod tests {
             panic!("expected Changed, got {:?}", drifts[0].kind);
         };
         assert!(diff.actual.contains("trailing newline"), "{diff:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_outcome_classification_and_exit_codes() {
+        let missing = GoldenDrift {
+            path: PathBuf::from("g/a.json"),
+            kind: DriftKind::Missing,
+        };
+        let changed = GoldenDrift {
+            path: PathBuf::from("g/b.json"),
+            kind: DriftKind::Changed {
+                diff: LineDiff {
+                    line: 1,
+                    expected: "a".into(),
+                    actual: "b".into(),
+                    context: vec![],
+                },
+                disallowed: vec![],
+            },
+        };
+        assert_eq!(CheckOutcome::from_drifts(&[]), CheckOutcome::Ok);
+        assert_eq!(
+            CheckOutcome::from_drifts(std::slice::from_ref(&missing)),
+            CheckOutcome::MissingGolden
+        );
+        // Drift dominates missing: a changed golden is the regression.
+        assert_eq!(
+            CheckOutcome::from_drifts(&[missing, changed]),
+            CheckOutcome::Drift
+        );
+        assert_eq!(CheckOutcome::Ok.exit_code(), 0);
+        assert_eq!(CheckOutcome::Drift.exit_code(), 1);
+        assert_eq!(CheckOutcome::MissingGolden.exit_code(), 2);
+        assert_eq!(CheckOutcome::Error.exit_code(), 3);
+        assert_eq!(
+            CheckOutcome::MissingGolden.merge(CheckOutcome::Drift),
+            CheckOutcome::Drift
+        );
+        assert_eq!(
+            CheckOutcome::Error.merge(CheckOutcome::Drift),
+            CheckOutcome::Error
+        );
+    }
+
+    #[test]
+    fn check_cell_matches_check_goldens() {
+        // The transport-agnostic cell checker and the Lab-driven checker
+        // must agree: record locally, then compare the same canonical text
+        // through check_cell as a remote client would.
+        let dir = std::env::temp_dir().join(format!("contopt-cell-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sc = Scenario {
+            name: "cellcheck".to_string(),
+            insts: 10_000,
+            ablation: None,
+            configs: vec![ScenarioConfig {
+                label: "baseline".to_string(),
+                machine: base(),
+                workloads: vec!["twf".to_string()],
+            }],
+        };
+        let mut lab = Lab::new(sc.insts);
+        record_goldens(&mut lab, &sc, &dir).unwrap();
+        let canonical = lab
+            .run(base(), &contopt_sim::workloads::build("twf").unwrap())
+            .canonical_json();
+        let policy = TolerancePolicy::exact();
+        assert_eq!(
+            check_cell(&dir, "cellcheck", "baseline", "twf", &canonical, &policy).unwrap(),
+            None
+        );
+        // A perturbed report drifts; an unknown cell is missing.
+        let perturbed = canonical.replace("\"cycles\"", "\"cycles_x\"");
+        let drift = check_cell(&dir, "cellcheck", "baseline", "twf", &perturbed, &policy)
+            .unwrap()
+            .expect("perturbed report must drift");
+        assert!(matches!(drift.kind, DriftKind::Changed { .. }));
+        let missing = check_cell(&dir, "cellcheck", "baseline", "mcf", &canonical, &policy)
+            .unwrap()
+            .expect("unrecorded cell is missing");
+        assert!(matches!(missing.kind, DriftKind::Missing));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

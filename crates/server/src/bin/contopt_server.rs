@@ -1,0 +1,95 @@
+//! `contopt-server` — the sweep-service daemon.
+
+use contopt_server::{Server, ServerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+contopt-server — serve contopt scenario sweeps over TCP
+
+USAGE:
+  contopt-server [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT   address to listen on (default 127.0.0.1:4077;
+                     port 0 picks an ephemeral port)
+  --jobs N           worker threads per request (default: all cores;
+                     0 means the default)
+  --cache N          result-cache capacity in cells (default 1024;
+                     0 disables caching, in-flight dedup remains)
+  --port-file PATH   after binding, write the bound port to PATH —
+                     lets scripts start on port 0 and discover the
+                     real port without racing the daemon
+  --help             print this help
+
+The server answers contopt-client submissions (see docs/PROTOCOL.md)
+with canonical report JSON, deduplicating concurrent identical cells
+and caching completed ones by configuration fingerprint.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| args.get(i + 1).cloned())
+    };
+    let bad = |msg: String| {
+        eprintln!("contopt-server: {msg}");
+        ExitCode::FAILURE
+    };
+
+    let addr = match value_of("--addr") {
+        Some(Some(a)) => a,
+        Some(None) => return bad("--addr takes HOST:PORT".to_string()),
+        None => "127.0.0.1:4077".to_string(),
+    };
+    let mut config = ServerConfig::default();
+    match value_of("--jobs") {
+        Some(Some(n)) => match n.parse::<usize>() {
+            Ok(0) => {}
+            Ok(n) => config.jobs = n,
+            Err(_) => return bad(format!("--jobs takes a number, got {n:?}")),
+        },
+        Some(None) => return bad("--jobs takes a number".to_string()),
+        None => {}
+    }
+    match value_of("--cache") {
+        Some(Some(n)) => match n.parse::<usize>() {
+            Ok(n) => config.cache_capacity = n,
+            Err(_) => return bad(format!("--cache takes a number, got {n:?}")),
+        },
+        Some(None) => return bad("--cache takes a number".to_string()),
+        None => {}
+    }
+    let port_file = match value_of("--port-file") {
+        Some(Some(p)) => Some(p),
+        Some(None) => return bad("--port-file takes a path".to_string()),
+        None => None,
+    };
+
+    let server = match Server::bind(&addr, config) {
+        Ok(s) => s,
+        Err(e) => return bad(format!("cannot bind {addr}: {e}")),
+    };
+    let bound = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => return bad(format!("cannot read bound address: {e}")),
+    };
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", bound.port())) {
+            return bad(format!("cannot write {path}: {e}"));
+        }
+    }
+    eprintln!(
+        "contopt-server: listening on {bound} ({} worker(s), cache {} cells)",
+        config.jobs, config.cache_capacity
+    );
+    match server.serve_forever() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => bad(format!("serve failed: {e}")),
+    }
+}

@@ -1,0 +1,567 @@
+//! # contopt-server — sweep-as-a-service for the contopt lab
+//!
+//! The server half of the sweep service: a TCP daemon that accepts
+//! scenario (or raw-plan) submissions in the
+//! [`contopt_client::protocol`] wire format, fans the deduplicated cells
+//! across a bounded worker pool, and answers with the same canonical
+//! `Report` JSON a local `contopt-experiments` run would produce —
+//! byte-for-byte, so remote golden checks stay meaningful.
+//!
+//! Two mechanisms make concurrent clients cheap:
+//!
+//! * **Result cache** — completed cell reports live in a bounded LRU
+//!   keyed by the cell's full behavioural identity (normalized machine
+//!   configuration, workload, instruction budget). A resubmitted sweep is
+//!   answered without simulating anything.
+//! * **In-flight dedup** — while a cell is being simulated for one
+//!   request, any other request needing the same cell *joins* the
+//!   in-flight work (waits on its completion) instead of simulating it
+//!   again. Overlapping sweeps from unrelated clients cost one
+//!   simulation per unique cell, total.
+//!
+//! Everything is `std`: `TcpListener` + one thread per connection,
+//! `Mutex`/`Condvar` for the engine, scoped threads for the per-request
+//! worker pool.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use contopt_client::protocol::{
+    cell_fingerprint, read_frame, write_frame, CellResult, Message, ProtocolError, SweepStatus,
+    WireError,
+};
+use contopt_sim::{MachineConfig, SimSession};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning for a [`Server`] / [`SweepEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads available per request. Submissions may hint a
+    /// smaller number; larger hints are clamped to this.
+    pub jobs: usize,
+    /// Completed-report cache capacity, in cells. `0` disables caching
+    /// (in-flight dedup still applies).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            jobs: default_jobs(),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// The machine's available parallelism, as a sane worker-pool default.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The full behavioural identity of a simulation cell. The optimizer
+/// block is normalized, so configurations that cannot differ in
+/// simulation share a key — the in-memory form of the wire-visible
+/// [`cell_fingerprint`]. Unlike the experiments `Lab` (one budget per
+/// lab), the budget is part of the key: submissions choose their own.
+type CellKey = (MachineConfig, String, u64);
+
+fn cell_key(machine: &MachineConfig, workload: &str, insts: u64) -> CellKey {
+    let normalized = MachineConfig {
+        optimizer: machine.optimizer.normalized(),
+        ..*machine
+    };
+    (normalized, workload.to_string(), insts)
+}
+
+/// One requested cell, before deduplication.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Label echoed back in the matching [`CellResult`].
+    pub label: String,
+    /// The machine configuration to simulate.
+    pub machine: MachineConfig,
+    /// Table 1 workload short name.
+    pub workload: String,
+}
+
+/// How one unique cell was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Obtained {
+    /// This request ran the simulation.
+    Simulated,
+    /// Served from the completed-report cache.
+    CacheHit,
+    /// Waited for another request's in-flight simulation of the same
+    /// cell.
+    Joined,
+}
+
+struct CacheEntry {
+    report: Arc<String>,
+    /// Last-touch tick for LRU eviction.
+    tick: u64,
+}
+
+#[derive(Default)]
+struct EngineState {
+    cache: HashMap<CellKey, CacheEntry>,
+    in_flight: HashSet<CellKey>,
+    tick: u64,
+    total_simulations: u64,
+}
+
+/// The shared sweep engine: result cache, in-flight claims, and lifetime
+/// counters. One engine serves every connection of a [`Server`].
+pub struct SweepEngine {
+    jobs: usize,
+    cache_capacity: usize,
+    state: Mutex<EngineState>,
+    cond: Condvar,
+}
+
+/// A completed sweep: accounting plus the per-cell results in request
+/// declaration order.
+pub struct SweepResponse {
+    /// The accounting frame sent first.
+    pub status: SweepStatus,
+    /// One result per requested cell (duplicates included).
+    pub cells: Vec<CellResult>,
+}
+
+impl SweepEngine {
+    /// Creates an engine with the given tuning.
+    pub fn new(config: ServerConfig) -> SweepEngine {
+        SweepEngine {
+            jobs: config.jobs.max(1),
+            cache_capacity: config.cache_capacity,
+            state: Mutex::new(EngineState::default()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Lifetime count of simulations this engine has run, across all
+    /// requests. Cache hits and joins do not move it.
+    pub fn total_simulations(&self) -> u64 {
+        self.lock().total_simulations
+    }
+
+    /// Entries currently held in the result cache.
+    pub fn cache_entries(&self) -> usize {
+        self.lock().cache.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, EngineState> {
+        // The engine never panics while holding the lock (simulation runs
+        // outside it), so poisoning is unreachable in practice; recover
+        // rather than cascade.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Executes one sweep: dedupes the cells, fans them across at most
+    /// `jobs_hint` workers (clamped to the engine's pool), and assembles
+    /// results in declaration order. Fails fast — before any simulation —
+    /// if a cell names an unknown workload or an invalid configuration.
+    pub fn sweep(
+        &self,
+        insts: u64,
+        cells: &[SweepCell],
+        jobs_hint: Option<u64>,
+    ) -> Result<SweepResponse, WireError> {
+        // Dedup: map each requested cell to its unique-cell index.
+        let mut uniq_index: HashMap<CellKey, usize> = HashMap::new();
+        let mut uniq: Vec<&SweepCell> = Vec::new();
+        let cell_to_uniq: Vec<usize> = cells
+            .iter()
+            .map(|cell| {
+                let key = cell_key(&cell.machine, &cell.workload, insts);
+                *uniq_index.entry(key).or_insert_with(|| {
+                    uniq.push(cell);
+                    uniq.len() - 1
+                })
+            })
+            .collect();
+
+        // Pre-build every session so an invalid cell rejects the whole
+        // request up front instead of failing mid-sweep.
+        let sessions: Vec<(CellKey, SimSession)> = uniq
+            .iter()
+            .map(|cell| {
+                SimSession::builder()
+                    .machine(cell.machine)
+                    .workload(cell.workload.clone())
+                    .insts(insts)
+                    .build()
+                    .map(|s| (cell_key(&cell.machine, &cell.workload, insts), s))
+                    .map_err(|e| WireError {
+                        code: "bad-request".to_string(),
+                        message: format!("cell {:?}/{}: {e}", cell.label, cell.workload),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let jobs = jobs_hint
+            .map(|h| h.min(self.jobs as u64).max(1) as usize)
+            .unwrap_or(self.jobs)
+            .min(sessions.len().max(1));
+        let next = AtomicUsize::new(0);
+        let mut obtained: Vec<Option<(Arc<String>, Obtained)>> =
+            (0..sessions.len()).map(|_| None).collect();
+        let done = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((key, session)) = sessions.get(i) else {
+                                return out;
+                            };
+                            out.push((i, self.obtain(key, session)));
+                        }
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (i, result) in done {
+            obtained[i] = Some(result);
+        }
+
+        let mut simulated = 0u64;
+        let mut cache_hits = 0u64;
+        let mut joined = 0u64;
+        for entry in obtained.iter().flatten() {
+            match entry.1 {
+                Obtained::Simulated => simulated += 1,
+                Obtained::CacheHit => cache_hits += 1,
+                Obtained::Joined => joined += 1,
+            }
+        }
+
+        let results: Vec<CellResult> = cells
+            .iter()
+            .zip(&cell_to_uniq)
+            .map(|(cell, &u)| {
+                let (report, _) = obtained[u]
+                    .as_ref()
+                    .expect("every unique cell was obtained");
+                CellResult {
+                    label: cell.label.clone(),
+                    workload: cell.workload.clone(),
+                    fingerprint: cell_fingerprint(&cell.machine, &cell.workload, insts),
+                    report: String::clone(report),
+                }
+            })
+            .collect();
+
+        let state = self.lock();
+        let status = SweepStatus {
+            results: results.len() as u64,
+            unique: sessions.len() as u64,
+            simulated,
+            cache_hits,
+            joined,
+            total_simulations: state.total_simulations,
+            cache_entries: state.cache.len() as u64,
+        };
+        drop(state);
+        Ok(SweepResponse {
+            status,
+            cells: results,
+        })
+    }
+
+    /// Produces one cell's canonical report: from cache, by joining an
+    /// in-flight simulation, or by claiming and simulating it here.
+    fn obtain(&self, key: &CellKey, session: &SimSession) -> (Arc<String>, Obtained) {
+        let mut waited = false;
+        let mut state = self.lock();
+        loop {
+            if state.cache.contains_key(key) {
+                state.tick += 1;
+                let tick = state.tick;
+                let entry = state.cache.get_mut(key).expect("checked above");
+                entry.tick = tick;
+                let report = Arc::clone(&entry.report);
+                let how = if waited {
+                    Obtained::Joined
+                } else {
+                    Obtained::CacheHit
+                };
+                return (report, how);
+            }
+            if state.in_flight.contains(key) {
+                waited = true;
+                state = self.cond.wait(state).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            state.in_flight.insert(key.clone());
+            break;
+        }
+        drop(state);
+
+        // If the simulation panics, release the claim so joiners wake and
+        // re-claim instead of deadlocking on a cell nobody owns.
+        struct Claim<'a> {
+            engine: &'a SweepEngine,
+            key: &'a CellKey,
+            published: bool,
+        }
+        impl Drop for Claim<'_> {
+            fn drop(&mut self) {
+                if !self.published {
+                    self.engine.lock().in_flight.remove(self.key);
+                    self.engine.cond.notify_all();
+                }
+            }
+        }
+        let mut claim = Claim {
+            engine: self,
+            key,
+            published: false,
+        };
+
+        let report = Arc::new(session.run().canonical_json());
+
+        let mut state = self.lock();
+        state.total_simulations += 1;
+        state.tick += 1;
+        let tick = state.tick;
+        if self.cache_capacity > 0 {
+            if state.cache.len() >= self.cache_capacity {
+                // O(n) LRU eviction: n is the (small, bounded) cache size
+                // and eviction is rare next to a simulation's cost.
+                if let Some(victim) = state
+                    .cache
+                    .iter()
+                    .min_by_key(|(_, e)| e.tick)
+                    .map(|(k, _)| k.clone())
+                {
+                    state.cache.remove(&victim);
+                }
+            }
+            state.cache.insert(
+                key.clone(),
+                CacheEntry {
+                    report: Arc::clone(&report),
+                    tick,
+                },
+            );
+        }
+        state.in_flight.remove(key);
+        claim.published = true;
+        drop(state);
+        self.cond.notify_all();
+        (report, Obtained::Simulated)
+    }
+}
+
+/// Expands a submission message into the flat cell list the engine runs.
+/// Returns `(insts, cells, jobs_hint)`.
+fn expand_request(msg: Message) -> Result<(u64, Vec<SweepCell>, Option<u64>), WireError> {
+    match msg {
+        Message::SubmitScenario { jobs, scenario } => {
+            let mut cells = Vec::new();
+            for cfg in &scenario.configs {
+                let workloads = cfg.resolved_workloads().map_err(|e| WireError {
+                    code: "bad-request".to_string(),
+                    message: e.to_string(),
+                })?;
+                for w in workloads {
+                    cells.push(SweepCell {
+                        label: cfg.label.clone(),
+                        machine: cfg.machine,
+                        workload: w.name.to_string(),
+                    });
+                }
+            }
+            Ok((scenario.insts, cells, jobs))
+        }
+        Message::SubmitPlan { jobs, insts, cells } => Ok((
+            insts,
+            cells
+                .into_iter()
+                .map(|c| SweepCell {
+                    label: c.label,
+                    machine: c.machine,
+                    workload: c.workload,
+                })
+                .collect(),
+            jobs,
+        )),
+        other => Err(WireError {
+            code: "bad-request".to_string(),
+            message: format!(
+                "expected submit_scenario or submit_plan, got {}",
+                other.type_tag()
+            ),
+        }),
+    }
+}
+
+/// Serves one connection: one request frame in, one status frame plus the
+/// cell results (or one error frame) out.
+fn handle_connection(engine: &SweepEngine, stream: TcpStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    let fail = |writer: &mut BufWriter<TcpStream>, code: &str, message: String| {
+        // Best-effort: the peer may already be gone.
+        let _ = write_frame(
+            writer,
+            &Message::Error(WireError {
+                code: code.to_string(),
+                message,
+            }),
+        );
+    };
+    let request = match read_frame(&mut reader) {
+        Ok(msg) => msg,
+        Err(ProtocolError::VersionMismatch(v)) => {
+            return fail(
+                &mut writer,
+                "version",
+                format!("unsupported protocol version {v}"),
+            )
+        }
+        Err(ProtocolError::Io(_)) => return, // peer vanished; nothing to tell it
+        Err(e) => return fail(&mut writer, "bad-request", e.to_string()),
+    };
+    let (insts, cells, jobs) = match expand_request(request) {
+        Ok(parts) => parts,
+        Err(e) => return fail(&mut writer, &e.code, e.message),
+    };
+    let response = match engine.sweep(insts, &cells, jobs) {
+        Ok(r) => r,
+        Err(e) => return fail(&mut writer, &e.code, e.message),
+    };
+    if write_frame(&mut writer, &Message::SweepStatus(response.status)).is_err() {
+        return;
+    }
+    for cell in response.cells {
+        if write_frame(&mut writer, &Message::CellResult(cell)).is_err() {
+            return;
+        }
+    }
+}
+
+/// A bound, not-yet-serving sweep server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<SweepEngine>,
+}
+
+impl Server {
+    /// Binds to `addr` (port `0` picks an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine: Arc::new(SweepEngine::new(config)),
+        })
+    }
+
+    /// The bound address (useful after binding port `0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared engine (counters are observable through it while the
+    /// server runs).
+    pub fn engine(&self) -> Arc<SweepEngine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Serves connections on the calling thread, forever. Each
+    /// connection gets its own thread; the engine serializes shared
+    /// state.
+    pub fn serve_forever(self) -> io::Result<()> {
+        accept_loop(self.listener, self.engine, None);
+        Ok(())
+    }
+
+    /// Serves connections on a background thread; the returned handle
+    /// stops the server when dropped (or via
+    /// [`shutdown`](ServerHandle::shutdown)).
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let engine = self.engine();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let listener = self.listener;
+        let thread = std::thread::spawn(move || {
+            accept_loop(listener, self.engine, Some(&flag));
+        });
+        Ok(ServerHandle {
+            addr,
+            engine,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, engine: Arc<SweepEngine>, shutdown: Option<&AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.is_some_and(|f| f.load(Ordering::SeqCst)) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || handle_connection(&engine, stream));
+    }
+}
+
+/// A running background server (see [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<SweepEngine>,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is accepting on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine, for inspecting lifetime counters.
+    pub fn engine(&self) -> Arc<SweepEngine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight
+    /// connections finish on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; poke it awake so it sees
+        // the flag. A failed connect means the listener is already gone.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

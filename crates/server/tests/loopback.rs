@@ -1,0 +1,228 @@
+//! Loopback integration tests for the sweep service: a real
+//! `contopt-server` on an ephemeral port, driven by the real client SDK.
+//!
+//! These pin the service's three core guarantees:
+//! * remote reports byte-match the checked-in goldens (the golden
+//!   harness applies unchanged to remote results),
+//! * a repeated submission is served entirely from the fingerprint
+//!   cache — zero additional simulations,
+//! * concurrent overlapping sweeps dedupe by fingerprint: one
+//!   simulation per unique cell, server-wide.
+
+use contopt_client::protocol::PlanCell;
+use contopt_client::Client;
+use contopt_experiments::{check_cell, TolerancePolicy};
+use contopt_server::{Server, ServerConfig, SweepCell, SweepEngine};
+use contopt_sim::Scenario;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn smoke() -> Scenario {
+    Scenario::load(repo_root().join("scenarios/smoke.json")).expect("checked-in smoke scenario")
+}
+
+fn spawn_server(jobs: usize) -> contopt_server::ServerHandle {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            jobs,
+            cache_capacity: 1024,
+        },
+    )
+    .expect("bind loopback")
+    .spawn()
+    .expect("spawn server")
+}
+
+#[test]
+fn remote_reports_byte_match_checked_in_goldens() {
+    let server = spawn_server(2);
+    let client = Client::new(server.addr().to_string());
+    let sc = smoke();
+
+    let sweep = client.submit_scenario(&sc, Some(2)).expect("submit");
+    let status = sweep.status();
+    assert_eq!(status.results, 4, "smoke = 2 configs x 2 workloads");
+    assert_eq!(status.unique, 4);
+    let cells = sweep.fetch_reports().expect("fetch");
+    assert_eq!(cells.len(), 4);
+
+    // The exact harness a local `--check` runs, against the checked-in
+    // goldens: any byte of difference in a remote report is a drift.
+    let goldens = repo_root().join("goldens");
+    let policy = TolerancePolicy::exact();
+    for cell in &cells {
+        let drift = check_cell(
+            &goldens,
+            &sc.name,
+            &cell.label,
+            &cell.workload,
+            &cell.report,
+            &policy,
+        )
+        .expect("golden readable");
+        assert!(
+            drift.is_none(),
+            "remote report for {}/{} drifted from the checked-in golden: {:?}",
+            cell.label,
+            cell.workload,
+            drift
+        );
+    }
+}
+
+#[test]
+fn resubmission_is_served_entirely_from_cache() {
+    let server = spawn_server(2);
+    let engine = server.engine();
+    let client = Client::new(server.addr().to_string());
+    let sc = smoke();
+
+    let first = client.submit_scenario(&sc, None).expect("first submit");
+    let s1 = first.status();
+    assert_eq!(s1.simulated, s1.unique, "cold cache: everything simulates");
+    assert_eq!(s1.cache_hits, 0);
+    let baseline_sims = engine.total_simulations();
+    assert_eq!(baseline_sims, s1.unique);
+    let first_reports = first.fetch_reports().expect("fetch");
+
+    let second = client.submit_scenario(&sc, None).expect("second submit");
+    let s2 = second.status();
+    assert_eq!(s2.simulated, 0, "warm cache: nothing simulates");
+    assert_eq!(s2.cache_hits, s2.unique, "every unique cell is a cache hit");
+    assert_eq!(
+        engine.total_simulations(),
+        baseline_sims,
+        "the repeated submission ran zero additional simulations"
+    );
+    let second_reports = second.fetch_reports().expect("fetch");
+
+    // Cached bytes are the simulated bytes.
+    assert_eq!(first_reports.len(), second_reports.len());
+    for (a, b) in first_reports.iter().zip(&second_reports) {
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.report, b.report);
+    }
+}
+
+#[test]
+fn concurrent_overlapping_sweeps_dedupe_by_fingerprint() {
+    let server = spawn_server(4);
+    let engine = server.engine();
+    let addr = server.addr().to_string();
+    let sc = smoke();
+
+    // Sweep A: the full smoke scenario (4 unique cells). Sweep B: a raw
+    // plan of the same two machines on "twf" only — 2 cells, both
+    // contained in A. Unique across both sweeps: still 4.
+    let plan_b: Vec<PlanCell> = sc
+        .configs
+        .iter()
+        .map(|cfg| PlanCell {
+            label: cfg.label.clone(),
+            machine: cfg.machine,
+            workload: "twf".to_string(),
+        })
+        .collect();
+
+    let (sa, sb) = std::thread::scope(|s| {
+        let a = s.spawn(|| {
+            let sweep = Client::new(addr.clone())
+                .submit_scenario(&sc, Some(4))
+                .expect("submit A");
+            let status = sweep.status();
+            (status, sweep.fetch_reports().expect("fetch A"))
+        });
+        let b = s.spawn(|| {
+            let sweep = Client::new(addr.clone())
+                .submit_plan(sc.insts, plan_b.clone(), Some(4))
+                .expect("submit B");
+            let status = sweep.status();
+            (status, sweep.fetch_reports().expect("fetch B"))
+        });
+        (a.join().expect("A"), b.join().expect("B"))
+    });
+    let (status_a, reports_a) = sa;
+    let (status_b, reports_b) = sb;
+
+    assert_eq!(status_a.unique, 4);
+    assert_eq!(status_b.unique, 2);
+    // Per-sweep accounting is exhaustive: every unique cell was
+    // simulated here, found in cache, or joined from the other sweep.
+    for s in [&status_a, &status_b] {
+        assert_eq!(s.simulated + s.cache_hits + s.joined, s.unique);
+    }
+    // The dedup guarantee: 4 unique fingerprints across both sweeps,
+    // exactly 4 simulations server-wide — overlap cost nothing.
+    assert_eq!(
+        engine.total_simulations(),
+        4,
+        "overlapping cells must not simulate twice (A: {status_a:?}, B: {status_b:?})"
+    );
+    assert_eq!(status_a.simulated + status_b.simulated, 4);
+
+    // Overlapping cells returned identical bytes to both clients.
+    for rb in &reports_b {
+        let ra = reports_a
+            .iter()
+            .find(|r| r.fingerprint == rb.fingerprint)
+            .expect("B's cells are a subset of A's");
+        assert_eq!(ra.report, rb.report);
+    }
+}
+
+#[test]
+fn malformed_and_unknown_submissions_fail_typed() {
+    let server = spawn_server(1);
+    let client = Client::new(server.addr().to_string());
+
+    // Unknown workload in a raw plan: rejected before any simulation.
+    let result = client.submit_plan(
+        1000,
+        vec![PlanCell {
+            label: "x".into(),
+            machine: contopt_sim::MachineConfig::default_paper(),
+            workload: "no-such-workload".into(),
+        }],
+        None,
+    );
+    let Err(err) = result else {
+        panic!("unknown workload must be rejected");
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("bad-request"), "got: {msg}");
+    assert_eq!(server.engine().total_simulations(), 0);
+}
+
+#[test]
+fn engine_cache_is_bounded_lru() {
+    // Engine-level (no sockets): capacity 2, three distinct cells.
+    let engine = SweepEngine::new(ServerConfig {
+        jobs: 1,
+        cache_capacity: 2,
+    });
+    let base = contopt_sim::MachineConfig::default_paper();
+    let cell = |workload: &str| SweepCell {
+        label: "c".to_string(),
+        machine: base,
+        workload: workload.to_string(),
+    };
+
+    for w in ["twf", "untst", "mcf"] {
+        engine.sweep(1000, &[cell(w)], None).expect("sweep");
+    }
+    assert_eq!(engine.total_simulations(), 3);
+    assert_eq!(engine.cache_entries(), 2, "capacity bounds the cache");
+
+    // "twf" (the least recently used) was evicted: rerunning it
+    // simulates again, while "mcf" (most recent) is still cached.
+    let r = engine.sweep(1000, &[cell("mcf")], None).expect("sweep");
+    assert_eq!(r.status.cache_hits, 1);
+    assert_eq!(engine.total_simulations(), 3);
+    let r = engine.sweep(1000, &[cell("twf")], None).expect("sweep");
+    assert_eq!(r.status.simulated, 1);
+    assert_eq!(engine.total_simulations(), 4);
+}

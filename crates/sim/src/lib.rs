@@ -52,7 +52,8 @@ pub use error::Error;
 pub use json::{JsonError, JsonErrorKind, JsonValue, ToJson};
 pub use report::Report;
 pub use scenario::{
-    AblationSpec, Scenario, ScenarioConfig, ScenarioError, ALL_WORKLOADS, SCENARIO_VERSION,
+    machine_from_json, machine_to_json, AblationSpec, Scenario, ScenarioConfig, ScenarioError,
+    ALL_WORKLOADS, SCENARIO_VERSION,
 };
 pub use session::{SimBuilder, SimSession, DEFAULT_INSTS};
 

@@ -412,7 +412,12 @@ impl ScenarioConfig {
 /// Parses a machine block: Table 2 defaults overridden field by field.
 /// An absent `optimizer` key is the baseline (no optimizer); a present one
 /// starts from the paper's default optimizer and applies its fields.
-fn machine_from_json(doc: &JsonValue, at: &str) -> Result<MachineConfig, ScenarioError> {
+///
+/// This is the canonical wire/file decoder for a [`MachineConfig`] — the
+/// inverse of [`machine_to_json`] — shared by scenario files and the
+/// sweep-service protocol, so a configuration serialized anywhere in the
+/// system parses back identically everywhere else.
+pub fn machine_from_json(doc: &JsonValue, at: &str) -> Result<MachineConfig, ScenarioError> {
     let fields = doc.as_object().ok_or(expected(at, "an object"))?;
     let mut machine = MachineConfig::default_paper();
     for (key, value) in fields {
@@ -457,6 +462,33 @@ fn optimizer_from_json(doc: &JsonValue, at: &str) -> Result<OptimizerConfig, Sce
     Ok(opt)
 }
 
+/// Serializes a machine configuration in canonical form: every Table 2
+/// scalar field in declaration order, then the `optimizer` block through
+/// [`OptimizerConfig::normalized`]. Two configurations that simulate
+/// identically serialize byte-identically, so the emitted text doubles as
+/// a behavioural fingerprint — scenario files, golden reports, and the
+/// sweep-service result cache all key off it.
+pub fn machine_to_json(machine: &MachineConfig) -> JsonValue {
+    JsonValue::obj(
+        machine
+            .scalar_fields()
+            .into_iter()
+            .map(|(k, v)| (k, JsonValue::UInt(v)))
+            .chain([(
+                "optimizer",
+                JsonValue::obj(machine.optimizer.normalized().fields().into_iter().map(
+                    |(k, v)| {
+                        let v = match v {
+                            ConfigScalar::Bool(b) => JsonValue::Bool(b),
+                            ConfigScalar::UInt(n) => JsonValue::UInt(n),
+                        };
+                        (k, v)
+                    },
+                )),
+            )]),
+    )
+}
+
 impl ToJson for Scenario {
     fn to_json(&self) -> JsonValue {
         let mut fields = vec![
@@ -479,36 +511,13 @@ impl ToJson for Scenario {
 
 impl ToJson for ScenarioConfig {
     fn to_json(&self) -> JsonValue {
-        let machine = JsonValue::obj(
-            self.machine
-                .scalar_fields()
-                .into_iter()
-                .map(|(k, v)| (k, JsonValue::UInt(v)))
-                .chain([(
-                    "optimizer",
-                    JsonValue::obj(
-                        self.machine
-                            .optimizer
-                            .normalized()
-                            .fields()
-                            .into_iter()
-                            .map(|(k, v)| {
-                                let v = match v {
-                                    ConfigScalar::Bool(b) => JsonValue::Bool(b),
-                                    ConfigScalar::UInt(n) => JsonValue::UInt(n),
-                                };
-                                (k, v)
-                            }),
-                    ),
-                )]),
-        );
         JsonValue::obj([
             ("label", self.label.as_str().into()),
             (
                 "workloads",
                 JsonValue::arr(self.workloads.iter().map(|w| w.as_str().into())),
             ),
-            ("machine", machine),
+            ("machine", machine_to_json(&self.machine)),
         ])
     }
 }
@@ -722,6 +731,28 @@ mod tests {
         assert!(
             matches!(bad, Err(ScenarioError::Expected { .. })),
             "{bad:?}"
+        );
+    }
+
+    #[test]
+    fn machine_json_accessors_round_trip_and_normalize() {
+        // The public accessors are the wire format of the sweep service:
+        // serialize → parse must be the identity on behaviour, and the
+        // emitted text must be the behavioural fingerprint (inert knobs on
+        // a disabled optimizer normalize away).
+        let mut m = MachineConfig::default_with_optimizer();
+        m.fetch_width = 8;
+        let doc = machine_to_json(&m);
+        let back = machine_from_json(&doc, "machine").unwrap();
+        assert_eq!(back, m);
+        assert_eq!(machine_to_json(&back).to_string(), doc.to_string());
+
+        let mut inert = MachineConfig::default_paper();
+        inert.optimizer.mbc_entries = 7; // inert: optimizer disabled
+        assert_eq!(
+            machine_to_json(&inert).to_string(),
+            machine_to_json(&MachineConfig::default_paper()).to_string(),
+            "canonical text is a behavioural fingerprint"
         );
     }
 
