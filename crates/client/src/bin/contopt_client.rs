@@ -5,31 +5,44 @@
 //! the returned canonical reports are printed — or, with `--check`,
 //! byte-compared against the local `goldens/` tree through the exact
 //! harness (`check_cell` + `TolerancePolicy`) the local runner uses, with
-//! the same exit codes.
+//! the same exit codes. A cell the server failed on (`cell_error`) is
+//! reported and merged into exit code 3 while its siblings are still
+//! checked.
 
-use contopt_client::protocol::SweepStatus;
-use contopt_client::Client;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use contopt_client::protocol::{CellReply, CellResult, SweepStatus};
+use contopt_client::{Client, ClientConfig, RetryPolicy};
 use contopt_experiments::{CheckOutcome, TolerancePolicy};
 use contopt_sim::{JsonValue, Scenario};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 contopt-client — submit sweeps to a contopt sweep server
 
 USAGE:
   contopt-client --scenario FILE [OPTIONS]
+  contopt-client --ping [--addr HOST:PORT]
 
 OPTIONS:
   --addr HOST:PORT         server to submit to (default: CONTOPT_SERVER
                            env var, else 127.0.0.1:4077)
   --scenario FILE          scenario file to submit (repeatable)
+  --ping                   health-check the server (prints its status
+                           snapshot; exit 0 if it answers, 3 if not)
   --check                  compare each returned report byte-for-byte
                            against its golden under --goldens
   --json                   print the raw canonical report JSON instead
                            of the summary table
   --jobs N                 worker-count hint forwarded to the server
                            (the server clamps it to its own pool)
+  --timeout SECS           per-connection I/O deadline (default 300;
+                           0 disables; connect timeout stays 10s)
+  --retries N              max submission attempts on transient errors
+                           (default 3; 1 disables retry); backoff is
+                           exponential with deterministic jitter
   --goldens DIR            goldens directory for --check
                            (default: goldens)
   --allow-field PATH ...   with --check: JSON field paths allowed to
@@ -40,7 +53,8 @@ EXIT CODES (matching contopt-experiments --check):
   0  success; with --check, every report matches its golden
   1  drift: a golden exists but the server's report differs
   2  missing: at least one cell has no recorded golden
-  3  error: connection, protocol, I/O, or bad invocation
+  3  error: connection, protocol, I/O, per-cell server failure, or bad
+     invocation
 ";
 
 fn main() -> ExitCode {
@@ -56,47 +70,84 @@ fn main() -> ExitCode {
             .position(|a| a == name)
             .map(|i| args.get(i + 1).cloned())
     };
+    let bad = |msg: &str| {
+        eprintln!("contopt-client: {msg}");
+        ExitCode::from(CheckOutcome::Error.exit_code())
+    };
 
     let addr = match value_of("--addr") {
         Some(Some(a)) => a,
-        Some(None) => {
-            eprintln!("contopt-client: --addr takes HOST:PORT");
-            return ExitCode::from(CheckOutcome::Error.exit_code());
-        }
+        Some(None) => return bad("--addr takes HOST:PORT"),
         None => std::env::var("CONTOPT_SERVER").unwrap_or_else(|_| "127.0.0.1:4077".to_string()),
     };
     let jobs = match value_of("--jobs") {
         Some(Some(n)) => match n.parse::<u64>() {
             Ok(n) => Some(n),
-            Err(_) => {
-                eprintln!("contopt-client: --jobs takes a number, got {n:?}");
-                return ExitCode::from(CheckOutcome::Error.exit_code());
-            }
+            Err(_) => return bad(&format!("--jobs takes a number, got {n:?}")),
         },
-        Some(None) => {
-            eprintln!("contopt-client: --jobs takes a number");
-            return ExitCode::from(CheckOutcome::Error.exit_code());
-        }
+        Some(None) => return bad("--jobs takes a number"),
         None => None,
     };
+    let mut config = ClientConfig::default();
+    match value_of("--timeout") {
+        Some(Some(n)) => match n.parse::<u64>() {
+            Ok(0) => config.io_timeout = None,
+            Ok(n) => config.io_timeout = Some(Duration::from_secs(n)),
+            Err(_) => return bad(&format!("--timeout takes seconds, got {n:?}")),
+        },
+        Some(None) => return bad("--timeout takes seconds"),
+        None => {}
+    }
+    match value_of("--retries") {
+        Some(Some(n)) => match n.parse::<u32>() {
+            Ok(0) => return bad("--retries must be at least 1"),
+            Ok(n) => {
+                config.retry = RetryPolicy {
+                    max_attempts: n,
+                    ..RetryPolicy::default()
+                }
+            }
+            Err(_) => return bad(&format!("--retries takes a number, got {n:?}")),
+        },
+        Some(None) => return bad("--retries takes a number"),
+        None => {}
+    }
     let goldens_dir = match value_of("--goldens") {
         Some(Some(d)) => d,
-        Some(None) => {
-            eprintln!("contopt-client: --goldens takes a directory");
-            return ExitCode::from(CheckOutcome::Error.exit_code());
-        }
+        Some(None) => return bad("--goldens takes a directory"),
         None => "goldens".to_string(),
     };
-    let policy = TolerancePolicy::allowing(
-        args.iter()
-            .enumerate()
-            .filter(|(_, a)| *a == "--allow-field")
-            .map(|(i, _)| {
-                args.get(i + 1)
-                    .cloned()
-                    .unwrap_or_else(|| panic!("--allow-field takes a JSON field path"))
-            }),
-    );
+    let mut allow_fields = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--allow-field" {
+            match args.get(i + 1) {
+                Some(path) => allow_fields.push(path.clone()),
+                None => return bad("--allow-field takes a JSON field path"),
+            }
+        }
+    }
+    let policy = TolerancePolicy::allowing(allow_fields);
+
+    let client = Client::with_config(addr, config);
+
+    if flag("--ping") {
+        return match client.ping() {
+            Ok(status) => {
+                println!(
+                    "contopt-server @ {}: protocol v{}, {} worker(s), cache {}/{} cells, {} in flight, {} lifetime simulations",
+                    client.addr(),
+                    status.protocol_version,
+                    status.jobs,
+                    status.cache_entries,
+                    status.cache_capacity,
+                    status.in_flight,
+                    status.total_simulations,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => bad(&format!("ping {}: {e}", client.addr())),
+        };
+    }
 
     let scenarios: Vec<&String> = args
         .iter()
@@ -109,7 +160,6 @@ fn main() -> ExitCode {
         return ExitCode::from(CheckOutcome::Error.exit_code());
     }
 
-    let client = Client::new(addr);
     let mut worst = CheckOutcome::Ok;
     for file in scenarios {
         worst = worst.merge(run_one(
@@ -151,26 +201,13 @@ fn run_one(
             return CheckOutcome::Error;
         }
     };
-    let sweep = match client.submit_scenario(&sc, jobs) {
+    let mut sweep = match client.submit_scenario(&sc, jobs) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("contopt-client: {file}: {e}");
             return CheckOutcome::Error;
         }
     };
-    let status = sweep.status();
-    eprintln!(
-        "contopt-client: scenario {:?} @ {}: {} cells ({} unique: {} simulated, {} cached, {} joined); server lifetime {} simulations, {} cache entries",
-        sc.name,
-        client.addr(),
-        status.results,
-        status.unique,
-        status.simulated,
-        status.cache_hits,
-        status.joined,
-        status.total_simulations,
-        status.cache_entries,
-    );
     let cells = match sweep.fetch_reports() {
         Ok(cells) => cells,
         Err(e) => {
@@ -178,10 +215,45 @@ fn run_one(
             return CheckOutcome::Error;
         }
     };
+    let status = sweep.status();
+    let retries = sweep.retries();
+    eprintln!(
+        "contopt-client: scenario {:?} @ {}: {} cells ({} unique: {} simulated, {} cached, {} joined, {} failed); server lifetime {} simulations, {} cache entries{}",
+        sc.name,
+        client.addr(),
+        status.results,
+        status.unique,
+        status.simulated,
+        status.cache_hits,
+        status.joined,
+        status.errors,
+        status.total_simulations,
+        status.cache_entries,
+        if retries > 0 {
+            format!("; recovered after {retries} retry(ies)")
+        } else {
+            String::new()
+        },
+    );
+
+    // Per-cell server failures are reported up front and merged into the
+    // outcome as errors; the successful siblings are still printed or
+    // checked below — graceful degradation, not all-or-nothing.
+    let mut outcome = CheckOutcome::Ok;
+    let mut reports: Vec<&CellResult> = Vec::new();
+    for cell in &cells {
+        match cell {
+            CellReply::Report(r) => reports.push(r),
+            CellReply::Failed(e) => {
+                eprintln!("contopt-client: {file}: {e}");
+                outcome = outcome.merge(CheckOutcome::Error);
+            }
+        }
+    }
 
     if check {
         let mut drifts = Vec::new();
-        for cell in &cells {
+        for cell in &reports {
             match contopt_experiments::check_cell(
                 goldens_dir,
                 &sc.name,
@@ -201,23 +273,23 @@ fn run_one(
                 }
             }
         }
-        if drifts.is_empty() {
+        if drifts.is_empty() && outcome == CheckOutcome::Ok {
             println!("scenario {:?}: goldens match", sc.name);
         }
-        CheckOutcome::from_drifts(&drifts)
+        outcome.merge(CheckOutcome::from_drifts(&drifts))
     } else if json {
-        for cell in &cells {
+        for cell in &reports {
             print!("{}", cell.report);
         }
-        CheckOutcome::Ok
+        outcome
     } else {
-        print_table(&sc.name, &status, &cells);
-        CheckOutcome::Ok
+        print_table(&sc.name, &status, &reports);
+        outcome
     }
 }
 
 /// Renders the sweep as a compact summary table.
-fn print_table(name: &str, status: &SweepStatus, cells: &[contopt_client::protocol::CellResult]) {
+fn print_table(name: &str, status: &SweepStatus, cells: &[&CellResult]) {
     println!(
         "scenario {name:?} — {} cells, {} unique",
         status.results, status.unique

@@ -6,11 +6,22 @@
 //! response stream:
 //!
 //! ```text
-//! client                                server
-//!   │ ── SubmitScenario / SubmitPlan ──▶ │
-//!   │ ◀── SweepStatus ─────────────────  │   (or Error)
-//!   │ ◀── CellResult × status.results ─  │
+//! client                                      server
+//!   │ ── SubmitScenario / SubmitPlan ────────▶ │
+//!   │ ◀── SweepStatus ───────────────────────  │   (or Error)
+//!   │ ◀── CellResult | CellError × results ──  │
+//!
+//!   │ ── Ping ───────────────────────────────▶ │
+//!   │ ◀── ServerStatus ──────────────────────  │
 //! ```
+//!
+//! A failing cell no longer fails the sweep: the server streams a
+//! [`CellError`] frame for it while every sibling cell still arrives as
+//! a [`CellResult`] (graceful degradation). [`Ping`](Message::Ping) /
+//! [`ServerStatus`](Message::ServerStatus) is a liveness probe for
+//! scripts and load balancers. Both are *additive* version-1
+//! extensions: the framing, the version check, and every pre-existing
+//! payload are unchanged (see `docs/PROTOCOL.md`).
 //!
 //! # Framing
 //!
@@ -60,14 +71,16 @@ pub struct PlanCell {
 
 /// What the server did to satisfy a sweep, and how much of it was free.
 ///
-/// `simulated + cache_hits + joined == unique`: every unique cell was
-/// either freshly simulated by this request, served from the result
-/// cache, or *joined* — another client's in-flight simulation of the same
-/// fingerprint was awaited instead of duplicated.
+/// `simulated + cache_hits + joined + errors == unique`: every unique
+/// cell was either freshly simulated by this request, served from the
+/// result cache, *joined* — another client's in-flight simulation of the
+/// same fingerprint was awaited instead of duplicated — or failed with a
+/// typed per-cell error.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepStatus {
-    /// Number of [`CellResult`] frames that follow, one per requested
-    /// cell in declaration order (duplicates included).
+    /// Number of per-cell frames ([`CellResult`] or [`CellError`]) that
+    /// follow, one per requested cell in declaration order (duplicates
+    /// included).
     pub results: u64,
     /// Unique cells after fingerprint deduplication.
     pub unique: u64,
@@ -78,6 +91,10 @@ pub struct SweepStatus {
     /// Unique cells that waited on another request's in-flight
     /// simulation of the same fingerprint.
     pub joined: u64,
+    /// Unique cells that failed (simulation panic or internal fault);
+    /// each is reported as a [`CellError`] frame, while every sibling
+    /// cell still arrives normally.
+    pub errors: u64,
     /// Server-lifetime count of simulations performed, across all
     /// clients. A repeated submission that was served entirely from
     /// cache leaves this unchanged.
@@ -99,6 +116,112 @@ pub struct CellResult {
     /// The canonical `Report` JSON, byte-for-byte as
     /// `Report::canonical_json` produced it on the server.
     pub report: String,
+}
+
+/// One cell's typed failure. Sent in a [`CellResult`]'s position so the
+/// remaining cells of the sweep still stream back — a panicking
+/// simulation degrades one cell, not the whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// The configuration label of the failed cell.
+    pub label: String,
+    /// The workload short name of the failed cell.
+    pub workload: String,
+    /// The cell's behavioural fingerprint ([`cell_fingerprint`]).
+    pub fingerprint: String,
+    /// A stable machine-readable cause (`"panic"`, `"internal"`).
+    pub code: String,
+    /// Human-readable detail (e.g. the panic message).
+    pub message: String,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell {}/{} failed [{}]: {}",
+            self.label, self.workload, self.code, self.message
+        )
+    }
+}
+
+/// One per-cell reply frame: the cell's report, or its typed failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellReply {
+    /// The cell simulated (or was served from cache) successfully.
+    Report(CellResult),
+    /// The cell failed; its siblings were still delivered.
+    Failed(CellError),
+}
+
+impl CellReply {
+    /// The configuration label, whichever way the cell went.
+    pub fn label(&self) -> &str {
+        match self {
+            CellReply::Report(r) => &r.label,
+            CellReply::Failed(e) => &e.label,
+        }
+    }
+
+    /// The workload short name, whichever way the cell went.
+    pub fn workload(&self) -> &str {
+        match self {
+            CellReply::Report(r) => &r.workload,
+            CellReply::Failed(e) => &e.workload,
+        }
+    }
+
+    /// The cell's behavioural fingerprint.
+    pub fn fingerprint(&self) -> &str {
+        match self {
+            CellReply::Report(r) => &r.fingerprint,
+            CellReply::Failed(e) => &e.fingerprint,
+        }
+    }
+
+    /// The successful report, if any.
+    pub fn report(&self) -> Option<&CellResult> {
+        match self {
+            CellReply::Report(r) => Some(r),
+            CellReply::Failed(_) => None,
+        }
+    }
+
+    /// The typed failure, if any.
+    pub fn failure(&self) -> Option<&CellError> {
+        match self {
+            CellReply::Report(_) => None,
+            CellReply::Failed(e) => Some(e),
+        }
+    }
+
+    /// Converts into a `Result`, for callers that treat any cell failure
+    /// as an error.
+    pub fn into_result(self) -> Result<CellResult, CellError> {
+        match self {
+            CellReply::Report(r) => Ok(r),
+            CellReply::Failed(e) => Err(e),
+        }
+    }
+}
+
+/// The server's health-check reply to a [`Ping`](Message::Ping):
+/// configuration and lifetime counters, cheap enough for tight liveness
+/// probing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStatus {
+    /// The protocol version the server speaks ([`PROTOCOL_VERSION`]).
+    pub protocol_version: u64,
+    /// Worker threads available per request.
+    pub jobs: u64,
+    /// Result-cache capacity, in cells (`0` = caching disabled).
+    pub cache_capacity: u64,
+    /// Entries currently held in the result cache.
+    pub cache_entries: u64,
+    /// Cells currently being simulated, across all requests.
+    pub in_flight: u64,
+    /// Lifetime count of simulations performed.
+    pub total_simulations: u64,
 }
 
 /// A server-reported failure.
@@ -143,6 +266,14 @@ pub enum Message {
     SweepStatus(SweepStatus),
     /// Server → client: one cell's report.
     CellResult(CellResult),
+    /// Server → client: one cell's typed failure; sibling cells still
+    /// stream back around it.
+    CellError(CellError),
+    /// Client → server: liveness probe; the server answers with
+    /// [`ServerStatus`](Self::ServerStatus) and closes.
+    Ping,
+    /// Server → client: health-check reply to [`Ping`](Self::Ping).
+    ServerStatus(ServerStatus),
     /// Server → client: the request failed; the connection closes.
     Error(WireError),
 }
@@ -234,6 +365,7 @@ impl ToJson for SweepStatus {
             ("simulated", self.simulated.into()),
             ("cache_hits", self.cache_hits.into()),
             ("joined", self.joined.into()),
+            ("errors", self.errors.into()),
             ("total_simulations", self.total_simulations.into()),
             ("cache_entries", self.cache_entries.into()),
         ])
@@ -253,8 +385,45 @@ impl SweepStatus {
             simulated: field("simulated")?,
             cache_hits: field("cache_hits")?,
             joined: field("joined")?,
+            // Additive v1 extension: absent from pre-hardening servers,
+            // which could not fail per-cell — default 0.
+            errors: match doc.get("errors") {
+                None => 0,
+                Some(_) => field("errors")?,
+            },
             total_simulations: field("total_simulations")?,
             cache_entries: field("cache_entries")?,
+        })
+    }
+}
+
+impl ToJson for ServerStatus {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("protocol_version", self.protocol_version.into()),
+            ("jobs", self.jobs.into()),
+            ("cache_capacity", self.cache_capacity.into()),
+            ("cache_entries", self.cache_entries.into()),
+            ("in_flight", self.in_flight.into()),
+            ("total_simulations", self.total_simulations.into()),
+        ])
+    }
+}
+
+impl ServerStatus {
+    fn from_json(doc: &JsonValue, at: &str) -> Result<ServerStatus, ProtocolError> {
+        let field = |key: &'static str| {
+            doc.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or(malformed(format!("{at}.{key}"), "an unsigned integer"))
+        };
+        Ok(ServerStatus {
+            protocol_version: field("protocol_version")?,
+            jobs: field("jobs")?,
+            cache_capacity: field("cache_capacity")?,
+            cache_entries: field("cache_entries")?,
+            in_flight: field("in_flight")?,
+            total_simulations: field("total_simulations")?,
         })
     }
 }
@@ -267,6 +436,9 @@ impl Message {
             Message::SubmitPlan { .. } => "submit_plan",
             Message::SweepStatus(_) => "sweep_status",
             Message::CellResult(_) => "cell_result",
+            Message::CellError(_) => "cell_error",
+            Message::Ping => "ping",
+            Message::ServerStatus(_) => "server_status",
             Message::Error(_) => "error",
         }
     }
@@ -313,6 +485,22 @@ impl Message {
                     ("fingerprint".to_string(), cell.fingerprint.as_str().into()),
                     ("report".to_string(), cell.report.as_str().into()),
                 ]);
+            }
+            Message::CellError(e) => {
+                fields.extend([
+                    ("label".to_string(), e.label.as_str().into()),
+                    ("workload".to_string(), e.workload.as_str().into()),
+                    ("fingerprint".to_string(), e.fingerprint.as_str().into()),
+                    ("code".to_string(), e.code.as_str().into()),
+                    ("message".to_string(), e.message.as_str().into()),
+                ]);
+            }
+            Message::Ping => {}
+            Message::ServerStatus(status) => {
+                let JsonValue::Object(inner) = status.to_json() else {
+                    unreachable!("ServerStatus serializes as an object");
+                };
+                fields.extend(inner);
             }
             Message::Error(e) => {
                 fields.extend([
@@ -411,6 +599,25 @@ impl Message {
                     report: field("report")?,
                 }))
             }
+            "cell_error" => {
+                let field = |key: &'static str| {
+                    doc.get(key)
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string)
+                        .ok_or(malformed(format!("payload.{key}"), "a string"))
+                };
+                Ok(Message::CellError(CellError {
+                    label: field("label")?,
+                    workload: field("workload")?,
+                    fingerprint: field("fingerprint")?,
+                    code: field("code")?,
+                    message: field("message")?,
+                }))
+            }
+            "ping" => Ok(Message::Ping),
+            "server_status" => Ok(Message::ServerStatus(ServerStatus::from_json(
+                doc, "payload",
+            )?)),
             "error" => {
                 let field = |key: &'static str| {
                     doc.get(key)
@@ -486,6 +693,7 @@ pub fn cell_fingerprint(machine: &MachineConfig, workload: &str, insts: u64) -> 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use contopt_sim::ScenarioConfig;
@@ -540,8 +748,9 @@ mod tests {
                 results: 4,
                 unique: 3,
                 simulated: 1,
-                cache_hits: 2,
+                cache_hits: 1,
                 joined: 0,
+                errors: 1,
                 total_simulations: 17,
                 cache_entries: 9,
             }),
@@ -550,6 +759,22 @@ mod tests {
                 workload: "twf".into(),
                 fingerprint: "0123456789abcdef".into(),
                 report: "{\n  \"pipeline\": {}\n}\n".into(),
+            }),
+            Message::CellError(CellError {
+                label: "optimized".into(),
+                workload: "untst".into(),
+                fingerprint: "fedcba9876543210".into(),
+                code: "panic".into(),
+                message: "index out of bounds: the len is 4".into(),
+            }),
+            Message::Ping,
+            Message::ServerStatus(ServerStatus {
+                protocol_version: PROTOCOL_VERSION,
+                jobs: 8,
+                cache_capacity: 1024,
+                cache_entries: 12,
+                in_flight: 3,
+                total_simulations: 99,
             }),
             Message::Error(WireError {
                 code: "bad-request".into(),
@@ -614,6 +839,40 @@ mod tests {
             Message::from_json(&doc),
             Err(ProtocolError::VersionMismatch(99))
         ));
+        // The version check precedes the type dispatch, so the new
+        // additive messages reject foreign versions exactly like the
+        // original five — no misparse path was introduced.
+        for payload in [
+            r#"{"v": 7, "type": "ping"}"#,
+            r#"{"v": 7, "type": "server_status"}"#,
+            r#"{"v": 7, "type": "cell_error", "label": "a", "workload": "twf",
+                "fingerprint": "f", "code": "panic", "message": "m"}"#,
+        ] {
+            let doc = JsonValue::parse(payload).unwrap();
+            assert!(
+                matches!(
+                    Message::from_json(&doc),
+                    Err(ProtocolError::VersionMismatch(7))
+                ),
+                "payload {payload} must fail the version check first"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_status_errors_field_defaults_to_zero() {
+        // Pre-hardening servers never emitted "errors"; their status
+        // frames must still parse (additive v1 extension).
+        let doc = JsonValue::parse(
+            r#"{"v": 1, "type": "sweep_status", "results": 2, "unique": 2,
+                "simulated": 2, "cache_hits": 0, "joined": 0,
+                "total_simulations": 2, "cache_entries": 2}"#,
+        )
+        .unwrap();
+        let Message::SweepStatus(status) = Message::from_json(&doc).unwrap() else {
+            panic!("wrong type back");
+        };
+        assert_eq!(status.errors, 0);
     }
 
     #[test]
@@ -650,6 +909,24 @@ mod tests {
             read_frame(&mut &buf[..]),
             Err(ProtocolError::FrameTooLarge(_))
         ));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_on_the_write_side_too() {
+        // A report bigger than MAX_FRAME_LEN must be refused by the
+        // sender with the same typed error — nothing hits the wire.
+        let msg = Message::CellResult(CellResult {
+            label: "l".into(),
+            workload: "w".into(),
+            fingerprint: "f".into(),
+            report: "x".repeat(MAX_FRAME_LEN + 1),
+        });
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &msg),
+            Err(ProtocolError::FrameTooLarge(_))
+        ));
+        assert!(buf.is_empty(), "no partial frame may be emitted");
     }
 
     #[test]

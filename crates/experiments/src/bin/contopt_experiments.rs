@@ -72,7 +72,8 @@ these to report precise causes):
   0  success: goldens match (or the run/record completed)
   1  drift: at least one recorded golden differs from the fresh run
   2  missing: some goldens are not recorded (and none drifted)
-  3  error: the run itself failed (unreadable scenario, I/O failure)";
+  3  error: the run itself failed (unreadable scenario, I/O failure;
+     contopt-client reports remote per-cell failures the same way)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -340,7 +340,10 @@ pub(crate) fn drift_between(
 /// process exit code so CI and the sweep server can report the precise
 /// cause without parsing logs: `0` everything matched, `2` only missing
 /// goldens (record them), `1` at least one recorded golden drifted, `3`
-/// the check itself failed (unreadable scenario, I/O, protocol).
+/// the check itself failed (unreadable scenario, I/O, protocol — and,
+/// for remote sweeps, a server-side per-cell failure: `contopt-client`
+/// maps each `cell_error` frame to [`Error`](Self::Error) while still
+/// checking the surviving sibling cells).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub enum CheckOutcome {
     /// Every cell matched its recorded golden.

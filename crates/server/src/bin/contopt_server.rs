@@ -1,7 +1,10 @@
 //! `contopt-server` — the sweep-service daemon.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_server::{Server, ServerConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 contopt-server — serve contopt scenario sweeps over TCP
@@ -10,21 +13,37 @@ USAGE:
   contopt-server [OPTIONS]
 
 OPTIONS:
-  --addr HOST:PORT   address to listen on (default 127.0.0.1:4077;
-                     port 0 picks an ephemeral port)
-  --jobs N           worker threads per request (default: all cores;
-                     0 means the default)
-  --cache N          result-cache capacity in cells (default 1024;
-                     0 disables caching, in-flight dedup remains)
-  --port-file PATH   after binding, write the bound port to PATH —
-                     lets scripts start on port 0 and discover the
-                     real port without racing the daemon
-  --help             print this help
+  --addr HOST:PORT        address to listen on (default 127.0.0.1:4077;
+                          port 0 picks an ephemeral port)
+  --jobs N                worker threads per request (default: all cores;
+                          0 means the default)
+  --cache N               result-cache capacity in cells (default 1024;
+                          0 disables caching, in-flight dedup remains)
+  --request-timeout SECS  per-connection read/write deadline (default 30;
+                          0 disables the deadline)
+  --port-file PATH        after binding, write the bound port to PATH —
+                          lets scripts start on port 0 and discover the
+                          real port without racing the daemon; the write
+                          is atomic (temp file + rename), so pollers
+                          never observe a partial port
+  --help                  print this help
 
 The server answers contopt-client submissions (see docs/PROTOCOL.md)
 with canonical report JSON, deduplicating concurrent identical cells
-and caching completed ones by configuration fingerprint.
+and caching completed ones by configuration fingerprint. `ping`
+requests are answered with a `server_status` health snapshot. A cell
+whose simulation fails degrades to a typed `cell_error` frame; its
+siblings still stream back.
 ";
+
+/// Writes `port` to `path` atomically: temp file in the same directory,
+/// then rename. A script polling `path` sees either nothing or the full
+/// line, never a torn write.
+fn write_port_file(path: &str, port: u16) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, format!("{port}\n"))?;
+    std::fs::rename(&tmp, path)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,6 +84,15 @@ fn main() -> ExitCode {
         Some(None) => return bad("--cache takes a number".to_string()),
         None => {}
     }
+    match value_of("--request-timeout") {
+        Some(Some(n)) => match n.parse::<u64>() {
+            Ok(0) => config.request_timeout = None,
+            Ok(n) => config.request_timeout = Some(Duration::from_secs(n)),
+            Err(_) => return bad(format!("--request-timeout takes seconds, got {n:?}")),
+        },
+        Some(None) => return bad("--request-timeout takes seconds".to_string()),
+        None => {}
+    }
     let port_file = match value_of("--port-file") {
         Some(Some(p)) => Some(p),
         Some(None) => return bad("--port-file takes a path".to_string()),
@@ -79,14 +107,28 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => return bad(format!("cannot read bound address: {e}")),
     };
+    #[cfg(feature = "fault-injection")]
+    match contopt_server::fault::FaultPlan::from_env() {
+        Ok(Some(plan)) => {
+            eprintln!("contopt-server: fault injection armed from CONTOPT_FAULTS");
+            server.inject_faults(plan);
+        }
+        Ok(None) => {}
+        Err(e) => return bad(format!("bad CONTOPT_FAULTS: {e}")),
+    }
     if let Some(path) = port_file {
-        if let Err(e) = std::fs::write(&path, format!("{}\n", bound.port())) {
+        if let Err(e) = write_port_file(&path, bound.port()) {
             return bad(format!("cannot write {path}: {e}"));
         }
     }
     eprintln!(
-        "contopt-server: listening on {bound} ({} worker(s), cache {} cells)",
-        config.jobs, config.cache_capacity
+        "contopt-server: listening on {bound} ({} worker(s), cache {} cells, request timeout {})",
+        config.jobs,
+        config.cache_capacity,
+        match config.request_timeout {
+            Some(t) => format!("{}s", t.as_secs()),
+            None => "off".to_string(),
+        }
     );
     match server.serve_forever() {
         Ok(()) => ExitCode::SUCCESS,

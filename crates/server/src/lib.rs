@@ -19,24 +19,84 @@
 //!   again. Overlapping sweeps from unrelated clients cost one
 //!   simulation per unique cell, total.
 //!
+//! And three make it robust:
+//!
+//! * **Per-cell fault isolation** — a simulation that panics is caught
+//!   (`catch_unwind`) and reported as a typed `cell_error` frame; every
+//!   sibling cell still streams back, and the panicked cell's in-flight
+//!   claim is released so concurrent joiners never deadlock on the
+//!   `Condvar`. The sweep degrades by one cell instead of tearing down.
+//! * **Deadlines** — every connection gets read/write timeouts
+//!   ([`ServerConfig::request_timeout`], `--request-timeout` on the
+//!   binary), so a stalled or malicious peer cannot pin a handler
+//!   thread forever.
+//! * **Graceful drain** — shutting a server down stops accepting, then
+//!   waits (bounded by [`ServerConfig::drain_timeout`]) for in-flight
+//!   connections to finish before returning.
+//!
+//! A deterministic fault-injection harness (the [`fault`] module, only
+//! compiled under `cfg(any(test, feature = "fault-injection"))`) scripts
+//! cell panics, connection drops, frame truncation, delays, and black
+//! holes into a live server; `tests/faults.rs` drives it end-to-end.
+//!
 //! Everything is `std`: `TcpListener` + one thread per connection,
 //! `Mutex`/`Condvar` for the engine, scoped threads for the per-request
 //! worker pool.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod fault;
+
+#[cfg(any(test, feature = "fault-injection"))]
+use fault::{ConnFaults, FrameFate};
+
+/// No-op stand-ins so the serve path reads identically whether or not
+/// fault injection is compiled in.
+#[cfg(not(any(test, feature = "fault-injection")))]
+mod fault_stub {
+    pub(crate) struct ConnFaults;
+
+    #[allow(dead_code)] // Truncate/Drop are never built without injection
+    pub(crate) enum FrameFate {
+        Send,
+        Truncate,
+        Drop,
+    }
+
+    impl ConnFaults {
+        pub(crate) fn none() -> ConnFaults {
+            ConnFaults
+        }
+
+        pub(crate) fn black_hole(&self) -> bool {
+            false
+        }
+
+        pub(crate) fn before_frame(&mut self) -> FrameFate {
+            FrameFate::Send
+        }
+    }
+}
+
+#[cfg(not(any(test, feature = "fault-injection")))]
+use fault_stub::{ConnFaults, FrameFate};
 
 use contopt_client::protocol::{
-    cell_fingerprint, read_frame, write_frame, CellResult, Message, ProtocolError, SweepStatus,
-    WireError,
+    cell_fingerprint, read_frame, write_frame, CellError, CellReply, CellResult, Message,
+    ProtocolError, ServerStatus, SweepStatus, WireError, PROTOCOL_VERSION,
 };
 use contopt_sim::{MachineConfig, SimSession};
 use std::collections::{HashMap, HashSet};
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Tuning for a [`Server`] / [`SweepEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +107,13 @@ pub struct ServerConfig {
     /// Completed-report cache capacity, in cells. `0` disables caching
     /// (in-flight dedup still applies).
     pub cache_capacity: usize,
+    /// Per-connection read/write deadline. A peer that stalls longer
+    /// than this mid-frame gets its connection dropped instead of
+    /// pinning a handler thread. `None` disables the deadline.
+    pub request_timeout: Option<Duration>,
+    /// How long shutdown waits for in-flight connections to finish
+    /// before giving up on them.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -54,9 +121,14 @@ impl Default for ServerConfig {
         ServerConfig {
             jobs: default_jobs(),
             cache_capacity: 1024,
+            request_timeout: Some(DEFAULT_REQUEST_TIMEOUT),
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
+
+/// The default per-connection read/write deadline (`--request-timeout`).
+pub const DEFAULT_REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// The machine's available parallelism, as a sane worker-pool default.
 pub fn default_jobs() -> usize {
@@ -103,6 +175,14 @@ enum Obtained {
     Joined,
 }
 
+/// The outcome of producing one unique cell.
+enum CellOutcome {
+    /// The canonical report, and how it was obtained.
+    Ready(Arc<String>, Obtained),
+    /// The cell failed; `code` is the wire-visible cause.
+    Failed { code: &'static str, message: String },
+}
+
 struct CacheEntry {
     report: Arc<String>,
     /// Last-touch tick for LRU eviction.
@@ -122,8 +202,18 @@ struct EngineState {
 pub struct SweepEngine {
     jobs: usize,
     cache_capacity: usize,
+    request_timeout: Option<Duration>,
+    drain_timeout: Duration,
     state: Mutex<EngineState>,
     cond: Condvar,
+    /// Active connection gauge, for graceful drain.
+    conns: Mutex<u64>,
+    conn_cond: Condvar,
+    /// Set when the server begins shutting down; long-running fault
+    /// handlers (black holes) also poll it so drain stays bounded.
+    draining: AtomicBool,
+    #[cfg(any(test, feature = "fault-injection"))]
+    faults: Mutex<Option<Arc<fault::FaultPlan>>>,
 }
 
 /// A completed sweep: accounting plus the per-cell results in request
@@ -131,8 +221,9 @@ pub struct SweepEngine {
 pub struct SweepResponse {
     /// The accounting frame sent first.
     pub status: SweepStatus,
-    /// One result per requested cell (duplicates included).
-    pub cells: Vec<CellResult>,
+    /// One reply per requested cell (duplicates included): a report, or
+    /// a typed per-cell error.
+    pub cells: Vec<CellReply>,
 }
 
 impl SweepEngine {
@@ -141,8 +232,15 @@ impl SweepEngine {
         SweepEngine {
             jobs: config.jobs.max(1),
             cache_capacity: config.cache_capacity,
+            request_timeout: config.request_timeout,
+            drain_timeout: config.drain_timeout,
             state: Mutex::new(EngineState::default()),
             cond: Condvar::new(),
+            conns: Mutex::new(0),
+            conn_cond: Condvar::new(),
+            draining: AtomicBool::new(false),
+            #[cfg(any(test, feature = "fault-injection"))]
+            faults: Mutex::new(None),
         }
     }
 
@@ -157,6 +255,51 @@ impl SweepEngine {
         self.lock().cache.len()
     }
 
+    /// Cells currently being simulated, across all requests.
+    pub fn in_flight_cells(&self) -> usize {
+        self.lock().in_flight.len()
+    }
+
+    /// The health-check snapshot a `ping` is answered with.
+    pub fn server_status(&self) -> ServerStatus {
+        let state = self.lock();
+        ServerStatus {
+            protocol_version: PROTOCOL_VERSION,
+            jobs: self.jobs as u64,
+            cache_capacity: self.cache_capacity as u64,
+            cache_entries: state.cache.len() as u64,
+            in_flight: state.in_flight.len() as u64,
+            total_simulations: state.total_simulations,
+        }
+    }
+
+    /// Installs a fault plan; subsequent connections and simulations
+    /// consult it. Only available with fault injection compiled in.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn inject_faults(&self, plan: fault::FaultPlan) {
+        *self
+            .faults
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Arc::new(plan));
+    }
+
+    #[cfg(any(test, feature = "fault-injection"))]
+    fn fault_plan(&self) -> Option<Arc<fault::FaultPlan>> {
+        self.faults
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Claims connection-level faults for a fresh connection.
+    fn claim_conn_faults(&self) -> ConnFaults {
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(plan) = self.fault_plan() {
+            return plan.claim_connection();
+        }
+        ConnFaults::none()
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, EngineState> {
         // The engine never panics while holding the lock (simulation runs
         // outside it), so poisoning is unreachable in practice; recover
@@ -164,10 +307,67 @@ impl SweepEngine {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    // --- connection gauge (graceful drain) ---
+
+    fn connection_started(self: &Arc<Self>) -> ConnGuard {
+        let mut count = self
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *count += 1;
+        ConnGuard {
+            engine: Arc::clone(self),
+        }
+    }
+
+    fn connection_finished(&self) {
+        let mut count = self
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *count = count.saturating_sub(1);
+        drop(count);
+        self.conn_cond.notify_all();
+    }
+
+    /// Marks the engine as draining (black-hole handlers and other
+    /// long waits poll this to wind down promptly).
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Waits up to the drain timeout for every connection to finish.
+    /// Returns `true` if the server drained completely.
+    fn wait_idle(&self) -> bool {
+        let deadline = Instant::now() + self.drain_timeout;
+        let mut count = self
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *count > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .conn_cond
+                .wait_timeout(count, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            count = guard;
+        }
+        true
+    }
+
     /// Executes one sweep: dedupes the cells, fans them across at most
     /// `jobs_hint` workers (clamped to the engine's pool), and assembles
     /// results in declaration order. Fails fast — before any simulation —
     /// if a cell names an unknown workload or an invalid configuration.
+    /// A cell that *fails during simulation* (panic) degrades to a typed
+    /// [`CellReply::Failed`] while its siblings complete normally.
     pub fn sweep(
         &self,
         insts: u64,
@@ -207,12 +407,11 @@ impl SweepEngine {
             .collect::<Result<_, _>>()?;
 
         let jobs = jobs_hint
-            .map(|h| h.min(self.jobs as u64).max(1) as usize)
+            .map(|h| h.clamp(1, self.jobs as u64) as usize)
             .unwrap_or(self.jobs)
             .min(sessions.len().max(1));
         let next = AtomicUsize::new(0);
-        let mut obtained: Vec<Option<(Arc<String>, Obtained)>> =
-            (0..sessions.len()).map(|_| None).collect();
+        let mut obtained: Vec<Option<CellOutcome>> = (0..sessions.len()).map(|_| None).collect();
         let done = std::thread::scope(|s| {
             let workers: Vec<_> = (0..jobs)
                 .map(|_| {
@@ -228,9 +427,13 @@ impl SweepEngine {
                     })
                 })
                 .collect();
+            // A panicking worker loses only its own cells (simulation
+            // panics are already caught inside `obtain`, so this is a
+            // second line of defense, not the expected path); the
+            // unfilled slots degrade to typed internal errors below.
             workers
                 .into_iter()
-                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .flat_map(|h| h.join().unwrap_or_default())
                 .collect::<Vec<_>>()
         });
         for (i, result) in done {
@@ -240,26 +443,42 @@ impl SweepEngine {
         let mut simulated = 0u64;
         let mut cache_hits = 0u64;
         let mut joined = 0u64;
-        for entry in obtained.iter().flatten() {
-            match entry.1 {
-                Obtained::Simulated => simulated += 1,
-                Obtained::CacheHit => cache_hits += 1,
-                Obtained::Joined => joined += 1,
+        let mut errors = 0u64;
+        for entry in obtained.iter() {
+            match entry {
+                Some(CellOutcome::Ready(_, Obtained::Simulated)) => simulated += 1,
+                Some(CellOutcome::Ready(_, Obtained::CacheHit)) => cache_hits += 1,
+                Some(CellOutcome::Ready(_, Obtained::Joined)) => joined += 1,
+                Some(CellOutcome::Failed { .. }) | None => errors += 1,
             }
         }
 
-        let results: Vec<CellResult> = cells
+        let results: Vec<CellReply> = cells
             .iter()
             .zip(&cell_to_uniq)
             .map(|(cell, &u)| {
-                let (report, _) = obtained[u]
-                    .as_ref()
-                    .expect("every unique cell was obtained");
-                CellResult {
-                    label: cell.label.clone(),
-                    workload: cell.workload.clone(),
-                    fingerprint: cell_fingerprint(&cell.machine, &cell.workload, insts),
-                    report: String::clone(report),
+                let fingerprint = cell_fingerprint(&cell.machine, &cell.workload, insts);
+                match &obtained[u] {
+                    Some(CellOutcome::Ready(report, _)) => CellReply::Report(CellResult {
+                        label: cell.label.clone(),
+                        workload: cell.workload.clone(),
+                        fingerprint,
+                        report: String::clone(report),
+                    }),
+                    Some(CellOutcome::Failed { code, message }) => CellReply::Failed(CellError {
+                        label: cell.label.clone(),
+                        workload: cell.workload.clone(),
+                        fingerprint,
+                        code: (*code).to_string(),
+                        message: message.clone(),
+                    }),
+                    None => CellReply::Failed(CellError {
+                        label: cell.label.clone(),
+                        workload: cell.workload.clone(),
+                        fingerprint,
+                        code: "internal".to_string(),
+                        message: "sweep worker terminated before this cell completed".to_string(),
+                    }),
                 }
             })
             .collect();
@@ -271,6 +490,7 @@ impl SweepEngine {
             simulated,
             cache_hits,
             joined,
+            errors,
             total_simulations: state.total_simulations,
             cache_entries: state.cache.len() as u64,
         };
@@ -282,30 +502,35 @@ impl SweepEngine {
     }
 
     /// Produces one cell's canonical report: from cache, by joining an
-    /// in-flight simulation, or by claiming and simulating it here.
-    fn obtain(&self, key: &CellKey, session: &SimSession) -> (Arc<String>, Obtained) {
+    /// in-flight simulation, or by claiming and simulating it here. A
+    /// panicking simulation is caught and degraded to
+    /// [`CellOutcome::Failed`]; its in-flight claim is released so
+    /// joiners wake and re-claim instead of deadlocking on a cell
+    /// nobody owns.
+    fn obtain(&self, key: &CellKey, session: &SimSession) -> CellOutcome {
         let mut waited = false;
         let mut state = self.lock();
         loop {
-            if state.cache.contains_key(key) {
-                state.tick += 1;
-                let tick = state.tick;
-                let entry = state.cache.get_mut(key).expect("checked above");
-                entry.tick = tick;
+            // Split the borrow so the tick bump and the cache lookup can
+            // coexist without a second lookup.
+            let s = &mut *state;
+            if let Some(entry) = s.cache.get_mut(key) {
+                s.tick += 1;
+                entry.tick = s.tick;
                 let report = Arc::clone(&entry.report);
                 let how = if waited {
                     Obtained::Joined
                 } else {
                     Obtained::CacheHit
                 };
-                return (report, how);
+                return CellOutcome::Ready(report, how);
             }
-            if state.in_flight.contains(key) {
+            if s.in_flight.contains(key) {
                 waited = true;
                 state = self.cond.wait(state).unwrap_or_else(|e| e.into_inner());
                 continue;
             }
-            state.in_flight.insert(key.clone());
+            s.in_flight.insert(key.clone());
             break;
         }
         drop(state);
@@ -331,7 +556,31 @@ impl SweepEngine {
             published: false,
         };
 
-        let report = Arc::new(session.run().canonical_json());
+        #[cfg(any(test, feature = "fault-injection"))]
+        let injected = self
+            .fault_plan()
+            .is_some_and(|plan| plan.take_panic(&key.1));
+        #[cfg(not(any(test, feature = "fault-injection")))]
+        let injected = false;
+
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if injected {
+                panic!("injected fault: cell panic");
+            }
+            session.run().canonical_json()
+        }));
+        let report = match run {
+            Ok(json) => Arc::new(json),
+            Err(payload) => {
+                // `claim` drops here unpublished: the in-flight entry is
+                // removed and joiners are notified, so they re-claim the
+                // cell (and surface their own error if it fails again).
+                return CellOutcome::Failed {
+                    code: "panic",
+                    message: panic_message(payload.as_ref()),
+                };
+            }
+        };
 
         let mut state = self.lock();
         state.total_simulations += 1;
@@ -362,7 +611,29 @@ impl SweepEngine {
         claim.published = true;
         drop(state);
         self.cond.notify_all();
-        (report, Obtained::Simulated)
+        CellOutcome::Ready(report, Obtained::Simulated)
+    }
+}
+
+/// RAII decrement of the engine's active-connection gauge.
+struct ConnGuard {
+    engine: Arc<SweepEngine>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.engine.connection_finished();
+    }
+}
+
+/// Extracts a readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "simulation panicked".to_string()
     }
 }
 
@@ -402,29 +673,67 @@ fn expand_request(msg: Message) -> Result<(u64, Vec<SweepCell>, Option<u64>), Wi
         other => Err(WireError {
             code: "bad-request".to_string(),
             message: format!(
-                "expected submit_scenario or submit_plan, got {}",
+                "expected submit_scenario, submit_plan, or ping, got {}",
                 other.type_tag()
             ),
         }),
     }
 }
 
+/// Writes one response frame, applying any connection-level injected
+/// faults. `Ok(true)` = sent, keep going; `Ok(false)` = the connection
+/// was deliberately cut (injected drop/truncation), stop.
+fn send_frame(
+    writer: &mut BufWriter<TcpStream>,
+    msg: &Message,
+    faults: &mut ConnFaults,
+) -> Result<bool, ProtocolError> {
+    match faults.before_frame() {
+        FrameFate::Send => {
+            write_frame(writer, msg)?;
+            Ok(true)
+        }
+        FrameFate::Drop => Ok(false),
+        FrameFate::Truncate => {
+            // A deliberately half-written frame: correct length prefix,
+            // half the payload, then the connection closes — the reader
+            // must surface a typed I/O error, never hang or misparse.
+            let text = msg.to_json().to_string();
+            let bytes = text.as_bytes();
+            writer.write_all(&(bytes.len() as u32).to_be_bytes())?;
+            writer.write_all(&bytes[..bytes.len() / 2])?;
+            writer.flush()?;
+            Ok(false)
+        }
+    }
+}
+
 /// Serves one connection: one request frame in, one status frame plus the
-/// cell results (or one error frame) out.
+/// per-cell frames (or one error frame) out. `ping` requests are answered
+/// with a `server_status` frame.
 fn handle_connection(engine: &SweepEngine, stream: TcpStream) {
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
+    // Arm the per-connection deadlines before touching the stream; a
+    // peer that stalls mid-frame gets an I/O error, not a pinned thread.
+    let _ = stream.set_read_timeout(engine.request_timeout);
+    let _ = stream.set_write_timeout(engine.request_timeout);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let fail = |writer: &mut BufWriter<TcpStream>, code: &str, message: String| {
+    let mut faults = engine.claim_conn_faults();
+    let fail = |writer: &mut BufWriter<TcpStream>,
+                faults: &mut ConnFaults,
+                code: &str,
+                message: String| {
         // Best-effort: the peer may already be gone.
-        let _ = write_frame(
+        let _ = send_frame(
             writer,
             &Message::Error(WireError {
                 code: code.to_string(),
                 message,
             }),
+            faults,
         );
     };
     let request = match read_frame(&mut reader) {
@@ -432,27 +741,60 @@ fn handle_connection(engine: &SweepEngine, stream: TcpStream) {
         Err(ProtocolError::VersionMismatch(v)) => {
             return fail(
                 &mut writer,
+                &mut faults,
                 "version",
                 format!("unsupported protocol version {v}"),
             )
         }
         Err(ProtocolError::Io(_)) => return, // peer vanished; nothing to tell it
-        Err(e) => return fail(&mut writer, "bad-request", e.to_string()),
+        Err(e) => return fail(&mut writer, &mut faults, "bad-request", e.to_string()),
     };
+    if faults.black_hole() {
+        // Injected fault: swallow the request. Bounded — wind down as
+        // soon as the server drains (or after the deadline budget), so
+        // a black hole never outlives its test.
+        let cap = engine
+            .request_timeout
+            .unwrap_or(DEFAULT_REQUEST_TIMEOUT)
+            .saturating_mul(4);
+        let start = Instant::now();
+        while !engine.is_draining() && start.elapsed() < cap {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        return;
+    }
+    if matches!(request, Message::Ping) {
+        let _ = send_frame(
+            &mut writer,
+            &Message::ServerStatus(engine.server_status()),
+            &mut faults,
+        );
+        return;
+    }
     let (insts, cells, jobs) = match expand_request(request) {
         Ok(parts) => parts,
-        Err(e) => return fail(&mut writer, &e.code, e.message),
+        Err(e) => return fail(&mut writer, &mut faults, &e.code, e.message),
     };
     let response = match engine.sweep(insts, &cells, jobs) {
         Ok(r) => r,
-        Err(e) => return fail(&mut writer, &e.code, e.message),
+        Err(e) => return fail(&mut writer, &mut faults, &e.code, e.message),
     };
-    if write_frame(&mut writer, &Message::SweepStatus(response.status)).is_err() {
-        return;
+    match send_frame(
+        &mut writer,
+        &Message::SweepStatus(response.status),
+        &mut faults,
+    ) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => return,
     }
     for cell in response.cells {
-        if write_frame(&mut writer, &Message::CellResult(cell)).is_err() {
-            return;
+        let msg = match cell {
+            CellReply::Report(r) => Message::CellResult(r),
+            CellReply::Failed(e) => Message::CellError(e),
+        };
+        match send_frame(&mut writer, &msg, &mut faults) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
         }
     }
 }
@@ -483,11 +825,18 @@ impl Server {
         Arc::clone(&self.engine)
     }
 
+    /// Installs a fault plan on the engine (see [`fault::FaultPlan`]).
+    /// Only available with fault injection compiled in.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn inject_faults(&self, plan: fault::FaultPlan) {
+        self.engine.inject_faults(plan);
+    }
+
     /// Serves connections on the calling thread, forever. Each
     /// connection gets its own thread; the engine serializes shared
     /// state.
     pub fn serve_forever(self) -> io::Result<()> {
-        accept_loop(self.listener, self.engine, None);
+        accept_loop(self.listener, self.engine);
         Ok(())
     }
 
@@ -497,29 +846,31 @@ impl Server {
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let engine = self.engine();
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
         let listener = self.listener;
+        let loop_engine = Arc::clone(&engine);
         let thread = std::thread::spawn(move || {
-            accept_loop(listener, self.engine, Some(&flag));
+            accept_loop(listener, loop_engine);
         });
         Ok(ServerHandle {
             addr,
             engine,
-            shutdown,
             thread: Some(thread),
         })
     }
 }
 
-fn accept_loop(listener: TcpListener, engine: Arc<SweepEngine>, shutdown: Option<&AtomicBool>) {
+fn accept_loop(listener: TcpListener, engine: Arc<SweepEngine>) {
     for stream in listener.incoming() {
-        if shutdown.is_some_and(|f| f.load(Ordering::SeqCst)) {
+        if engine.is_draining() {
             return;
         }
         let Ok(stream) = stream else { continue };
+        let guard = engine.connection_started();
         let engine = Arc::clone(&engine);
-        std::thread::spawn(move || handle_connection(&engine, stream));
+        std::thread::spawn(move || {
+            let _guard = guard;
+            handle_connection(&engine, stream);
+        });
     }
 }
 
@@ -527,7 +878,6 @@ fn accept_loop(listener: TcpListener, engine: Arc<SweepEngine>, shutdown: Option
 pub struct ServerHandle {
     addr: SocketAddr,
     engine: Arc<SweepEngine>,
-    shutdown: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -542,21 +892,23 @@ impl ServerHandle {
         Arc::clone(&self.engine)
     }
 
-    /// Stops the accept loop and joins the server thread. In-flight
-    /// connections finish on their own threads.
-    pub fn shutdown(mut self) {
-        self.stop();
+    /// Stops accepting, then drains: in-flight connections get up to
+    /// [`ServerConfig::drain_timeout`] to finish before shutdown
+    /// returns. Returns `true` if the server drained completely.
+    pub fn shutdown(mut self) -> bool {
+        self.stop()
     }
 
-    fn stop(&mut self) {
+    fn stop(&mut self) -> bool {
         let Some(thread) = self.thread.take() else {
-            return;
+            return true;
         };
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.engine.begin_drain();
         // The accept loop blocks in `accept`; poke it awake so it sees
         // the flag. A failed connect means the listener is already gone.
         let _ = TcpStream::connect(self.addr);
         let _ = thread.join();
+        self.engine.wait_idle()
     }
 }
 

@@ -1,0 +1,270 @@
+//! Deterministic fault-injection suite: a real server with a scripted
+//! [`FaultPlan`], a real client, and assertions on *graceful
+//! degradation* — the sweep service's recovery guarantees under cell
+//! panics, mid-stream connection drops, frame truncation, black-holed
+//! requests, and injected latency.
+//!
+//! Only built with `--features fault-injection` (CI runs
+//! `cargo test -p contopt-server --features fault-injection`); a plain
+//! `cargo test` compiles this file to an empty crate.
+
+#![cfg(feature = "fault-injection")]
+
+use contopt_client::protocol::{CellReply, CellResult};
+use contopt_client::{Client, ClientConfig, RetryPolicy};
+use contopt_experiments::{check_cell, CheckOutcome, TolerancePolicy};
+use contopt_server::fault::FaultPlan;
+use contopt_server::{Server, ServerConfig, ServerHandle};
+use contopt_sim::Scenario;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn smoke() -> Scenario {
+    Scenario::load(repo_root().join("scenarios/smoke.json")).expect("checked-in smoke scenario")
+}
+
+/// A server with the given fault plan armed before it accepts anything.
+fn faulty_server(plan: FaultPlan, config: ServerConfig) -> ServerHandle {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    server.inject_faults(plan);
+    server.spawn().expect("spawn server")
+}
+
+/// A client with fast, deterministic retries (so the suite stays quick)
+/// and a finite I/O deadline.
+fn fast_client(addr: String, max_attempts: u32, io_timeout: Duration) -> Client {
+    Client::with_config(
+        addr,
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            io_timeout: Some(io_timeout),
+            retry: RetryPolicy {
+                max_attempts,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(80),
+                seed: 7,
+            },
+        },
+    )
+}
+
+fn default_config() -> ServerConfig {
+    ServerConfig {
+        jobs: 2,
+        cache_capacity: 1024,
+        request_timeout: Some(Duration::from_secs(2)),
+        drain_timeout: Duration::from_secs(10),
+    }
+}
+
+/// One injected cell panic degrades exactly that cell to a typed
+/// `cell_error`; every sibling still streams back, byte-identical to the
+/// checked-in goldens, and the status accounting balances.
+#[test]
+fn injected_panic_yields_cell_error_and_all_siblings() {
+    let server = faulty_server(FaultPlan::new().panic_on("twf", 1), default_config());
+    let client = fast_client(server.addr().to_string(), 1, Duration::from_secs(60));
+    let sc = smoke();
+
+    let mut sweep = client.submit_scenario(&sc, Some(2)).expect("submit");
+    let status = sweep.status();
+    assert_eq!(status.results, 4, "smoke = 2 configs x 2 workloads");
+    assert_eq!(status.errors, 1, "exactly the panicked cell failed");
+    assert_eq!(
+        status.simulated + status.cache_hits + status.joined + status.errors,
+        status.unique,
+        "accounting still balances with a failed cell: {status:?}"
+    );
+
+    let cells = sweep.fetch_reports().expect("fetch");
+    assert_eq!(cells.len(), 4, "every requested cell gets a reply");
+    let failures: Vec<_> = cells.iter().filter_map(CellReply::failure).collect();
+    let reports: Vec<&CellResult> = cells.iter().filter_map(CellReply::report).collect();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(reports.len(), 3, "N-1 siblings survive the panic");
+
+    let failed = failures[0];
+    assert_eq!(failed.workload, "twf", "the injected fault named twf");
+    assert_eq!(failed.code, "panic");
+    assert!(
+        failed.message.contains("injected fault"),
+        "the panic payload is surfaced: {:?}",
+        failed.message
+    );
+    // A per-cell failure is an *error* outcome for --check: exit code 3.
+    assert_eq!(CheckOutcome::Error.exit_code(), 3);
+
+    // The surviving siblings are not merely present — they byte-match
+    // the checked-in goldens, exactly as a fault-free sweep would.
+    let goldens = repo_root().join("goldens");
+    let policy = TolerancePolicy::exact();
+    for cell in &reports {
+        let drift = check_cell(
+            &goldens,
+            &sc.name,
+            &cell.label,
+            &cell.workload,
+            &cell.report,
+            &policy,
+        )
+        .expect("golden readable");
+        assert!(
+            drift.is_none(),
+            "sibling {}/{} drifted under fault injection: {drift:?}",
+            cell.label,
+            cell.workload
+        );
+    }
+}
+
+/// A panicked cell releases its in-flight claim: resubmitting the same
+/// sweep succeeds completely (the panic budget is spent), rather than
+/// deadlocking on a claim nobody owns or failing forever.
+#[test]
+fn panicked_claims_are_released_and_the_cell_recovers_on_resubmit() {
+    let server = faulty_server(FaultPlan::new().panic_on("twf", 1), default_config());
+    let client = fast_client(server.addr().to_string(), 1, Duration::from_secs(60));
+    let sc = smoke();
+
+    let mut first = client.submit_scenario(&sc, Some(2)).expect("first submit");
+    assert_eq!(first.status().errors, 1);
+    let _ = first.fetch_reports().expect("fetch");
+
+    let mut second = client.submit_scenario(&sc, Some(2)).expect("second submit");
+    let status = second.status();
+    assert_eq!(status.errors, 0, "the fault budget is spent: {status:?}");
+    assert_eq!(
+        status.simulated, 1,
+        "only the previously-panicked cell re-simulates"
+    );
+    assert_eq!(status.cache_hits, 3, "the survivors come back from cache");
+    let cells = second.fetch_reports().expect("fetch");
+    assert!(cells.iter().all(|c| c.report().is_some()));
+}
+
+/// A connection dropped mid-stream (after the status frame and two cell
+/// frames) is recovered by the client's retry — and because every
+/// completed cell is cached by fingerprint, the retry re-costs nothing:
+/// zero duplicate simulations, all cache hits, byte-identical reports.
+#[test]
+fn mid_stream_drop_is_recovered_by_retry_with_zero_duplicate_simulations() {
+    let server = faulty_server(FaultPlan::new().drop_after(3, 1), default_config());
+    let engine = server.engine();
+    let client = fast_client(server.addr().to_string(), 3, Duration::from_secs(60));
+    let sc = smoke();
+
+    let mut sweep = client.submit_scenario(&sc, Some(2)).expect("submit");
+    let cells = sweep.fetch_reports().expect("retry must recover the sweep");
+
+    assert_eq!(sweep.retries(), 1, "exactly one retry recovered the drop");
+    assert_eq!(cells.len(), 4);
+    assert!(cells.iter().all(|c| c.report().is_some()));
+    assert_eq!(
+        engine.total_simulations(),
+        4,
+        "the retry re-simulated nothing: the first attempt's cells were cached"
+    );
+    let status = sweep.status();
+    assert_eq!(
+        status.cache_hits, status.unique,
+        "the winning attempt was served entirely from cache: {status:?}"
+    );
+    assert_eq!(status.simulated, 0);
+
+    // And the recovered bytes are the simulated bytes: byte-identical to
+    // the goldens, as if no fault had ever fired.
+    let goldens = repo_root().join("goldens");
+    let policy = TolerancePolicy::exact();
+    for cell in cells.iter().filter_map(CellReply::report) {
+        let drift = check_cell(
+            &goldens,
+            &sc.name,
+            &cell.label,
+            &cell.workload,
+            &cell.report,
+            &policy,
+        )
+        .expect("golden readable");
+        assert!(drift.is_none(), "recovered report drifted: {drift:?}");
+    }
+}
+
+/// A response frame truncated halfway (length prefix promises more bytes
+/// than arrive) surfaces as a typed transport error and is recovered by
+/// retry — never a hang, never a misparse.
+#[test]
+fn truncated_frame_is_a_typed_error_recovered_by_retry() {
+    let server = faulty_server(FaultPlan::new().truncate_frame(2, 1), default_config());
+    let engine = server.engine();
+    let client = fast_client(server.addr().to_string(), 3, Duration::from_secs(60));
+    let sc = smoke();
+
+    let mut sweep = client.submit_scenario(&sc, Some(2)).expect("submit");
+    let cells = sweep
+        .fetch_reports()
+        .expect("retry must recover truncation");
+    assert_eq!(sweep.retries(), 1);
+    assert_eq!(cells.len(), 4);
+    assert!(cells.iter().all(|c| c.report().is_some()));
+    assert_eq!(engine.total_simulations(), 4, "no duplicate simulations");
+}
+
+/// A black-holed request (read, never answered) hits the client's read
+/// deadline and fails with a typed transient error in bounded time —
+/// the "timeout, not a hang" guarantee.
+#[test]
+fn black_holed_request_times_out_instead_of_hanging() {
+    let server = faulty_server(
+        FaultPlan::new().black_hole(2),
+        ServerConfig {
+            request_timeout: Some(Duration::from_millis(200)),
+            ..default_config()
+        },
+    );
+    // Both attempts are swallowed; the client must give up on its own.
+    let client = fast_client(server.addr().to_string(), 2, Duration::from_millis(250));
+    let sc = smoke();
+
+    let start = Instant::now();
+    let result = client
+        .submit_scenario(&sc, None)
+        .map(|_| ())
+        .expect_err("a black-holed request must not succeed");
+    let elapsed = start.elapsed();
+    assert!(
+        result.is_transient(),
+        "a read deadline is a typed transport error: {result}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "two 250ms deadlines plus backoff must resolve quickly, took {elapsed:?}"
+    );
+    assert_eq!(
+        server.engine().total_simulations(),
+        0,
+        "black-holed requests never reach the engine"
+    );
+}
+
+/// Injected per-frame latency inside the deadline budget slows the sweep
+/// but does not break it: delays alone never produce errors or retries.
+#[test]
+fn delays_within_the_deadline_are_absorbed() {
+    let server = faulty_server(
+        FaultPlan::new().delay_frames(20).with_seed(11),
+        default_config(),
+    );
+    let client = fast_client(server.addr().to_string(), 1, Duration::from_secs(60));
+    let sc = smoke();
+
+    let mut sweep = client.submit_scenario(&sc, None).expect("submit");
+    let cells = sweep.fetch_reports().expect("fetch");
+    assert_eq!(sweep.retries(), 0, "latency alone must not trigger retries");
+    assert_eq!(cells.len(), 4);
+    assert!(cells.iter().all(|c| c.report().is_some()));
+    assert_eq!(sweep.status().errors, 0);
+}

@@ -1,15 +1,19 @@
 //! Loopback integration tests for the sweep service: a real
 //! `contopt-server` on an ephemeral port, driven by the real client SDK.
 //!
-//! These pin the service's three core guarantees:
+//! These pin the service's core guarantees:
 //! * remote reports byte-match the checked-in goldens (the golden
 //!   harness applies unchanged to remote results),
 //! * a repeated submission is served entirely from the fingerprint
 //!   cache — zero additional simulations,
 //! * concurrent overlapping sweeps dedupe by fingerprint: one
-//!   simulation per unique cell, server-wide.
+//!   simulation per unique cell, server-wide,
+//! * `ping` answers with a live `server_status` snapshot.
+//!
+//! Fault-path guarantees (injected panics, drops, truncation, black
+//! holes) live in `tests/faults.rs` behind `--features fault-injection`.
 
-use contopt_client::protocol::PlanCell;
+use contopt_client::protocol::{CellReply, CellResult, PlanCell};
 use contopt_client::Client;
 use contopt_experiments::{check_cell, TolerancePolicy};
 use contopt_server::{Server, ServerConfig, SweepCell, SweepEngine};
@@ -30,11 +34,23 @@ fn spawn_server(jobs: usize) -> contopt_server::ServerHandle {
         ServerConfig {
             jobs,
             cache_capacity: 1024,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback")
     .spawn()
     .expect("spawn server")
+}
+
+/// Unwraps a cell stream in which every cell is expected to succeed.
+fn reports(cells: Vec<CellReply>) -> Vec<CellResult> {
+    cells
+        .into_iter()
+        .map(|c| match c {
+            CellReply::Report(r) => r,
+            CellReply::Failed(e) => panic!("unexpected cell error: {e}"),
+        })
+        .collect()
 }
 
 #[test]
@@ -43,11 +59,12 @@ fn remote_reports_byte_match_checked_in_goldens() {
     let client = Client::new(server.addr().to_string());
     let sc = smoke();
 
-    let sweep = client.submit_scenario(&sc, Some(2)).expect("submit");
+    let mut sweep = client.submit_scenario(&sc, Some(2)).expect("submit");
     let status = sweep.status();
     assert_eq!(status.results, 4, "smoke = 2 configs x 2 workloads");
     assert_eq!(status.unique, 4);
-    let cells = sweep.fetch_reports().expect("fetch");
+    assert_eq!(status.errors, 0);
+    let cells = reports(sweep.fetch_reports().expect("fetch"));
     assert_eq!(cells.len(), 4);
 
     // The exact harness a local `--check` runs, against the checked-in
@@ -81,15 +98,15 @@ fn resubmission_is_served_entirely_from_cache() {
     let client = Client::new(server.addr().to_string());
     let sc = smoke();
 
-    let first = client.submit_scenario(&sc, None).expect("first submit");
+    let mut first = client.submit_scenario(&sc, None).expect("first submit");
     let s1 = first.status();
     assert_eq!(s1.simulated, s1.unique, "cold cache: everything simulates");
     assert_eq!(s1.cache_hits, 0);
     let baseline_sims = engine.total_simulations();
     assert_eq!(baseline_sims, s1.unique);
-    let first_reports = first.fetch_reports().expect("fetch");
+    let first_reports = reports(first.fetch_reports().expect("fetch"));
 
-    let second = client.submit_scenario(&sc, None).expect("second submit");
+    let mut second = client.submit_scenario(&sc, None).expect("second submit");
     let s2 = second.status();
     assert_eq!(s2.simulated, 0, "warm cache: nothing simulates");
     assert_eq!(s2.cache_hits, s2.unique, "every unique cell is a cache hit");
@@ -98,7 +115,7 @@ fn resubmission_is_served_entirely_from_cache() {
         baseline_sims,
         "the repeated submission ran zero additional simulations"
     );
-    let second_reports = second.fetch_reports().expect("fetch");
+    let second_reports = reports(second.fetch_reports().expect("fetch"));
 
     // Cached bytes are the simulated bytes.
     assert_eq!(first_reports.len(), second_reports.len());
@@ -130,18 +147,18 @@ fn concurrent_overlapping_sweeps_dedupe_by_fingerprint() {
 
     let (sa, sb) = std::thread::scope(|s| {
         let a = s.spawn(|| {
-            let sweep = Client::new(addr.clone())
+            let mut sweep = Client::new(addr.clone())
                 .submit_scenario(&sc, Some(4))
                 .expect("submit A");
             let status = sweep.status();
-            (status, sweep.fetch_reports().expect("fetch A"))
+            (status, reports(sweep.fetch_reports().expect("fetch A")))
         });
         let b = s.spawn(|| {
-            let sweep = Client::new(addr.clone())
+            let mut sweep = Client::new(addr.clone())
                 .submit_plan(sc.insts, plan_b.clone(), Some(4))
                 .expect("submit B");
             let status = sweep.status();
-            (status, sweep.fetch_reports().expect("fetch B"))
+            (status, reports(sweep.fetch_reports().expect("fetch B")))
         });
         (a.join().expect("A"), b.join().expect("B"))
     });
@@ -151,9 +168,11 @@ fn concurrent_overlapping_sweeps_dedupe_by_fingerprint() {
     assert_eq!(status_a.unique, 4);
     assert_eq!(status_b.unique, 2);
     // Per-sweep accounting is exhaustive: every unique cell was
-    // simulated here, found in cache, or joined from the other sweep.
+    // simulated here, found in cache, joined from the other sweep, or
+    // (never, in this test) failed.
     for s in [&status_a, &status_b] {
-        assert_eq!(s.simulated + s.cache_hits + s.joined, s.unique);
+        assert_eq!(s.simulated + s.cache_hits + s.joined + s.errors, s.unique);
+        assert_eq!(s.errors, 0);
     }
     // The dedup guarantee: 4 unique fingerprints across both sweeps,
     // exactly 4 simulations server-wide — overlap cost nothing.
@@ -198,11 +217,37 @@ fn malformed_and_unknown_submissions_fail_typed() {
 }
 
 #[test]
+fn ping_answers_with_a_live_status_snapshot() {
+    let server = spawn_server(3);
+    let client = Client::new(server.addr().to_string());
+
+    let status = client.ping().expect("ping");
+    assert_eq!(
+        status.protocol_version,
+        contopt_client::protocol::PROTOCOL_VERSION
+    );
+    assert_eq!(status.jobs, 3);
+    assert_eq!(status.cache_capacity, 1024);
+    assert_eq!(status.cache_entries, 0);
+    assert_eq!(status.total_simulations, 0);
+
+    // After a sweep the snapshot moves: the health check reflects the
+    // live engine, not a static banner.
+    let sc = smoke();
+    let mut sweep = client.submit_scenario(&sc, None).expect("submit");
+    let _ = reports(sweep.fetch_reports().expect("fetch"));
+    let after = client.ping().expect("ping again");
+    assert_eq!(after.total_simulations, 4);
+    assert_eq!(after.cache_entries, 4);
+}
+
+#[test]
 fn engine_cache_is_bounded_lru() {
     // Engine-level (no sockets): capacity 2, three distinct cells.
     let engine = SweepEngine::new(ServerConfig {
         jobs: 1,
         cache_capacity: 2,
+        ..ServerConfig::default()
     });
     let base = contopt_sim::MachineConfig::default_paper();
     let cell = |workload: &str| SweepCell {
