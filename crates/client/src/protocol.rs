@@ -703,6 +703,7 @@ mod tests {
             name: "wire".into(),
             insts: 50_000,
             ablation: None,
+            programs: vec![],
             configs: vec![
                 ScenarioConfig {
                     label: "baseline".into(),

@@ -41,7 +41,41 @@ impl DynInst {
     pub fn redirects(&self) -> bool {
         self.next_pc != self.pc.wrapping_add(4)
     }
+
+    /// Folds this record into a running FNV-1a digest of the committed
+    /// stream. Two executions retire the same stream iff folding every
+    /// record in order produces the same digest (up to hash collision).
+    /// Allocation-free; differential tests call it at retire time.
+    pub fn fold_digest(&self, mut h: u64) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        // The PC identifies the static instruction (one program per
+        // comparison), so hashing the dynamic fields pins the semantics.
+        eat(self.seq);
+        eat(self.pc);
+        eat(self.next_pc);
+        eat(self.taken as u64);
+        for opt in [self.result, self.eff_addr, self.store_value] {
+            match opt {
+                Some(v) => {
+                    eat(1);
+                    eat(v);
+                }
+                None => eat(0),
+            }
+        }
+        h
+    }
 }
+
+/// The FNV-1a offset basis — the initial value for a
+/// [`DynInst::fold_digest`] chain.
+pub const STREAM_DIGEST_INIT: u64 = 0xcbf2_9ce4_8422_2325;
 
 #[cfg(test)]
 mod tests {

@@ -33,7 +33,9 @@
 mod dyninst;
 mod machine;
 mod mem_image;
+mod snapshot;
 
-pub use dyninst::DynInst;
+pub use dyninst::{DynInst, STREAM_DIGEST_INIT};
 pub use machine::{EmuError, Emulator, RunSummary, Step};
 pub use mem_image::MemImage;
+pub use snapshot::ArchSnapshot;

@@ -147,6 +147,38 @@ impl MemImage {
             self.write_u8(addr + i as u64, b);
         }
     }
+
+    /// An order-independent FNV-1a digest of the image's *content*.
+    ///
+    /// Two images read identically at every address iff their digests
+    /// match (up to hash collision): all-zero pages hash like unmapped
+    /// ones, so a page that was materialized but only ever held zeros
+    /// does not distinguish the images. This is what differential tests
+    /// compare — two executions that allocate pages in different orders,
+    /// or one of which writes an explicit zero, are architecturally equal.
+    pub fn content_digest(&self) -> u64 {
+        let mut digest = 0u64;
+        for (&pno, page) in &self.pages {
+            if page.iter().all(|&b| b == 0) {
+                continue;
+            }
+            // FNV-1a over (page number, page bytes); pages are combined
+            // with XOR so HashMap iteration order cannot matter.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            let mut eat = |b: u8| {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            };
+            for b in pno.to_le_bytes() {
+                eat(b);
+            }
+            for &b in page.iter() {
+                eat(b);
+            }
+            digest ^= h;
+        }
+        digest
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +218,24 @@ mod tests {
         let mut m = MemImage::new();
         m.write_f64(0x2000, -1234.5e-6);
         assert_eq!(m.read_f64(0x2000), -1234.5e-6);
+    }
+
+    #[test]
+    fn content_digest_ignores_mapping_history() {
+        let empty = MemImage::new();
+        let mut zeroed = MemImage::new();
+        zeroed.write_u64(0x5000, 0); // materializes a page of zeros
+        assert_eq!(empty.content_digest(), zeroed.content_digest());
+
+        let mut a = MemImage::new();
+        let mut b = MemImage::new();
+        a.write_u64(0x1000, 7);
+        a.write_u64(0x9000, 9);
+        b.write_u64(0x9000, 9); // reverse allocation order
+        b.write_u64(0x1000, 7);
+        assert_eq!(a.content_digest(), b.content_digest());
+        b.write_u8(0x1000, 8);
+        assert_ne!(a.content_digest(), b.content_digest());
     }
 
     #[test]

@@ -161,7 +161,7 @@ pub fn ablation_plan(sc: &Scenario) -> Result<Plan, AblationError> {
             continue;
         };
         any = true;
-        let ws = cfg.resolved_workloads()?;
+        let ws = sc.workloads_for(cfg)?;
         for machine in v.machines() {
             plan.config(machine, &ws);
         }
@@ -206,7 +206,7 @@ pub fn ablation_report(lab: &mut Lab, sc: &Scenario) -> Result<AblationReport, A
             continue;
         };
         let mut workloads = Vec::new();
-        for w in cfg.resolved_workloads()? {
+        for w in sc.workloads_for(cfg)? {
             let full = lab.run(v.full, &w);
             let base = lab.run(v.baseline, &w);
             let mut rows = Vec::new();
@@ -311,6 +311,7 @@ mod tests {
             name: "tiny".into(),
             insts: 20_000,
             ablation: add_one_in.then_some(AblationSpec { add_one_in }),
+            programs: vec![],
             configs: vec![
                 ScenarioConfig {
                     label: "baseline".into(),

@@ -50,6 +50,16 @@ scenario files:
   --table                  render the per-pass attribution table (the
                            default --ablate output; --json overrides)
 
+differential fuzzing:
+  --fuzz N                 generate N seeded random programs and assert the
+                           emulator, the baseline pipeline, and the
+                           all-passes pipeline commit identical
+                           architectural state (each program also
+                           round-trips through the text assembler); failing
+                           seeds are minimized and written as conformance
+                           scenarios under --scenarios-dir
+  --seed S                 first fuzz seed (default 1; seeds S..S+N-1 run)
+
 maintenance:
   --validate [FILE...]     parse-check JSON artifacts (default: every
                            scenarios/*.json, every checked-in golden under
@@ -114,6 +124,10 @@ fn main() -> ExitCode {
 
     if args.iter().any(|a| a == "--emit-scenarios") {
         return emit_scenarios(Path::new(&scenarios_dir));
+    }
+    if let Some(count) = flag_value("--fuzz") {
+        let seed = flag_value("--seed").unwrap_or(1);
+        return run_fuzz(count, seed, Path::new(&scenarios_dir));
     }
     if args.iter().any(|a| a == "--validate") {
         return validate(&args, Path::new(&scenarios_dir), &goldens_dir);
@@ -255,7 +269,9 @@ fn emit_scenarios(dir: &Path) -> ExitCode {
         eprintln!("contopt-experiments: cannot create {}: {e}", dir.display());
         return ExitCode::FAILURE;
     }
-    for sc in builtin_scenarios() {
+    let mut all = builtin_scenarios();
+    all.push(contopt_experiments::asm_smoke_scenario());
+    for sc in all {
         let path = dir.join(format!("{}.json", sc.name));
         if let Err(e) = std::fs::write(&path, sc.canonical_json()) {
             eprintln!("contopt-experiments: cannot write {}: {e}", path.display());
@@ -413,6 +429,10 @@ fn run_scenarios(
         // Each scenario pins its own instruction budget, so each gets its
         // own lab; the plan still dedupes and parallelizes within it.
         let mut lab = Lab::new(sc.insts);
+        if let Err(e) = register_programs(&mut lab, &sc) {
+            eprintln!("contopt-experiments: {file}: {e}");
+            return CheckOutcome::Error;
+        }
         eprintln!(
             "contopt-experiments: scenario {:?}: simulating {} unique cells on {} worker(s)",
             sc.name,
@@ -488,6 +508,10 @@ fn run_ablations(
             }
         };
         let mut lab = Lab::new(sc.insts);
+        if let Err(e) = register_programs(&mut lab, &sc) {
+            eprintln!("contopt-experiments: {file}: {e}");
+            return CheckOutcome::Error;
+        }
         eprintln!(
             "contopt-experiments: ablation {:?}: simulating {} unique counterfactual cells \
              on {} worker(s)",
@@ -540,6 +564,63 @@ fn run_ablations(
     worst
 }
 
+/// Runs the differential fuzzing oracle over `count` seeds. Every
+/// failure is minimized and written as a conformance scenario so the
+/// regression stays pinned once fixed.
+fn run_fuzz(count: u64, seed: u64, scenarios_dir: &Path) -> ExitCode {
+    eprintln!(
+        "contopt-experiments: fuzzing {count} program(s) from seed {seed} \
+         (emulator vs baseline vs all-passes)"
+    );
+    let summary = contopt_sim::fuzz::run(count, seed, |s, failed| {
+        if failed {
+            eprintln!("contopt-experiments: seed {s}: DIVERGED");
+        } else if (s - seed + 1) % 50 == 0 {
+            eprintln!("contopt-experiments: {} seeds ok", s - seed + 1);
+        }
+    });
+    if summary.failures.is_empty() {
+        println!(
+            "fuzz: {} program(s) agree across emulator, baseline, and optimized pipelines",
+            summary.ran
+        );
+        return ExitCode::SUCCESS;
+    }
+    let dir = scenarios_dir.join("conformance");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("contopt-experiments: cannot create {}: {e}", dir.display());
+        return ExitCode::from(3);
+    }
+    for fail in &summary.failures {
+        eprintln!(
+            "fuzz: seed {} diverged: {} ({} insts minimized)",
+            fail.seed,
+            fail.detail,
+            fail.program.insts.len()
+        );
+        match contopt_sim::fuzz::conformance_scenario(fail) {
+            Ok(sc) => {
+                let path = dir.join(format!("fuzz_{}.json", fail.seed));
+                match std::fs::write(&path, sc.to_json().pretty() + "\n") {
+                    Ok(()) => eprintln!("fuzz: wrote conformance scenario {}", path.display()),
+                    Err(e) => eprintln!("fuzz: cannot write {}: {e}", path.display()),
+                }
+            }
+            Err(e) => eprintln!("fuzz: cannot build conformance scenario: {e}"),
+        }
+    }
+    ExitCode::FAILURE
+}
+
+/// Makes a scenario's shipped `"programs"` resolvable by name in
+/// [`Lab::execute`] (`Scenario::load` already assembled them).
+fn register_programs(lab: &mut Lab, sc: &Scenario) -> Result<(), contopt_sim::ScenarioError> {
+    for p in &sc.programs {
+        lab.register(p.workload()?);
+    }
+    Ok(())
+}
+
 /// Prints per-cell results of a scenario run (no goldens involved).
 fn print_scenario(
     lab: &mut Lab,
@@ -550,7 +631,7 @@ fn print_scenario(
         let cells: Vec<JsonValue> = {
             let mut out = Vec::new();
             for cfg in &sc.configs {
-                for w in cfg.resolved_workloads()? {
+                for w in sc.workloads_for(cfg)? {
                     let r = lab.run(cfg.machine, &w);
                     out.push(JsonValue::obj([
                         ("config", cfg.label.as_str().into()),
@@ -575,7 +656,7 @@ fn print_scenario(
         "config", "workload", "cycles", "retired", "IPC", "ee.early%", "rle-sf.lds", "vf.integr"
     );
     for cfg in &sc.configs {
-        for w in cfg.resolved_workloads()? {
+        for w in sc.workloads_for(cfg)? {
             let r = lab.run(cfg.machine, &w);
             let p = &r.passes;
             println!(

@@ -162,6 +162,22 @@ impl Lab {
         &self.workloads
     }
 
+    /// Registers a scenario-defined workload so [`execute`](Self::execute)
+    /// can resolve it by name. Re-registering an identical workload is a
+    /// no-op; registering a different program under an existing name
+    /// panics (the cell cache is keyed by name).
+    pub fn register(&mut self, w: Workload) {
+        if let Some(prev) = self.workloads.iter().find(|p| p.name == w.name) {
+            assert!(
+                *prev.program == *w.program,
+                "workload {:?} re-registered with a different program",
+                w.name
+            );
+            return;
+        }
+        self.workloads.push(w);
+    }
+
     /// The per-benchmark instruction budget.
     pub fn insts(&self) -> u64 {
         self.insts

@@ -64,9 +64,9 @@ pub use figures::{
 };
 pub use lab::{default_jobs, geomean, Lab, Plan, SuiteMeans, DEFAULT_INSTS};
 pub use scenario::{
-    ablate_smoke_scenario, builtin_scenarios, check_cell, check_goldens, first_divergence,
-    golden_path, record_goldens, scenario_plan, smoke_scenario, CellError, CheckOutcome, DriftKind,
-    GoldenDrift, LineDiff, TolerancePolicy,
+    ablate_smoke_scenario, asm_smoke_scenario, builtin_scenarios, check_cell, check_goldens,
+    first_divergence, golden_path, record_goldens, scenario_plan, smoke_scenario, CellError,
+    CheckOutcome, DriftKind, GoldenDrift, LineDiff, TolerancePolicy,
 };
 pub use tables::{
     table1, table2, table3, table3_plan, Table1, Table1Row, Table2, Table3, Table3Row,

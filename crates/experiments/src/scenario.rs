@@ -27,7 +27,7 @@ use std::path::{Path, PathBuf};
 pub fn scenario_plan(sc: &Scenario) -> Result<Plan, ScenarioError> {
     let mut plan = Plan::new();
     for cfg in &sc.configs {
-        for w in cfg.resolved_workloads()? {
+        for w in sc.workloads_for(cfg)? {
             plan.cell(cfg.machine, &w);
         }
     }
@@ -44,6 +44,7 @@ fn suite_scenario(
         name: name.to_string(),
         insts,
         ablation: None,
+        programs: vec![],
         configs: configs
             .into_iter()
             .map(|(label, machine)| ScenarioConfig {
@@ -62,6 +63,7 @@ pub fn smoke_scenario() -> Scenario {
         name: "smoke".to_string(),
         insts: 50_000,
         ablation: None,
+        programs: vec![],
         configs: [("baseline", base()), ("optimized", opt())]
             .into_iter()
             .map(|(label, machine)| ScenarioConfig {
@@ -82,6 +84,7 @@ pub fn ablate_smoke_scenario() -> Scenario {
         name: "ablate_smoke".to_string(),
         insts: 50_000,
         ablation: Some(contopt_sim::AblationSpec { add_one_in: true }),
+        programs: vec![],
         configs: vec![ScenarioConfig {
             label: "optimized".to_string(),
             machine: opt(),
@@ -113,6 +116,70 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
         suite_scenario("fig12", DEFAULT_INSTS, with_baseline(fig12_configs())),
         suite_scenario("table3", DEFAULT_INSTS, [("optimized", opt())]),
     ]
+}
+
+/// The assembler text of the `asm_smoke` scenario's inline program: a
+/// fill-then-fold kernel exercising loads, stores, multiplies, and
+/// shifts, authored in the `.s` text format rather than the builder API.
+const ASMK_SRC: &str = "\
+; asmk — text-authored smoke kernel for the workload authoring pipeline.
+.text
+        li   r1, arr            ; fill arr[i] = (i | 1) * K
+        li   r2, 512
+        li   r3, 0
+fill:   or   r3, 1, r4
+        mulq r4, 0x9e3779b97f4a7c15, r4
+        stq  r4, 0(r1)
+        lda  r1, 8(r1)
+        addq r3, 1, r3
+        subq r2, 1, r2
+        bne  r2, fill
+
+        li   r1, arr            ; fold: acc = mix(acc + 3*arr[i])
+        li   r2, 512
+        li   r3, 0
+fold:   ldq  r5, 0(r1)
+        mulq r5, 3, r5
+        addq r3, r5, r3
+        srl  r3, 11, r6
+        xor  r3, r6, r3
+        lda  r1, 8(r1)
+        subq r2, 1, r2
+        bne  r2, fold
+
+        li   r7, chk
+        stq  r3, 0(r7)
+        halt
+.data
+chk:    .zero 8                 ; checksum slot
+arr:    .zero 4096              ; 512 quads
+";
+
+/// The text-authoring smoke scenario (`scenarios/asm_smoke.json`).
+///
+/// Deliberately *not* part of [`builtin_scenarios`]: the builtins
+/// regenerate the paper's figures over the Table 1 suite, while this one
+/// pins the workload authoring pipeline end to end — an inline
+/// `"programs"` block assembled from `.s` text, swept under the baseline
+/// and optimized machines, with checked-in goldens under
+/// `goldens/asm_smoke/`.
+pub fn asm_smoke_scenario() -> Scenario {
+    let spec = contopt_sim::ProgramSpec::inline("asmk", ASMK_SRC)
+        .expect("the checked-in asm_smoke program assembles");
+    Scenario {
+        name: "asm_smoke".to_string(),
+        insts: 50_000,
+        ablation: None,
+        programs: vec![spec],
+        configs: [("baseline", base()), ("optimized", opt())]
+            .into_iter()
+            .map(|(label, machine)| ScenarioConfig {
+                label: label.to_string(),
+                machine,
+                workloads: vec!["asmk".to_string()],
+            })
+            .collect(),
+    }
 }
 
 /// Maps a scenario/label/workload name onto a filesystem-safe stem.
@@ -471,7 +538,7 @@ fn for_each_cell(
         }
     }
     for cfg in &sc.configs {
-        for w in cfg.resolved_workloads().map_err(CellError::Scenario)? {
+        for w in sc.workloads_for(cfg).map_err(CellError::Scenario)? {
             let report = lab.run(cfg.machine, &w);
             f(cfg, w.name, report.canonical_json()).map_err(CellError::Io)?;
         }
@@ -582,6 +649,7 @@ mod tests {
             name: "collide".to_string(),
             insts: 1_000,
             ablation: None,
+            programs: vec![],
             configs: vec![cfg("fetch bound"), cfg("fetch_bound")],
         };
         sc.validate().expect("labels are distinct as strings");
@@ -638,6 +706,7 @@ mod tests {
             name: "nl".to_string(),
             insts: 10_000,
             ablation: None,
+            programs: vec![],
             configs: vec![ScenarioConfig {
                 label: "baseline".to_string(),
                 machine: base(),
@@ -711,6 +780,7 @@ mod tests {
             name: "cellcheck".to_string(),
             insts: 10_000,
             ablation: None,
+            programs: vec![],
             configs: vec![ScenarioConfig {
                 label: "baseline".to_string(),
                 machine: base(),

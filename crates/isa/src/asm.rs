@@ -41,7 +41,7 @@ pub const DATA_BASE: u64 = 0x10_0000;
 pub const STACK_TOP: u64 = 0x80_0000;
 
 /// A fully assembled program: code, initialized data, and entry point.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     /// Base address of the first instruction.
     pub code_base: u64,
@@ -85,21 +85,106 @@ impl Program {
     }
 }
 
-/// Error produced when assembly fails.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AsmError {
-    /// A branch referenced a label that was never defined.
-    UndefinedLabel(String),
+/// Position of a token in assembly source text (1-based line and column).
+///
+/// Errors raised by the builder API ([`Asm`]) carry no span — they have no
+/// source text — while every error from the text assembler
+/// ([`crate::asm_text::parse`]) points at the offending token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column of the offending token's first character.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// What went wrong during assembly. Paired with the offending token text
+/// (and, for text assembly, a source [`Span`]) in [`AsmError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// A branch or immediate referenced a label that was never defined.
+    UndefinedLabel,
     /// The same label was defined twice.
-    DuplicateLabel(String),
+    DuplicateLabel,
+    /// A mnemonic that names no instruction, pseudo-instruction, or alias.
+    UnknownMnemonic,
+    /// A register name outside `r0`–`r31` / `f0`–`f31` (or their aliases),
+    /// or an integer register where a float register is required (and vice
+    /// versa).
+    BadRegister,
+    /// An immediate that does not parse or does not fit in a signed 64-bit
+    /// value.
+    BadImmediate,
+    /// An operand list with the wrong shape for its mnemonic (count,
+    /// missing `(rb)` base, stray text).
+    BadOperand,
+    /// An unknown or malformed assembler directive.
+    BadDirective,
+}
+
+/// Error produced when assembly fails: the error kind, the offending token
+/// text, and — when the source was text — the token's line:column span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+    /// The offending token, verbatim from the source (a label name for the
+    /// builder-API errors).
+    pub token: String,
+    /// Where the token sits in the source text; `None` for errors from the
+    /// [`Asm`] builder, which has no source text.
+    pub span: Option<Span>,
+}
+
+impl AsmError {
+    /// Creates a spanless error (the builder-API form).
+    pub fn new(kind: AsmErrorKind, token: impl Into<String>) -> AsmError {
+        AsmError {
+            kind,
+            token: token.into(),
+            span: None,
+        }
+    }
+
+    /// Attaches a source span (the text-assembler form).
+    pub fn at(mut self, line: u32, col: u32) -> AsmError {
+        self.span = Some(Span { line, col });
+        self
+    }
+
+    /// Convenience constructor for an undefined-label error.
+    pub fn undefined_label(name: impl Into<String>) -> AsmError {
+        AsmError::new(AsmErrorKind::UndefinedLabel, name)
+    }
+
+    /// Convenience constructor for a duplicate-label error.
+    pub fn duplicate_label(name: impl Into<String>) -> AsmError {
+        AsmError::new(AsmErrorKind::DuplicateLabel, name)
+    }
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
-            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        if let Some(span) = self.span {
+            write!(f, "line {span}: ")?;
         }
+        let what = match self.kind {
+            AsmErrorKind::UndefinedLabel => "undefined label",
+            AsmErrorKind::DuplicateLabel => "duplicate label",
+            AsmErrorKind::UnknownMnemonic => "unknown mnemonic",
+            AsmErrorKind::BadRegister => "invalid register",
+            AsmErrorKind::BadImmediate => "invalid or out-of-range immediate",
+            AsmErrorKind::BadOperand => "malformed operand",
+            AsmErrorKind::BadDirective => "unknown or malformed directive",
+        };
+        write!(f, "{what} `{}`", self.token)
     }
 }
 
@@ -557,12 +642,13 @@ impl Asm {
     ///
     /// # Errors
     ///
-    /// Returns [`AsmError::UndefinedLabel`] if `name` has not been defined.
+    /// Returns an [`AsmErrorKind::UndefinedLabel`] error if `name` has not
+    /// been defined.
     pub fn label_addr(&self, name: &str) -> Result<u64, AsmError> {
         self.labels
             .get(name)
             .map(|&idx| self.code_base + 4 * idx as u64)
-            .ok_or_else(|| AsmError::UndefinedLabel(name.to_string()))
+            .ok_or_else(|| AsmError::undefined_label(name))
     }
 
     /// Resolves all fixups and produces the final [`Program`].
@@ -573,14 +659,14 @@ impl Asm {
     /// label was defined more than once.
     pub fn finish(mut self) -> Result<Program, AsmError> {
         if let Some(dup) = self.duplicate.take() {
-            return Err(AsmError::DuplicateLabel(dup));
+            return Err(AsmError::duplicate_label(dup));
         }
         for fixup in &self.fixups {
             let Fixup::Br { idx, label } = fixup;
             let target_idx = *self
                 .labels
                 .get(label)
-                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+                .ok_or_else(|| AsmError::undefined_label(label.clone()))?;
             let target = self.code_base + 4 * target_idx as u64;
             match &mut self.insts[*idx] {
                 Inst::Br { target: t, .. }
@@ -627,10 +713,12 @@ mod tests {
     fn undefined_label_is_error() {
         let mut a = Asm::new();
         a.br("nowhere");
-        assert_eq!(
-            a.finish().unwrap_err(),
-            AsmError::UndefinedLabel("nowhere".into())
-        );
+        let err = a.finish().unwrap_err();
+        assert_eq!(err, AsmError::undefined_label("nowhere"));
+        assert_eq!(err.kind, AsmErrorKind::UndefinedLabel);
+        assert_eq!(err.token, "nowhere");
+        assert_eq!(err.span, None, "builder errors carry no source span");
+        assert_eq!(err.to_string(), "undefined label `nowhere`");
     }
 
     #[test]
@@ -639,10 +727,16 @@ mod tests {
         a.label("x");
         a.nop();
         a.label("x");
-        assert_eq!(
-            a.finish().unwrap_err(),
-            AsmError::DuplicateLabel("x".into())
-        );
+        let err = a.finish().unwrap_err();
+        assert_eq!(err, AsmError::duplicate_label("x"));
+        assert_eq!(err.to_string(), "duplicate label `x`");
+    }
+
+    #[test]
+    fn spanned_error_display_points_at_the_token() {
+        let err = AsmError::new(AsmErrorKind::UnknownMnemonic, "adq").at(3, 9);
+        assert_eq!(err.span, Some(Span { line: 3, col: 9 }));
+        assert_eq!(err.to_string(), "line 3:9: unknown mnemonic `adq`");
     }
 
     #[test]

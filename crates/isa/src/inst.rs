@@ -48,7 +48,7 @@ impl fmt::Display for Operand {
 ///
 /// Branch and call targets hold absolute simulated PCs (the assembler
 /// resolves labels to absolute addresses).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Inst {
     /// Integer operate: `rc = op(ra, rb)`.
     Alu {

@@ -11,7 +11,8 @@
 //!   compare-against-zero conditional branches — see [`Inst`];
 //! * evaluation semantics shared between the functional emulator and the
 //!   optimizer's early-execution ALUs ([`AluOp::eval`] et al.);
-//! * a label-resolving assembler ([`Asm`]) producing [`Program`]s.
+//! * a label-resolving assembler ([`Asm`]) producing [`Program`]s, and a
+//!   text assembler ([`asm_text`]) for `.s`-style sources.
 //!
 //! # Examples
 //!
@@ -36,16 +37,35 @@
 //! assert_eq!(program.len(), 9);
 //! # Ok::<(), contopt_isa::AsmError>(())
 //! ```
+//!
+//! Or author a program as `.s`-style text (see `docs/ISA.md` for the
+//! full format reference):
+//!
+//! ```
+//! let program = contopt_isa::asm_text::parse(
+//!     "
+//!     .text
+//!             li   r1, 2
+//!             sll  r1, 3, r2
+//!             addq r1, r2, r3
+//!             stq  r3, 0x100000    ; bare displacement = absolute address
+//!             halt
+//!     ",
+//! )?;
+//! assert_eq!(program.len(), 5);
+//! # Ok::<(), contopt_isa::AsmError>(())
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod asm;
+pub mod asm_text;
 mod inst;
 mod opcode;
 mod reg;
 
-pub use asm::{Asm, AsmError, Program, CODE_BASE, DATA_BASE, STACK_TOP};
+pub use asm::{Asm, AsmError, AsmErrorKind, Program, Span, CODE_BASE, DATA_BASE, STACK_TOP};
 pub use inst::{ExecClass, Inst, Operand, SrcRegs};
 pub use opcode::{AluOp, Cond, FpCmpOp, FpOp, MemSize};
 pub use reg::{f, r, ArchReg, FReg, Reg, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};

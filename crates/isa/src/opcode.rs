@@ -52,6 +52,27 @@ pub enum AluOp {
 }
 
 impl AluOp {
+    /// Every integer ALU operation, in mnemonic-table order.
+    pub const ALL: [AluOp; 17] = [
+        AluOp::Addq,
+        AluOp::Subq,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Bic,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::S4Addq,
+        AluOp::S8Addq,
+        AluOp::CmpEq,
+        AluOp::CmpLt,
+        AluOp::CmpLe,
+        AluOp::CmpUlt,
+        AluOp::CmpUle,
+        AluOp::Mulq,
+    ];
+
     /// Whether this operation completes in one cycle (and may therefore be
     /// executed inside the optimizer).
     #[inline]
@@ -141,6 +162,16 @@ pub enum FpOp {
 }
 
 impl FpOp {
+    /// Every floating-point operation, in mnemonic-table order.
+    pub const ALL: [FpOp; 6] = [
+        FpOp::Addt,
+        FpOp::Subt,
+        FpOp::Mult,
+        FpOp::Divt,
+        FpOp::Sqrtt,
+        FpOp::Cpys,
+    ];
+
     /// Evaluates the FP operation.
     ///
     /// # Examples
@@ -194,6 +225,9 @@ pub enum FpCmpOp {
 }
 
 impl FpCmpOp {
+    /// Every floating-point comparison, in mnemonic-table order.
+    pub const ALL: [FpCmpOp; 3] = [FpCmpOp::Teq, FpCmpOp::Tlt, FpCmpOp::Tle];
+
     /// Evaluates the comparison, producing 1 or 0.
     #[inline]
     pub fn eval(self, a: f64, b: f64) -> u64 {
@@ -239,6 +273,9 @@ pub enum Cond {
 }
 
 impl Cond {
+    /// Every branch condition, in mnemonic-table order.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+
     /// Evaluates the branch condition against a register value.
     ///
     /// # Examples
@@ -308,6 +345,9 @@ pub enum MemSize {
 }
 
 impl MemSize {
+    /// Every access size, smallest first.
+    pub const ALL: [MemSize; 4] = [MemSize::Byte, MemSize::Word, MemSize::Long, MemSize::Quad];
+
     /// Size in bytes.
     #[inline]
     pub fn bytes(self) -> u64 {

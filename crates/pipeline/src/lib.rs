@@ -36,5 +36,6 @@ mod machine;
 mod stats;
 
 pub use config::MachineConfig;
+pub use contopt_emu::ArchSnapshot;
 pub use machine::{simulate, Machine};
 pub use stats::{PipelineStats, RunReport, SpeedupError};

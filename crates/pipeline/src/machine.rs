@@ -20,7 +20,7 @@ use crate::config::MachineConfig;
 use crate::stats::{PipelineStats, RunReport};
 use contopt::{Optimizer, RenameReq, Renamed, RenamedClass};
 use contopt_bpred::Predictor;
-use contopt_emu::{DynInst, Emulator, Step};
+use contopt_emu::{ArchSnapshot, DynInst, Emulator, Step};
 use contopt_isa::{ArchReg, ExecClass, Inst, Program, Reg, STACK_TOP};
 use contopt_mem::MemHierarchy;
 use std::cmp::Reverse;
@@ -101,6 +101,10 @@ pub struct Machine {
     rename_reqs: Vec<RenameReq>,
     renamed_buf: Vec<Renamed>,
 
+    // FNV chain over the retired stream, folded at retire time
+    // (allocation-free) for differential comparison.
+    stream_digest: u64,
+
     stats: PipelineStats,
 }
 
@@ -137,6 +141,7 @@ impl Machine {
             ready_at,
             rename_reqs: Vec::new(),
             renamed_buf: Vec::new(),
+            stream_digest: contopt_emu::STREAM_DIGEST_INIT,
             fetch_resume_at: 0,
             mispredict_outstanding: false,
             stats: PipelineStats::default(),
@@ -152,6 +157,22 @@ impl Machine {
     /// [`MachineConfig::max_cycles`], or if the pipeline deadlocks (both
     /// indicate simulator bugs).
     pub fn run(mut self, max_insts: u64) -> RunReport {
+        self.run_loop(max_insts);
+        self.report()
+    }
+
+    /// Like [`run`](Self::run), but also returns the end-of-run
+    /// architectural state ([`ArchSnapshot`]): register files, memory
+    /// content digest, and the retired-stream digest folded at retire
+    /// time. Differential tests use this to prove the optimized pipeline
+    /// changes timing, never semantics.
+    pub fn run_with_state(mut self, max_insts: u64) -> (RunReport, ArchSnapshot) {
+        self.run_loop(max_insts);
+        let snap = ArchSnapshot::capture(&self.emu, self.stats.retired, self.stream_digest);
+        (self.report(), snap)
+    }
+
+    fn run_loop(&mut self, max_insts: u64) {
         let mut last_progress = (0u64, 0u64); // (cycle, retired)
         loop {
             self.process_completions();
@@ -180,6 +201,9 @@ impl Machine {
             }
         }
         self.stats.cycles = self.cycle.max(1);
+    }
+
+    fn report(self) -> RunReport {
         RunReport {
             pipeline: self.stats,
             optimizer: self.opt.stats(),
@@ -579,6 +603,7 @@ impl Machine {
                 let addr = e.d.eff_addr.expect("store has an address");
                 self.hier.data_access(addr, true);
             }
+            self.stream_digest = e.d.fold_digest(self.stream_digest);
             self.stats.retired += 1;
             n += 1;
         }

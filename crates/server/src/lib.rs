@@ -642,6 +642,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 fn expand_request(msg: Message) -> Result<(u64, Vec<SweepCell>, Option<u64>), WireError> {
     match msg {
         Message::SubmitScenario { jobs, scenario } => {
+            // The result cache keys cells by workload *name*; a scenario
+            // shipping its own programs would alias names across clients.
+            if !scenario.programs.is_empty() {
+                return Err(WireError {
+                    code: "bad-request".to_string(),
+                    message: "scenarios with \"programs\" blocks cannot be submitted to the \
+                              sweep service; run them locally with contopt-experiments"
+                        .to_string(),
+                });
+            }
             let mut cells = Vec::new();
             for cfg in &scenario.configs {
                 let workloads = cfg.resolved_workloads().map_err(|e| WireError {

@@ -42,6 +42,7 @@
 
 mod ablation;
 mod error;
+pub mod fuzz;
 mod json;
 mod report;
 mod scenario;
@@ -52,8 +53,8 @@ pub use error::Error;
 pub use json::{JsonError, JsonErrorKind, JsonValue, ToJson};
 pub use report::Report;
 pub use scenario::{
-    machine_from_json, machine_to_json, AblationSpec, Scenario, ScenarioConfig, ScenarioError,
-    ALL_WORKLOADS, SCENARIO_VERSION,
+    machine_from_json, machine_to_json, AblationSpec, ProgramSource, ProgramSpec, Scenario,
+    ScenarioConfig, ScenarioError, ALL_WORKLOADS, SCENARIO_VERSION,
 };
 pub use session::{SimBuilder, SimSession, DEFAULT_INSTS};
 

@@ -24,13 +24,22 @@
 //!
 //! The cache hierarchy and branch predictor are pinned to the paper's
 //! defaults; scenario files do not override them.
+//!
+//! Besides named Table 1 workloads, a scenario may ship its own programs
+//! in the optional `"programs"` block: each entry names a program and
+//! carries either inline assembler text (`"source"`) or a path to a `.s`
+//! file relative to the scenario file (`"file"`), assembled through
+//! [`contopt_isa::asm_text`]. Configurations then list the program's name
+//! in `"workloads"` like any built-in benchmark.
 
 use crate::json::{JsonError, JsonValue, ToJson};
 use crate::{MachineConfig, OptimizerConfig};
 use contopt::{ConfigFieldError, ConfigScalar};
-use contopt_workloads::Workload;
+use contopt_isa::{asm_text, Program};
+use contopt_workloads::{Suite, Workload};
 use std::fmt;
 use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The scenario-file format version this build reads and writes.
 pub const SCENARIO_VERSION: u64 = 1;
@@ -50,8 +59,92 @@ pub struct Scenario {
     /// `None` when the file declares none. A scenario is ablatable either
     /// way — the block only tunes the matrix.
     pub ablation: Option<AblationSpec>,
+    /// Text-assembled programs the scenario ships itself (the optional
+    /// `"programs"` block), in declaration order; empty when the file
+    /// declares none.
+    pub programs: Vec<ProgramSpec>,
     /// The labelled configurations, in declaration order.
     pub configs: Vec<ScenarioConfig>,
+}
+
+/// One program a scenario ships (an entry of the `"programs"` block).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSpec {
+    /// The name configurations refer to; must not shadow a Table 1
+    /// benchmark.
+    pub name: String,
+    /// Where the assembler text comes from.
+    pub source: ProgramSource,
+    /// The assembled program: filled at [`Scenario::parse`] time for
+    /// inline sources and at [`Scenario::load`] time for file sources
+    /// (parsing text alone cannot resolve a relative file reference).
+    pub program: Option<Arc<Program>>,
+}
+
+/// Where a shipped program's assembler text lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramSource {
+    /// Inline assembler text (the `"source"` key).
+    Inline(String),
+    /// A `.s` file path, relative to the scenario file (the `"file"` key).
+    File(String),
+}
+
+impl ProgramSpec {
+    /// Builds an inline spec, assembling `source` immediately.
+    pub fn inline(
+        name: impl Into<String>,
+        source: impl Into<String>,
+    ) -> Result<ProgramSpec, ScenarioError> {
+        let name = name.into();
+        let source = source.into();
+        let program = assemble(&name, &source)?;
+        Ok(ProgramSpec {
+            name,
+            source: ProgramSource::Inline(source),
+            program: Some(program),
+        })
+    }
+
+    /// This program as a runnable workload (suite [`Suite::Kernel`]).
+    pub fn workload(&self) -> Result<Workload, ScenarioError> {
+        let program = self.program.clone().ok_or_else(|| ScenarioError::Program {
+            name: self.name.clone(),
+            detail: "not assembled (a \"file\" program needs Scenario::load)".into(),
+        })?;
+        Ok(Workload {
+            name: intern_name(&self.name),
+            description: "scenario-defined text program",
+            suite: Suite::Kernel,
+            program,
+        })
+    }
+}
+
+fn assemble(name: &str, source: &str) -> Result<Arc<Program>, ScenarioError> {
+    asm_text::parse(source)
+        .map(Arc::new)
+        .map_err(|e| ScenarioError::Program {
+            name: name.to_string(),
+            detail: e.to_string(),
+        })
+}
+
+/// Interns a scenario-program name so it can live in [`Workload::name`]
+/// (`&'static str`). Names are deduplicated process-wide, so repeated
+/// loads of the same scenario never leak more than one copy.
+fn intern_name(name: &str) -> &'static str {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut names = NAMES
+        .get_or_init(Default::default)
+        .lock()
+        .expect("name interner poisoned");
+    if let Some(s) = names.iter().find(|s| **s == name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    names.push(leaked);
+    leaked
 }
 
 /// The optional `"ablation"` block of a scenario file: how the
@@ -115,6 +208,16 @@ pub enum ScenarioError {
     },
     /// Two configurations share a label.
     DuplicateLabel(String),
+    /// A shipped program failed to assemble or its file could not be read.
+    Program {
+        /// The program's name.
+        name: String,
+        /// The assembler diagnostic or I/O error.
+        detail: String,
+    },
+    /// Two shipped programs share a name, or one shadows a Table 1
+    /// benchmark.
+    DuplicateProgram(String),
     /// The scenario declares no configurations, or a configuration lists
     /// no workloads.
     Empty(String),
@@ -143,6 +246,15 @@ impl fmt::Display for ScenarioError {
                 write!(f, "config {label:?} names unknown workload {name:?}")
             }
             ScenarioError::DuplicateLabel(l) => write!(f, "duplicate config label {l:?}"),
+            ScenarioError::Program { name, detail } => {
+                write!(f, "program {name:?}: {detail}")
+            }
+            ScenarioError::DuplicateProgram(n) => {
+                write!(
+                    f,
+                    "program {n:?} duplicates another program or a Table 1 benchmark"
+                )
+            }
             ScenarioError::Empty(what) => write!(f, "{what} is empty"),
             ScenarioError::ZeroInsts => write!(f, "\"insts\" must be positive"),
             ScenarioError::Io(e) => write!(f, "cannot read scenario file: {e}"),
@@ -191,17 +303,74 @@ impl Scenario {
     /// ```
     pub fn parse(src: &str) -> Result<Scenario, ScenarioError> {
         let doc = JsonValue::parse(src)?;
-        let sc = Scenario::from_json(&doc)?;
+        let mut sc = Scenario::from_json(&doc)?;
+        sc.assemble_programs(None)?;
         sc.validate()?;
         Ok(sc)
     }
 
-    /// Reads, parses, and validates a scenario file.
+    /// Reads, parses, and validates a scenario file. Shipped programs with
+    /// a `"file"` source are read relative to the scenario file's
+    /// directory and assembled.
     pub fn load(path: impl AsRef<Path>) -> Result<Scenario, ScenarioError> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path)
             .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
-        Scenario::parse(&text)
+        let doc = JsonValue::parse(&text)?;
+        let mut sc = Scenario::from_json(&doc)?;
+        sc.assemble_programs(path.parent())?;
+        sc.validate()?;
+        Ok(sc)
+    }
+
+    /// Assembles every not-yet-assembled shipped program. Inline sources
+    /// always assemble; `"file"` sources are read relative to `base` and
+    /// are left unassembled when `base` is `None` (referencing one then
+    /// fails at [`workloads_for`](Self::workloads_for) time).
+    pub fn assemble_programs(&mut self, base: Option<&Path>) -> Result<(), ScenarioError> {
+        for spec in &mut self.programs {
+            if spec.program.is_some() {
+                continue;
+            }
+            match &spec.source {
+                ProgramSource::Inline(text) => spec.program = Some(assemble(&spec.name, text)?),
+                ProgramSource::File(rel) => {
+                    if let Some(base) = base {
+                        let path = base.join(rel);
+                        let text =
+                            std::fs::read_to_string(&path).map_err(|e| ScenarioError::Program {
+                                name: spec.name.clone(),
+                                detail: format!("{}: {e}", path.display()),
+                            })?;
+                        spec.program = Some(assemble(&spec.name, &text)?);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The workloads one configuration runs on, in declaration order:
+    /// names resolve against this scenario's shipped programs first, then
+    /// Table 1; [`ALL_WORKLOADS`] expands to the built-in suite (shipped
+    /// programs must be listed by name).
+    pub fn workloads_for(&self, cfg: &ScenarioConfig) -> Result<Vec<Workload>, ScenarioError> {
+        let mut out = Vec::new();
+        for name in &cfg.workloads {
+            if name == ALL_WORKLOADS {
+                out.extend(contopt_workloads::suite());
+            } else if let Some(spec) = self.programs.iter().find(|p| &p.name == name) {
+                out.push(spec.workload()?);
+            } else {
+                out.push(contopt_workloads::build(name).ok_or_else(|| {
+                    ScenarioError::UnknownWorkload {
+                        label: cfg.label.clone(),
+                        name: name.clone(),
+                    }
+                })?);
+            }
+        }
+        Ok(out)
     }
 
     /// Builds a scenario from a parsed JSON document (no semantic
@@ -212,6 +381,7 @@ impl Scenario {
         let mut name = None;
         let mut insts = None;
         let mut ablation = None;
+        let mut programs = None;
         let mut configs = None;
         for (key, value) in fields {
             match key.as_str() {
@@ -232,6 +402,14 @@ impl Scenario {
                 }
                 "insts" => insts = Some(value.as_u64().ok_or(expected("insts", "an integer"))?),
                 "ablation" => ablation = Some(AblationSpec::from_json(value)?),
+                "programs" => {
+                    let items = value.as_array().ok_or(expected("programs", "an array"))?;
+                    let mut out = Vec::with_capacity(items.len());
+                    for (i, item) in items.iter().enumerate() {
+                        out.push(ProgramSpec::from_json(item, &format!("programs[{i}]"))?);
+                    }
+                    programs = Some(out);
+                }
                 "configs" => {
                     let items = value.as_array().ok_or(expected("configs", "an array"))?;
                     let mut out = Vec::with_capacity(items.len());
@@ -255,6 +433,7 @@ impl Scenario {
             name: name.ok_or(expected("top level", "a \"name\" field"))?,
             insts: insts.ok_or(expected("top level", "an \"insts\" field"))?,
             ablation,
+            programs: programs.unwrap_or_default(),
             configs: configs.ok_or(expected("top level", "a \"configs\" field"))?,
         })
     }
@@ -270,6 +449,19 @@ impl Scenario {
             return Err(ScenarioError::Empty("\"configs\"".into()));
         }
         let known = contopt_workloads::names();
+        for (i, p) in self.programs.iter().enumerate() {
+            if p.name.is_empty() {
+                return Err(ScenarioError::Program {
+                    name: p.name.clone(),
+                    detail: "program name is empty".into(),
+                });
+            }
+            if known.contains(&p.name.as_str())
+                || self.programs[..i].iter().any(|q| q.name == p.name)
+            {
+                return Err(ScenarioError::DuplicateProgram(p.name.clone()));
+            }
+        }
         for (i, cfg) in self.configs.iter().enumerate() {
             if self.configs[..i].iter().any(|c| c.label == cfg.label) {
                 return Err(ScenarioError::DuplicateLabel(cfg.label.clone()));
@@ -281,7 +473,10 @@ impl Scenario {
                 )));
             }
             for name in &cfg.workloads {
-                if name != ALL_WORKLOADS && !known.contains(&name.as_str()) {
+                if name != ALL_WORKLOADS
+                    && !known.contains(&name.as_str())
+                    && !self.programs.iter().any(|p| &p.name == name)
+                {
                     return Err(ScenarioError::UnknownWorkload {
                         label: cfg.label.clone(),
                         name: name.clone(),
@@ -343,9 +538,62 @@ impl ToJson for AblationSpec {
     }
 }
 
+impl ProgramSpec {
+    fn from_json(doc: &JsonValue, at: &str) -> Result<ProgramSpec, ScenarioError> {
+        let fields = doc.as_object().ok_or(expected(at, "an object"))?;
+        let mut name = None;
+        let mut source = None;
+        let mut file = None;
+        for (key, value) in fields {
+            let text = || {
+                value
+                    .as_str()
+                    .ok_or(expected(format!("{at}.{key}"), "a string"))
+                    .map(str::to_string)
+            };
+            match key.as_str() {
+                "name" => name = Some(text()?),
+                "source" => source = Some(text()?),
+                "file" => file = Some(text()?),
+                other => {
+                    return Err(ScenarioError::UnknownField {
+                        at: at.to_string(),
+                        field: other.to_string(),
+                    })
+                }
+            }
+        }
+        let source = match (source, file) {
+            (Some(text), None) => ProgramSource::Inline(text),
+            (None, Some(path)) => ProgramSource::File(path),
+            _ => return Err(expected(at, "exactly one of \"source\" or \"file\"")),
+        };
+        Ok(ProgramSpec {
+            name: name.ok_or(expected(at, "a \"name\" field"))?,
+            source,
+            program: None,
+        })
+    }
+}
+
+impl ToJson for ProgramSpec {
+    fn to_json(&self) -> JsonValue {
+        let (key, text) = match &self.source {
+            ProgramSource::Inline(text) => ("source", text),
+            ProgramSource::File(path) => ("file", path),
+        };
+        JsonValue::obj([
+            ("name", self.name.as_str().into()),
+            (key, text.as_str().into()),
+        ])
+    }
+}
+
 impl ScenarioConfig {
     /// The workloads this configuration runs on, expanded and in
     /// declaration order ([`ALL_WORKLOADS`] becomes the whole suite).
+    /// Scenario-shipped programs are not visible here — resolve through
+    /// [`Scenario::workloads_for`] when the scenario may ship its own.
     pub fn resolved_workloads(&self) -> Result<Vec<Workload>, ScenarioError> {
         if self.workloads.iter().any(|n| n == ALL_WORKLOADS) {
             return Ok(contopt_workloads::suite());
@@ -501,6 +749,13 @@ impl ToJson for Scenario {
         if let Some(spec) = &self.ablation {
             fields.push(("ablation", spec.to_json()));
         }
+        // Likewise: no programs, no block.
+        if !self.programs.is_empty() {
+            fields.push((
+                "programs",
+                JsonValue::arr(self.programs.iter().map(|p| p.to_json())),
+            ));
+        }
         fields.push((
             "configs",
             JsonValue::arr(self.configs.iter().map(|c| c.to_json())),
@@ -531,6 +786,7 @@ mod tests {
             name: "mini".into(),
             insts: 50_000,
             ablation: None,
+            programs: vec![],
             configs: vec![
                 ScenarioConfig {
                     label: "baseline".into(),
@@ -768,7 +1024,122 @@ mod tests {
                 .collect::<Vec<_>>(),
             ["twf", "untst"]
         );
-        assert_eq!(sc.configs[1].resolved_workloads().unwrap().len(), 22);
+        assert_eq!(sc.configs[1].resolved_workloads().unwrap().len(), 24);
+    }
+
+    const SPIN_SRC: &str = "        li   r1, 5\nspin:   subq r1, 1, r1\n        bne  r1, spin\n        li   r2, 0x100000\n        stq  r1, 8(r2)\n        halt\n";
+
+    fn program_scenario() -> Scenario {
+        Scenario {
+            name: "asm".into(),
+            insts: 50_000,
+            ablation: None,
+            programs: vec![ProgramSpec::inline("spin", SPIN_SRC).unwrap()],
+            configs: vec![ScenarioConfig {
+                label: "baseline".into(),
+                machine: MachineConfig::default_paper(),
+                workloads: vec!["spin".into(), "twf".into()],
+            }],
+        }
+    }
+
+    #[test]
+    fn program_blocks_round_trip_bytes() {
+        let sc = program_scenario();
+        let text = sc.canonical_json();
+        let parsed = Scenario::parse(&text).unwrap();
+        assert_eq!(parsed, sc.normalized(), "inline programs re-assemble");
+        assert_eq!(parsed.canonical_json(), text);
+        // A scenario without the block never grows one.
+        assert!(!two_config_scenario().canonical_json().contains("programs"));
+    }
+
+    #[test]
+    fn program_names_resolve_before_table1() {
+        let sc = program_scenario();
+        let ws = sc.workloads_for(&sc.configs[0]).unwrap();
+        assert_eq!(
+            ws.iter().map(|w| w.name).collect::<Vec<_>>(),
+            ["spin", "twf"]
+        );
+        assert_eq!(ws[0].suite, Suite::Kernel);
+        assert_eq!(ws[0].program.len(), 6);
+        // Built-in names still resolve to the suite through the same path.
+        assert_eq!(ws[1].suite, Suite::SpecInt);
+    }
+
+    #[test]
+    fn program_block_is_validated() {
+        // Unknown fields inside a program spec are typed errors.
+        let bad = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1,
+                "programs": [{"name": "p", "source": "halt", "x": 1}],
+                "configs": [{"label": "a", "workloads": ["p"], "machine": {}}]}"#,
+        );
+        assert!(
+            matches!(bad, Err(ScenarioError::UnknownField { ref at, .. }) if at == "programs[0]"),
+            "{bad:?}"
+        );
+        // Both or neither of source/file are structure errors.
+        let bad = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1,
+                "programs": [{"name": "p"}],
+                "configs": [{"label": "a", "workloads": ["p"], "machine": {}}]}"#,
+        );
+        assert!(
+            matches!(bad, Err(ScenarioError::Expected { .. })),
+            "{bad:?}"
+        );
+        // A program shadowing a Table 1 benchmark is rejected.
+        let mut sc = program_scenario();
+        sc.programs[0].name = "twf".into();
+        assert_eq!(
+            sc.validate(),
+            Err(ScenarioError::DuplicateProgram("twf".into()))
+        );
+        // An assembler diagnostic surfaces with its span.
+        let bad = Scenario::parse(
+            r#"{"version": 1, "name": "s", "insts": 1,
+                "programs": [{"name": "p", "source": "        frobz r1, r2, r3"}],
+                "configs": [{"label": "a", "workloads": ["p"], "machine": {}}]}"#,
+        );
+        match bad {
+            Err(ScenarioError::Program { name, detail }) => {
+                assert_eq!(name, "p");
+                assert!(detail.contains("unknown mnemonic"), "{detail}");
+                assert!(detail.contains("1:9"), "span in {detail}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_programs_resolve_relative_to_the_scenario() {
+        let dir = std::env::temp_dir().join(format!("contopt-scenario-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("asm")).unwrap();
+        std::fs::write(dir.join("asm/spin.s"), SPIN_SRC).unwrap();
+        let mut sc = program_scenario();
+        sc.programs[0] = ProgramSpec {
+            name: "spin".into(),
+            source: ProgramSource::File("asm/spin.s".into()),
+            program: None,
+        };
+        let path = dir.join("sc.json");
+        std::fs::write(&path, sc.canonical_json()).unwrap();
+        let loaded = Scenario::load(&path).unwrap();
+        assert_eq!(
+            loaded.programs[0].program.as_deref(),
+            Some(&asm_text::parse(SPIN_SRC).unwrap())
+        );
+        // Parsing the same text (no path) leaves the file unresolved, and
+        // referencing it is a typed error rather than a panic.
+        let parsed = Scenario::parse(&sc.canonical_json()).unwrap();
+        assert!(parsed.programs[0].program.is_none());
+        assert!(matches!(
+            parsed.workloads_for(&parsed.configs[0]),
+            Err(ScenarioError::Program { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! §5.2-style kernels authored in the assembler **text** format.
+//!
+//! Unlike the Table 1 kernels (built with the [`contopt_isa::Asm`]
+//! builder), these are checked-in `.s` sources assembled by
+//! [`contopt_isa::asm_text::parse`] — they are both workloads and a
+//! standing end-to-end test of the text pipeline. Each deposits its
+//! checksum at [`contopt_isa::DATA_BASE`] like every other workload.
+
+use contopt_isa::{asm_text, Program};
+
+/// Assembler source of `ptrch` (exported so tests can re-assemble it).
+pub const PTRCH_SRC: &str = include_str!("kernels/ptrch.s");
+
+/// Assembler source of `hjoin` (exported so tests can re-assemble it).
+pub const HJOIN_SRC: &str = include_str!("kernels/hjoin.s");
+
+/// `ptrch` — serial dependent-load ring walk.
+pub fn ptrch() -> Program {
+    asm_text::parse(PTRCH_SRC).expect("ptrch assembles")
+}
+
+/// `hjoin` — open-addressed hash-table build + probe.
+pub fn hjoin() -> Program {
+    asm_text::parse(HJOIN_SRC).expect("hjoin assembles")
+}

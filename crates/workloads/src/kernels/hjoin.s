@@ -1,0 +1,72 @@
+; hjoin — hash join (§5.2-style kernel, authored in assembler text).
+;
+; Build side: 1024 xorshift64 keys are inserted into a 2048-slot
+; open-addressed table (Fibonacci multiplicative hash, linear probing).
+; Probe side: six passes regenerate the key stream and look each key up;
+; odd passes perturb the keys so they mostly miss. The probe walk mixes
+; hash arithmetic, dependent loads, and data-dependent branches — the mix
+; a join inner loop presents to the continuous optimizer.
+
+.text
+        li   r9, 0x123456789abcdef1 ; xorshift state
+        li   r2, 1024               ; inserts remaining
+build:  sll  r9, 13, r4             ; xorshift64: s ^= s<<13; s ^= s>>7; s ^= s<<17
+        xor  r9, r4, r9
+        srl  r9, 7, r4
+        xor  r9, r4, r9
+        sll  r9, 17, r4
+        xor  r9, r4, r9
+        or   r9, 1, r5              ; key (never zero; zero means empty)
+        mulq r5, 0x9e3779b97f4a7c15, r6
+        srl  r6, 53, r6             ; 11-bit bucket index
+ins:    li   r7, buckets
+        s8addq r6, r7, r7
+        ldq  r8, 0(r7)
+        beq  r8, place              ; empty slot: claim it
+        addq r6, 1, r6              ; occupied: linear probe
+        and  r6, 2047, r6
+        br   ins
+place:  stq  r5, 0(r7)
+        subq r2, 1, r2
+        bne  r2, build
+
+        li   r10, 6                 ; probe passes
+        li   r3, 0                  ; checksum accumulator
+pass:   li   r9, 0x123456789abcdef1 ; regenerate the key stream
+        li   r2, 1024
+        and  r10, 1, r11
+        mulq r11, 85, r11           ; odd passes probe perturbed keys (misses)
+probe:  sll  r9, 13, r4
+        xor  r9, r4, r9
+        srl  r9, 7, r4
+        xor  r9, r4, r9
+        sll  r9, 17, r4
+        xor  r9, r4, r9
+        or   r9, 1, r5
+        xor  r5, r11, r5            ; the key to look up
+        mulq r5, 0x9e3779b97f4a7c15, r6
+        srl  r6, 53, r6
+look:   li   r7, buckets
+        s8addq r6, r7, r7
+        ldq  r8, 0(r7)
+        beq  r8, miss               ; empty slot: key absent
+        subq r8, r5, r4
+        beq  r4, hit
+        addq r6, 1, r6
+        and  r6, 2047, r6
+        br   look
+hit:    addq r3, r8, r3
+        br   next
+miss:   addq r3, 1, r3
+next:   subq r2, 1, r2
+        bne  r2, probe
+        subq r10, 1, r10
+        bne  r10, pass
+
+        li   r1, chk
+        stq  r3, 0(r1)
+        halt
+
+.data
+chk:    .zero 8                 ; checksum slot (CHECKSUM_ADDR)
+buckets: .zero 16384            ; 2048 key slots

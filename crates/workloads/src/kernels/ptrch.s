@@ -1,0 +1,39 @@
+; ptrch — pointer chasing (§5.2-style kernel, authored in assembler text).
+;
+; Builds a 1024-slot ring of pointers — slot i holds the address of slot
+; (i + 381) mod 1024, and 381 is coprime to 1024, so one walk visits every
+; slot — then chases it. Each load's address is the previous load's
+; result: the chain is architecturally serial, so the optimizer's wins
+; come from folding the loop overhead around it, not the chain itself.
+
+.text
+        li   r1, table          ; slot cursor (&table[i])
+        li   r2, 0              ; i
+        li   r3, 1024           ; slots remaining
+init:   addq r2, 381, r4        ; next index = (i + 381) & 1023
+        and  r4, 1023, r4
+        li   r5, table
+        s8addq r4, r5, r5       ; &table[next]
+        stq  r5, 0(r1)
+        lda  r1, 8(r1)
+        addq r2, 1, r2
+        subq r3, 1, r3
+        bne  r3, init
+
+        li   r1, table          ; p = &table[0]
+        li   r2, 24576          ; hops
+        li   r3, 0              ; checksum accumulator
+chase:  ldq  r1, 0(r1)          ; p = *p (serial dependent chain)
+        addq r3, r1, r3         ; add, not xor: an even number of laps
+        sll  r3, 7, r4          ; around the ring would cancel a pure
+        xor  r3, r4, r3         ; GF(2)-linear fold to zero
+        subq r2, 1, r2
+        bne  r2, chase
+
+        li   r1, chk
+        stq  r3, 0(r1)
+        halt
+
+.data
+chk:    .zero 8                 ; checksum slot (CHECKSUM_ADDR)
+table:  .zero 8192              ; 1024 ring slots

@@ -1,14 +1,16 @@
 //! # contopt-workloads — the synthetic benchmark suite
 //!
 //! Twenty-two benchmarks named after Table 1 of *Continuous Optimization*
-//! (ISCA 2005): ten SPECint2000, six SPECfp2000, and six mediabench
-//! programs. The originals are Alpha binaries we cannot ship or run, so
-//! each is replaced by a hand-written kernel in the simulator's ISA that
-//! reproduces the *code shape* the paper attributes to it — loop-carried
-//! induction chains, short-reuse memory traffic, constant-rich addressing,
-//! and data-dependent branches (see `DESIGN.md` §4 for the substitution
-//! argument). Dynamic instruction counts are scaled from the paper's
-//! 100M–1000M down to a few hundred thousand per benchmark.
+//! (ISCA 2005) — ten SPECint2000, six SPECfp2000, and six mediabench
+//! programs — plus two §5.2-style kernels (`ptrch`, `hjoin`) authored in
+//! the assembler text format. The originals are Alpha binaries we cannot
+//! ship or run, so each is replaced by a hand-written kernel in the
+//! simulator's ISA that reproduces the *code shape* the paper attributes
+//! to it — loop-carried induction chains, short-reuse memory traffic,
+//! constant-rich addressing, and data-dependent branches (see `DESIGN.md`
+//! §4 for the substitution argument). Dynamic instruction counts are
+//! scaled from the paper's 100M–1000M down to a few hundred thousand per
+//! benchmark.
 //!
 //! Every program deposits a checksum at [`CHECKSUM_ADDR`] before halting so
 //! correctness is testable end-to-end.
@@ -18,7 +20,7 @@
 //! ```
 //! use contopt_workloads::{suite, Suite};
 //! let all = suite();
-//! assert_eq!(all.len(), 22);
+//! assert_eq!(all.len(), 24);
 //! assert_eq!(all.iter().filter(|w| w.suite == Suite::SpecInt).count(), 10);
 //! let mcf = all.iter().find(|w| w.name == "mcf").unwrap();
 //! assert!(!mcf.program.is_empty());
@@ -28,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 mod common;
+pub mod kernels;
 mod mediabench;
 mod specfp;
 mod specint;
@@ -48,6 +51,8 @@ pub enum Suite {
     SpecFp,
     /// mediabench.
     MediaBench,
+    /// Text-format kernels beyond Table 1 (paper §5.2 style).
+    Kernel,
 }
 
 impl fmt::Display for Suite {
@@ -56,6 +61,7 @@ impl fmt::Display for Suite {
             Suite::SpecInt => write!(f, "SPECint"),
             Suite::SpecFp => write!(f, "SPECfp"),
             Suite::MediaBench => write!(f, "mediabench"),
+            Suite::Kernel => write!(f, "kernel"),
         }
     }
 }
@@ -86,7 +92,8 @@ macro_rules! workload {
     };
 }
 
-/// Builds the full 22-benchmark suite in Table 1 order.
+/// Builds the full 24-benchmark suite: Table 1 order, then the text-format
+/// kernels.
 ///
 /// The programs are assembled once per process and shared: every call
 /// (and every [`build`] lookup) clones `Arc` handles to the same images,
@@ -97,7 +104,7 @@ pub fn suite() -> Vec<Workload> {
     SUITE.get_or_init(assemble_suite).clone()
 }
 
-/// Assembles all 22 kernels (called once, behind [`suite`]'s cache).
+/// Assembles all 24 kernels (called once, behind [`suite`]'s cache).
 fn assemble_suite() -> Vec<Workload> {
     use Suite::*;
     vec![
@@ -208,6 +215,18 @@ fn assemble_suite() -> Vec<Workload> {
             MediaBench,
             mediabench::toast
         ),
+        workload!(
+            "ptrch",
+            "pointer chasing: serial dependent-load ring walk",
+            Kernel,
+            kernels::ptrch
+        ),
+        workload!(
+            "hjoin",
+            "hash join: table build + probe with linear probing",
+            Kernel,
+            kernels::hjoin
+        ),
     ]
 }
 
@@ -226,7 +245,7 @@ pub fn names_in(s: Suite) -> Vec<&'static str> {
         .collect()
 }
 
-/// The names of all 22 benchmarks, in Table 1 order.
+/// The names of all 24 benchmarks, in suite order.
 pub fn names() -> Vec<&'static str> {
     suite().into_iter().map(|w| w.name).collect()
 }
@@ -281,8 +300,38 @@ mod tests {
         assert_eq!(names_in(Suite::SpecInt).len(), 10);
         assert_eq!(names_in(Suite::SpecFp).len(), 6);
         assert_eq!(names_in(Suite::MediaBench).len(), 6);
-        assert_eq!(names().len(), 22);
+        assert_eq!(names_in(Suite::Kernel), ["ptrch", "hjoin"]);
+        assert_eq!(names().len(), 24);
         assert!(build("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_suite_kernel_round_trips_through_the_text_assembler() {
+        use contopt_isa::asm_text;
+        for w in suite() {
+            let text = asm_text::emit(&w.program);
+            let reparsed = asm_text::parse(&text)
+                .unwrap_or_else(|e| panic!("{} re-assembly failed: {e}", w.name));
+            assert_eq!(
+                reparsed, *w.program,
+                "{} does not round-trip through the text assembler",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn text_kernels_match_their_checked_in_sources() {
+        // The `.s` sources are the ground truth for ptrch/hjoin: the suite
+        // entries must be exactly what the text assembler produces.
+        assert_eq!(
+            *build("ptrch").unwrap().program,
+            contopt_isa::asm_text::parse(kernels::PTRCH_SRC).unwrap()
+        );
+        assert_eq!(
+            *build("hjoin").unwrap().program,
+            contopt_isa::asm_text::parse(kernels::HJOIN_SRC).unwrap()
+        );
     }
 
     #[test]

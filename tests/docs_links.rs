@@ -1,0 +1,106 @@
+//! Documentation link checker.
+//!
+//! Every relative markdown link and every backticked concrete repo path
+//! in `README.md` and `docs/*.md` must point at something that exists.
+//! Docs that reference moved or deleted files rot silently; this test
+//! makes that rot a build failure.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/experiments.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repository root")
+}
+
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![root.join("README.md")];
+    let mut docs: Vec<_> = std::fs::read_dir(root.join("docs"))
+        .expect("docs/ directory")
+        .map(|e| e.expect("docs/ entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    docs.sort();
+    files.extend(docs);
+    files
+}
+
+/// Extract the targets of markdown inline links `[text](target)`.
+fn markdown_link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(close) = text[i..].find("](") {
+        let start = i + close + 2;
+        match text[start..].find(')') {
+            Some(end) => {
+                out.push(text[start..start + end].to_string());
+                i = start + end + 1;
+            }
+            None => break,
+        }
+        let _ = bytes;
+    }
+    out
+}
+
+/// Extract backticked spans that look like concrete repo paths: they
+/// contain a `/`, start with a known top-level directory, and have no
+/// glob/placeholder characters.
+fn backticked_paths(text: &str) -> Vec<String> {
+    const ROOTS: &[&str] = &["crates/", "docs/", "scenarios/", "goldens/", "tests/"];
+    let mut out = Vec::new();
+    for piece in text.split('`').skip(1).step_by(2) {
+        let concrete = piece.contains('/')
+            && ROOTS.iter().any(|r| piece.starts_with(r))
+            && !piece.contains(['*', '<', '>', '…', ' ', '{', '}']);
+        if concrete {
+            out.push(piece.to_string());
+        }
+    }
+    out
+}
+
+#[test]
+fn every_doc_link_and_path_resolves() {
+    let root = repo_root();
+    let mut broken = Vec::new();
+    for file in doc_files(&root) {
+        let text = std::fs::read_to_string(&file).expect("read doc file");
+        let base = file.parent().expect("doc file has a parent directory");
+        for target in markdown_link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            let path = target.split('#').next().unwrap_or(&target);
+            // Markdown links resolve relative to the containing file.
+            if !base.join(path).exists() {
+                broken.push(format!("{}: link target `{target}`", file.display()));
+            }
+        }
+        for path in backticked_paths(&text) {
+            // Backticked repo paths are written repo-root-relative.
+            if !root.join(&path).exists() {
+                broken.push(format!("{}: path `{path}`", file.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken documentation references:\n  {}",
+        broken.join("\n  ")
+    );
+}
+
+#[test]
+fn link_extractors_parse_markdown() {
+    let text = "see [a](docs/A.md) and [b](https://x.test) plus `crates/isa/src/lib.rs` \
+                and the glob `scenarios/*.json` and inline `code`";
+    assert_eq!(markdown_link_targets(text), ["docs/A.md", "https://x.test"]);
+    assert_eq!(backticked_paths(text), ["crates/isa/src/lib.rs"]);
+}

@@ -53,6 +53,7 @@ fn disabled_pass_marginal_is_exactly_zero_and_costs_no_cell() {
         name: "no-rle".into(),
         insts: 20_000,
         ablation: None,
+        programs: vec![],
         configs: vec![ScenarioConfig {
             label: "no-rle-sf".into(),
             machine,

@@ -11,13 +11,13 @@ use contopt_sim::{MachineConfig, ToJson};
 const INSTS: u64 = 60_000;
 
 #[test]
-fn table1_lists_all_twentytwo_benchmarks() {
+fn table1_lists_all_twentyfour_benchmarks() {
     let lab = Lab::new(INSTS);
     let t = table1(&lab);
-    assert_eq!(t.rows.len(), 22);
+    assert_eq!(t.rows.len(), 24);
     assert!(t.rows.iter().all(|r| r.insts > 10_000));
     let text = t.to_string();
-    for name in ["bzp", "mcf", "untst", "g721d"] {
+    for name in ["bzp", "mcf", "untst", "g721d", "ptrch", "hjoin"] {
         assert!(text.contains(name), "missing {name}");
     }
 }
@@ -44,7 +44,7 @@ fn table2_matches_the_paper() {
 fn fig6_speedups_are_in_the_papers_band() {
     let mut lab = Lab::new(INSTS);
     let f = fig6(&mut lab);
-    assert_eq!(f.rows.len(), 22);
+    assert_eq!(f.rows.len(), 24);
     for (_, name, s) in &f.rows {
         assert!(
             (0.9..1.5).contains(s),

@@ -120,6 +120,7 @@ fn random_optimizer_configs_round_trip_through_scenario_json() {
             name: format!("prop{i}"),
             insts: 1 + splitmix64(&mut state) % 1_000_000,
             ablation: None,
+            programs: vec![],
             configs: vec![ScenarioConfig {
                 label: "x".into(),
                 machine: MachineConfig::default_paper().with_optimizer(cfg),
@@ -180,6 +181,7 @@ fn golden_harness_detects_flag_flips_and_missing_files() {
         name: "drift".into(),
         insts: 50_000,
         ablation: None,
+        programs: vec![],
         configs: vec![ScenarioConfig {
             label: "optimized".into(),
             machine: MachineConfig::default_with_optimizer(),
