@@ -1,6 +1,10 @@
 //! Ablation: Memory Bypass Cache size sweep (16–512 entries), printed over
 //! the representatives and timed on the MBC-heavy `untst`.
 
+// Bench harness code may panic freely, like test code; the workspace
+// unwrap/expect lints police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_bench::{representatives, timed_speedup};
 use contopt_sim::{EarlyExec, MachineConfig, PassSet, RleSf};
 use criterion::{criterion_group, criterion_main, Criterion};

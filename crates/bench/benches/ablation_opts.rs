@@ -2,6 +2,10 @@
 //! reassociation off, branch inference off, feedback off), printed as a
 //! speedup table over the representatives and timed.
 
+// Bench harness code may panic freely, like test code; the workspace
+// unwrap/expect lints police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_bench::{representatives, timed_speedup};
 use contopt_sim::{MachineConfig, OptimizerConfig};
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -2,6 +2,10 @@
 //! cache accesses, gshare prediction, functional emulation, and
 //! rename-stage optimization throughput.
 
+// Bench harness code may panic freely, like test code; the workspace
+// unwrap/expect lints police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_sim::bpred::{Predictor, PredictorConfig};
 use contopt_sim::emu::{Emulator, Step};
 use contopt_sim::mem::{Cache, CacheConfig};

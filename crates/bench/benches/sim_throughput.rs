@@ -7,6 +7,10 @@
 //! commit it when the numbers move meaningfully. The experiment driver's
 //! `--validate` checks the trajectory stays monotonically timestamped.
 
+// Bench harness code may panic freely, like test code; the workspace
+// unwrap/expect lints police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_experiments::append_bench_run;
 use contopt_sim::workloads::build;
 use contopt_sim::{JsonValue, MachineConfig, SimSession};

@@ -23,6 +23,10 @@ pub const TIMED_INSTS: u64 = 30_000;
 pub const REPRESENTATIVES: [&str; 3] = ["mcf", "mgd", "untst"];
 
 /// Builds the representative workloads.
+#[expect(
+    clippy::expect_used,
+    reason = "the representative names come from the suite itself"
+)]
 pub fn representatives() -> Vec<Workload> {
     REPRESENTATIVES
         .iter()
@@ -31,6 +35,10 @@ pub fn representatives() -> Vec<Workload> {
 }
 
 /// Builds a session for `w` under `cfg` at the timed budget.
+#[expect(
+    clippy::expect_used,
+    reason = "bench configurations are structurally valid"
+)]
 fn session(w: &Workload, cfg: MachineConfig) -> SimSession {
     SimSession::builder()
         .machine(cfg)
@@ -42,6 +50,7 @@ fn session(w: &Workload, cfg: MachineConfig) -> SimSession {
 
 /// Runs one baseline/optimized pair at the timed budget and returns the
 /// speedup (the quantity every figure plots).
+#[expect(clippy::expect_used, reason = "both sessions run the same workload")]
 pub fn timed_speedup(w: &Workload, opt_cfg: MachineConfig) -> f64 {
     let base = session(w, MachineConfig::default_paper()).run();
     let opt = session(w, opt_cfg).run();

@@ -9,8 +9,6 @@
 //! reported and merged into exit code 3 while its siblings are still
 //! checked.
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use contopt_client::protocol::{CellReply, CellResult, SweepStatus};
 use contopt_client::{Client, ClientConfig, RetryPolicy};
 use contopt_experiments::{CheckOutcome, TolerancePolicy};

@@ -51,7 +51,6 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
-#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod protocol;
 

@@ -352,6 +352,10 @@ impl Optimizer {
         );
     }
 
+    #[expect(
+        clippy::expect_used,
+        reason = "rename gate guarantees a free physical register"
+    )]
     pub(crate) fn alloc_dst(&mut self, d: &DynInst) -> PhysReg {
         let p = self.pregs.alloc().expect("caller checked can_rename");
         self.oracle[p.index()] = d.result.unwrap_or(0);

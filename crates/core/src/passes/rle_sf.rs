@@ -20,6 +20,10 @@ use crate::symval::SymValue;
 use contopt_isa::{ArchReg, Inst, MemSize};
 
 impl Optimizer {
+    #[expect(
+        clippy::expect_used,
+        reason = "the decoder only routes memory ops here"
+    )]
     pub(crate) fn process_load(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
         let d = &req.d;
         self.stats.engine.mem_ops += 1;
@@ -101,6 +105,10 @@ impl Optimizer {
     /// Attempts to forward MBC `data` into the load; returns `None` (after
     /// invalidating the stale entry) if strict value checking rejects it.
     #[allow(clippy::too_many_arguments)] // one call site; mirrors the §3.2 datapath inputs
+    #[expect(
+        clippy::expect_used,
+        reason = "forwarding candidates were pre-checked for a destination"
+    )]
     pub(crate) fn try_forward(
         &mut self,
         req: &RenameReq,
@@ -178,6 +186,10 @@ impl Optimizer {
         }
     }
 
+    #[expect(
+        clippy::expect_used,
+        reason = "the decoder only routes memory ops here"
+    )]
     pub(crate) fn process_store(&mut self, req: &RenameReq, bundle: &mut Bundle) -> Renamed {
         let d = &req.d;
         self.stats.engine.mem_ops += 1;

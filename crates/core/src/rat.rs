@@ -35,6 +35,10 @@ impl SymRat {
     ///
     /// Panics if the physical register file cannot supply one register per
     /// architectural register.
+    #[expect(
+        clippy::expect_used,
+        reason = "the free list is sized to cover every architectural register"
+    )]
     pub fn new(
         pregs: &mut PregFile,
         initial: impl Fn(ArchReg) -> u64,

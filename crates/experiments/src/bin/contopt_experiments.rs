@@ -50,15 +50,27 @@ scenario files:
   --table                  render the per-pass attribution table (the
                            default --ablate output; --json overrides)
 
+static verification:
+  --verify FILE ...        statically verify programs — CFG well-formedness,
+                           use-before-init, memory discipline, loop
+                           boundedness — in .s files and in scenario
+                           \"programs\" blocks; findings print per program
+  --allow-warnings         with --verify: warning-severity findings do not
+                           gate (error findings always do)
+
 differential fuzzing:
   --fuzz N                 generate N seeded random programs and assert the
                            emulator, the baseline pipeline, and the
                            all-passes pipeline commit identical
                            architectural state (each program also
-                           round-trips through the text assembler); failing
-                           seeds are minimized and written as conformance
-                           scenarios under --scenarios-dir
-  --seed S                 first fuzz seed (default 1; seeds S..S+N-1 run)
+                           round-trips through the text assembler and must
+                           verify statically clean); failing seeds are
+                           minimized and written as conformance scenarios
+                           under --scenarios-dir
+  --fuzz-parsers N         run N mutated inputs (byte flips, truncation,
+                           splices) through the scenario-JSON and assembler
+                           parsers, asserting typed errors and no panics
+  --seed S                 first fuzz seed (default 1)
 
 maintenance:
   --validate [FILE...]     parse-check JSON artifacts (default: every
@@ -83,7 +95,13 @@ these to report precise causes):
   1  drift: at least one recorded golden differs from the fresh run
   2  missing: some goldens are not recorded (and none drifted)
   3  error: the run itself failed (unreadable scenario, I/O failure;
-     contopt-client reports remote per-cell failures the same way)";
+     contopt-client reports remote per-cell failures the same way)
+
+exit codes (--verify runs, same 0..3 severity ladder):
+  0  clean: no finding gated (warnings allowed explicitly or by policy)
+  1  errors: an error-severity finding, or a file failed to parse
+  2  warnings: warning-severity findings without --allow-warnings
+  3  unreadable: a file could not be read";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -129,6 +147,20 @@ fn main() -> ExitCode {
         let seed = flag_value("--seed").unwrap_or(1);
         return run_fuzz(count, seed, Path::new(&scenarios_dir));
     }
+    if let Some(count) = flag_value("--fuzz-parsers") {
+        let seed = flag_value("--seed").unwrap_or(1);
+        eprintln!("contopt-experiments: fuzzing the parsers with {count} mutated input(s)");
+        return match contopt_sim::fuzz::fuzz_parsers(count, seed) {
+            Ok(()) => {
+                println!("parser fuzz: {count} case(s): no panics, typed errors only");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("contopt-experiments: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.iter().any(|a| a == "--validate") {
         return validate(&args, Path::new(&scenarios_dir), &goldens_dir);
     }
@@ -143,6 +175,34 @@ fn main() -> ExitCode {
             })
             .collect()
     };
+    // `--verify a.s b.json …` consumes every path up to the next flag
+    // (and the flag may repeat).
+    let verify_paths: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--verify")
+        .flat_map(|(i, _)| args[i + 1..].iter().take_while(|a| !a.starts_with("--")))
+        .collect();
+    if args.iter().any(|a| a == "--verify") {
+        if verify_paths.is_empty() {
+            eprintln!("contopt-experiments: --verify takes one or more .s or scenario files");
+            return ExitCode::from(3);
+        }
+        let allow_warnings = args.iter().any(|a| a == "--allow-warnings");
+        let (verdicts, outcome) = contopt_experiments::verify_files(&verify_paths, allow_warnings);
+        if json {
+            println!(
+                "{}",
+                contopt_experiments::render_verify_json(&verdicts, outcome).pretty()
+            );
+        } else {
+            for v in &verdicts {
+                print!("{}", contopt_experiments::render_verify_text(v));
+            }
+        }
+        return ExitCode::from(outcome.exit_code());
+    }
+
     let scenario_files = files_for("--scenario");
     let ablate_files = files_for("--ablate");
     if !scenario_files.is_empty() || !ablate_files.is_empty() {
@@ -308,7 +368,9 @@ fn json_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 /// — which still catches a hand-edited or truncated golden before the
 /// regression job burns a full re-simulation discovering it.
 fn validate(args: &[String], scenarios_dir: &Path, goldens_dir: &Path) -> ExitCode {
-    let pos = args.iter().position(|a| a == "--validate").unwrap();
+    let Some(pos) = args.iter().position(|a| a == "--validate") else {
+        return ExitCode::from(2); // dispatch only routes here on --validate
+    };
     let mut files: Vec<PathBuf> = args[pos + 1..]
         .iter()
         .take_while(|a| !a.starts_with("--"))

@@ -77,6 +77,10 @@ pub fn fig6_plan(lab: &Lab) -> Plan {
 }
 
 /// Regenerates Figure 6.
+#[expect(
+    clippy::expect_used,
+    reason = "both reports simulate the same workload"
+)]
 pub fn fig6(lab: &mut Lab) -> Fig6 {
     let ws = lab.workloads().to_vec();
     let mut rows = Vec::new();
@@ -169,6 +173,10 @@ impl SuiteFigure {
     }
 
     /// The speedups for one suite, in label order.
+    #[expect(
+        clippy::expect_used,
+        reason = "figure rows cover every suite by construction"
+    )]
     pub fn suite(&self, s: Suite) -> &[f64] {
         &self
             .bars

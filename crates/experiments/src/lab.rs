@@ -189,6 +189,10 @@ impl Lab {
         self.cache.get(&cell_key(cfg, workload)).map(Arc::clone)
     }
 
+    #[expect(
+        clippy::expect_used,
+        reason = "lab sessions are built from validated configurations"
+    )]
     fn session(&self, cfg: MachineConfig, w: &Workload) -> SimSession {
         SimSession::builder()
             .machine(cfg)
@@ -202,6 +206,10 @@ impl Lab {
     /// worker threads and fills the cache. Parallelism cannot perturb
     /// results: each cell is an independent cold-state simulation, and the
     /// cache is keyed identically however many workers ran.
+    #[expect(
+        clippy::expect_used,
+        reason = "worker panics and missing cells are sweep-harness bugs"
+    )]
     pub fn execute(&mut self, plan: &Plan, jobs: usize) {
         let todo: Vec<(CellKey, SimSession)> = plan
             .cells
@@ -281,6 +289,10 @@ impl Lab {
     }
 
     /// Per-suite geometric-mean speedup of `cfg` over `base_cfg`.
+    #[expect(
+        clippy::expect_used,
+        reason = "both reports simulate the same workload"
+    )]
     pub fn suite_speedups(&mut self, cfg: MachineConfig, base_cfg: MachineConfig) -> SuiteMeans {
         let mut per_suite: HashMap<Suite, Vec<f64>> = HashMap::new();
         for i in 0..self.workloads.len() {

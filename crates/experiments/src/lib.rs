@@ -52,6 +52,7 @@ mod figures;
 mod lab;
 mod scenario;
 mod tables;
+mod verify;
 
 pub use ablation::{
     ablation_golden_path, ablation_plan, ablation_report, check_ablation_golden,
@@ -70,4 +71,8 @@ pub use scenario::{
 };
 pub use tables::{
     table1, table2, table3, table3_plan, Table1, Table1Row, Table2, Table3, Table3Row,
+};
+pub use verify::{
+    render_json as render_verify_json, render_text as render_verify_text, verify_file,
+    verify_files, FileVerdict, ProgramVerdict, VerifyOutcome,
 };

@@ -163,6 +163,10 @@ arr:    .zero 4096              ; 512 quads
 /// `"programs"` block assembled from `.s` text, swept under the baseline
 /// and optimized machines, with checked-in goldens under
 /// `goldens/asm_smoke/`.
+#[expect(
+    clippy::expect_used,
+    reason = "the checked-in asm_smoke program assembles"
+)]
 pub fn asm_smoke_scenario() -> Scenario {
     let spec = contopt_sim::ProgramSpec::inline("asmk", ASMK_SRC)
         .expect("the checked-in asm_smoke program assembles");
@@ -243,6 +247,10 @@ pub struct LineDiff {
 }
 
 /// Finds the first differing line between two texts; `None` when equal.
+#[expect(
+    clippy::expect_used,
+    reason = "the equal arm only matches when both sides are present"
+)]
 pub fn first_divergence(expected: &str, actual: &str) -> Option<LineDiff> {
     let mut exp = expected.lines();
     let mut act = actual.lines();

@@ -44,6 +44,10 @@ impl ToJson for Table1 {
 }
 
 /// Regenerates Table 1 by running every workload functionally.
+#[expect(
+    clippy::expect_used,
+    reason = "every suite workload halts within its budget"
+)]
 pub fn table1(lab: &Lab) -> Table1 {
     let rows = lab
         .workloads()

@@ -48,7 +48,8 @@
 //! # Ok::<(), contopt_isa::AsmError>(())
 //! ```
 
-use crate::asm::{AsmError, AsmErrorKind, Program, CODE_BASE, DATA_BASE};
+use crate::analysis::{self, AnalysisReport};
+use crate::asm::{AsmError, AsmErrorKind, Program, Span, CODE_BASE, DATA_BASE};
 use crate::inst::{Inst, Operand};
 use crate::opcode::{AluOp, Cond, FpCmpOp, FpOp, MemSize};
 use crate::reg::{FReg, Reg};
@@ -120,6 +121,8 @@ struct Parser {
     code_base: u64,
     entry: Option<u64>,
     insts: Vec<Inst>,
+    /// Source position of each instruction's mnemonic, parallel to `insts`.
+    spans: Vec<Span>,
     data: Vec<(u64, Vec<u8>)>,
     /// Open data segment being appended to, if any.
     current: Option<(u64, Vec<u8>)>,
@@ -158,11 +161,23 @@ impl Tok<'_> {
 /// line:column span for any unknown mnemonic or directive, malformed or
 /// out-of-range operand, duplicate label, or unresolved label reference.
 pub fn parse(src: &str) -> Result<Program, AsmError> {
+    parse_with_spans(src).map(|(p, _)| p)
+}
+
+/// Like [`parse`], but also returns the source [`Span`] of each
+/// instruction's mnemonic (parallel to [`Program::insts`]), so static
+/// analysis can point findings back at source lines.
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_with_spans(src: &str) -> Result<(Program, Vec<Span>), AsmError> {
     let mut p = Parser {
         mode: Mode::Code,
         code_base: CODE_BASE,
         entry: None,
         insts: Vec::new(),
+        spans: Vec::new(),
         data: Vec::new(),
         current: None,
         cursor: DATA_BASE,
@@ -175,6 +190,24 @@ pub fn parse(src: &str) -> Result<Program, AsmError> {
         p.line(raw, line_no)?;
     }
     p.finish()
+}
+
+/// Parses assembly text, then lints the resulting program with the static
+/// analyzer ([`crate::analysis`]), attaching source spans to every finding.
+///
+/// Parsing and verification are separate concerns: a program that parses
+/// always comes back `Ok` here, together with its [`AnalysisReport`] —
+/// callers decide how strictly to treat error- and warning-severity
+/// findings (the scenario loader hard-fails on errors; `--verify` maps the
+/// verdict onto exit codes).
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] only when the text does not parse.
+pub fn parse_and_verify(src: &str) -> Result<(Program, AnalysisReport), AsmError> {
+    let (program, spans) = parse_with_spans(src)?;
+    let report = analysis::verify_with_spans(&program, &spans);
+    Ok((program, report))
 }
 
 impl Parser {
@@ -263,7 +296,9 @@ impl Parser {
     /// [`Asm`](crate::Asm) builder, which starts one segment per `data_*`
     /// call).
     fn place(&mut self, align: u64, bytes: &[u8]) {
-        let aligned = (self.cursor + align - 1) & !(align - 1);
+        // Saturating: a pathological `.org` near u64::MAX must degrade to
+        // overlapping-segment nonsense, not arithmetic overflow.
+        let aligned = self.cursor.saturating_add(align - 1) & !(align - 1);
         if aligned != self.cursor {
             self.close_segment();
             self.cursor = aligned;
@@ -273,7 +308,7 @@ impl Parser {
             Some((_, buf)) => buf.extend_from_slice(bytes),
             None => self.current = Some((self.cursor, bytes.to_vec())),
         }
-        self.cursor += bytes.len() as u64;
+        self.cursor = self.cursor.saturating_add(bytes.len() as u64);
     }
 
     fn switch_mode(&mut self, mode: Mode) {
@@ -322,13 +357,19 @@ impl Parser {
                     return Err(word.err(AsmErrorKind::BadDirective));
                 }
                 self.close_segment();
-                self.cursor = (self.cursor + n - 1) & !(n - 1);
+                self.cursor = self.cursor.saturating_add(n - 1) & !(n - 1);
             }
             ".zero" => {
                 if self.mode != Mode::Data {
                     return Err(word.err(AsmErrorKind::BadDirective));
                 }
                 let n = need_addr(args)?;
+                // Bounded so a corrupt size reads as a diagnostic, not an
+                // allocation the process cannot survive. 8 MiB covers the
+                // whole [DATA_BASE, STACK_TOP) region.
+                if n > 8 << 20 {
+                    return Err(word.err(AsmErrorKind::BadImmediate));
+                }
                 self.place(8, &vec![0u8; n as usize]);
             }
             ".quad" | ".long" | ".word" | ".byte" => {
@@ -393,6 +434,10 @@ impl Parser {
         let mnem = word.text.to_ascii_lowercase();
         let inst = self.encode(&mnem, word, args)?;
         self.insts.push(inst);
+        self.spans.push(Span {
+            line: word.line,
+            col: word.col,
+        });
         Ok(())
     }
 
@@ -660,7 +705,7 @@ impl Parser {
         }
     }
 
-    fn finish(mut self) -> Result<Program, AsmError> {
+    fn finish(mut self) -> Result<(Program, Vec<Span>), AsmError> {
         self.close_segment();
         match self.mode {
             Mode::Code => self.bind_pending(LabelVal::Code(self.insts.len())),
@@ -688,12 +733,15 @@ impl Parser {
                 (_, other) => unreachable!("fixup on {other:?}"),
             }
         }
-        Ok(Program {
-            code_base: self.code_base,
-            entry: self.entry.unwrap_or(self.code_base),
-            insts: self.insts,
-            data: self.data,
-        })
+        Ok((
+            Program {
+                code_base: self.code_base,
+                entry: self.entry.unwrap_or(self.code_base),
+                insts: self.insts,
+                data: self.data,
+            },
+            self.spans,
+        ))
     }
 }
 

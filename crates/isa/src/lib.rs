@@ -12,7 +12,10 @@
 //! * evaluation semantics shared between the functional emulator and the
 //!   optimizer's early-execution ALUs ([`AluOp::eval`] et al.);
 //! * a label-resolving assembler ([`Asm`]) producing [`Program`]s, and a
-//!   text assembler ([`asm_text`]) for `.s`-style sources.
+//!   text assembler ([`asm_text`]) for `.s`-style sources;
+//! * a static program verifier ([`analysis`]) — CFG construction,
+//!   use-before-init dataflow, memory-discipline and loop-boundedness
+//!   checks — gating every program producer (see `docs/ANALYSIS.md`).
 //!
 //! # Examples
 //!
@@ -59,12 +62,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 mod asm;
 pub mod asm_text;
 mod inst;
 mod opcode;
 mod reg;
 
+pub use analysis::{AnalysisError, AnalysisReport, AnalysisWarning};
 pub use asm::{Asm, AsmError, AsmErrorKind, Program, Span, CODE_BASE, DATA_BASE, STACK_TOP};
 pub use inst::{ExecClass, Inst, Operand, SrcRegs};
 pub use opcode::{AluOp, Cond, FpCmpOp, FpOp, MemSize};

@@ -199,7 +199,7 @@ impl fmt::Display for ArchReg {
         if let Some(r) = self.as_int() {
             write!(f, "{r}")
         } else {
-            write!(f, "{}", self.as_fp().expect("fp range"))
+            write!(f, "{}", FReg(self.0 - NUM_INT_REGS as u8))
         }
     }
 }

@@ -223,6 +223,10 @@ impl Machine {
 
     // ---- stream --------------------------------------------------------
 
+    #[expect(
+        clippy::expect_used,
+        reason = "suite programs execute cleanly under the reference emulator"
+    )]
     fn peek_stream(&mut self, max_insts: u64) -> Option<DynInst> {
         if self.lookahead.is_empty() && !self.stream_done {
             if self.insts_pulled >= max_insts {
@@ -334,6 +338,10 @@ impl Machine {
         }
     }
 
+    #[expect(
+        clippy::expect_used,
+        reason = "the optimizer renames exactly what was peeked"
+    )]
     fn rename_and_dispatch(&mut self) {
         let mut rob_free = self.cfg.rob_entries - self.rob.len();
         // Scheduler slots are reserved against the *unoptimized* class; the
@@ -401,6 +409,10 @@ impl Machine {
         self.renamed_buf = renamed;
     }
 
+    #[expect(
+        clippy::expect_used,
+        reason = "renamed-class invariants established at rename time"
+    )]
     fn dispatch(&mut self, f: Fetched, ren: Renamed) {
         if let (Some(dst), true) = (ren.dst, ren.dst_new) {
             self.ready_at[dst.index()] = u64::MAX;
@@ -462,6 +474,10 @@ impl Machine {
 
     // ---- issue / execute -------------------------------------------------
 
+    #[expect(
+        clippy::expect_used,
+        reason = "callers index into a non-empty reorder buffer"
+    )]
     fn rob_index(&self, seq: u64) -> usize {
         let head = self.rob.front().expect("rob non-empty").ren.seq;
         (seq - head) as usize
@@ -528,6 +544,10 @@ impl Machine {
             .all(|p| self.ready_at[p.index()] <= self.cycle)
     }
 
+    #[expect(
+        clippy::expect_used,
+        reason = "memory ops carry effective addresses from the emulator"
+    )]
     fn execute(&mut self, idx: usize) {
         let now = self.cycle;
         let (class, addr_known, eff_addr) = {
@@ -556,6 +576,7 @@ impl Machine {
         self.completions.push(Reverse((complete_at, e.ren.seq)));
     }
 
+    #[expect(clippy::expect_used, reason = "writers always produce a result value")]
     fn process_completions(&mut self) {
         while let Some(&Reverse((t, seq))) = self.completions.peek() {
             if t > self.cycle {
@@ -591,6 +612,10 @@ impl Machine {
 
     // ---- retire -----------------------------------------------------------
 
+    #[expect(
+        clippy::expect_used,
+        reason = "the retire loop re-checks the head it pops"
+    )]
     fn retire(&mut self) {
         let mut n = 0;
         while n < self.cfg.retire_width {

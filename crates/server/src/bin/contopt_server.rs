@@ -1,7 +1,5 @@
 //! `contopt-server` — the sweep-service daemon.
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use contopt_server::{Server, ServerConfig};
 use std::process::ExitCode;
 use std::time::Duration;

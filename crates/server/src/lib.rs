@@ -45,7 +45,6 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
-#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 #[cfg(any(test, feature = "fault-injection"))]
 pub mod fault;

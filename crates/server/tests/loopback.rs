@@ -13,6 +13,11 @@
 //! Fault-path guarantees (injected panics, drops, truncation, black
 //! holes) live in `tests/faults.rs` behind `--features fault-injection`.
 
+// Test scaffolding may panic freely; the crate-level deny on
+// unwrap/expect protects the service itself, not its test harness
+// (free helper functions here sit outside clippy's in-test exemption).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_client::protocol::{CellReply, CellResult, PlanCell};
 use contopt_client::Client;
 use contopt_experiments::{check_cell, TolerancePolicy};

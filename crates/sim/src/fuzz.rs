@@ -15,15 +15,18 @@
 //! Generated programs terminate by construction: control flow is limited
 //! to forward skips and counted loops whose counter register is reserved
 //! while the body is generated, every memory access lands inside a
-//! private scratch arena, and every opcode in the ISA is total.
+//! private scratch arena, and every opcode in the ISA is total. The
+//! static verifier ([`contopt_isa::analysis`]) must agree: every
+//! generated program has to verify *fully clean* — the analyzer and the
+//! generator's by-construction guarantees cross-check each other.
 //!
 //! A failing seed is [minimized](minimize) by greedily deleting
 //! generator ops while the failure reproduces, and can be emitted as a
 //! checked-in conformance [`Scenario`] via [`conformance_scenario`].
 
-use crate::scenario::{ProgramSpec, Scenario, ScenarioConfig};
+use crate::scenario::{ProgramSpec, Scenario, ScenarioConfig, VerifyPolicy};
 use contopt_emu::{ArchSnapshot, Emulator, Step, STREAM_DIGEST_INIT};
-use contopt_isa::{asm_text, f, r, Asm, Program, DATA_BASE};
+use contopt_isa::{analysis, asm_text, f, r, Asm, Program, DATA_BASE};
 use contopt_pipeline::{Machine, MachineConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -177,12 +180,17 @@ fn body(rng: &mut SplitMix64, len: u64) -> Vec<GenOp> {
 fn plan(seed: u64) -> Vec<GenOp> {
     let mut rng = SplitMix64(seed);
     let mut ops = Vec::new();
-    // Seed the register pool so early consumers read varied values.
-    for &rc in &POOL[..4] {
+    // Seed the whole integer pool — and f1..f4 through it — so no
+    // generated op can ever read an uninitialized register. The static
+    // verifier holds fuzz programs to the fully-clean standard.
+    for &rc in &POOL {
         ops.push(GenOp::Li {
             rc,
             imm: pick_imm(&mut rng),
         });
+    }
+    for fc in 1..=4u8 {
+        ops.push(GenOp::Itof { ra: fc, fc });
     }
     let blocks = 3 + rng.below(6);
     for _ in 0..blocks {
@@ -338,7 +346,7 @@ fn build(ops: &[GenOp]) -> Program {
     }
     a.halt();
     a.finish()
-        .expect("generated programs assemble by construction")
+        .unwrap_or_else(|e| panic!("generated programs assemble by construction: {e}"))
 }
 
 /// The deterministic program for a fuzz seed.
@@ -388,10 +396,23 @@ fn pipeline_run(p: &Arc<Program>, cfg: MachineConfig, label: &str) -> Result<Arc
     })
 }
 
-/// Checks one program against the three-way differential oracle.
-/// `Ok(())` means: assembler round-trip exact, and all three executions
-/// committed the identical architectural outcome.
+/// Checks one program against the full fuzz oracle: the static verifier
+/// must report *nothing* — no errors, no warnings — and then
+/// [`check_exec`] must pass.
 pub fn check_program(p: &Program) -> Result<(), String> {
+    let report = analysis::verify(p);
+    if !report.is_clean() {
+        return Err(format!("static verification not clean: {report}"));
+    }
+    check_exec(p)
+}
+
+/// The execution half of the oracle: assembler round-trip exact, and all
+/// three executions committing the identical architectural outcome. The
+/// minimizer shrinks against this alone, so shrinking converges on the
+/// behavioural divergence instead of wandering to any program the
+/// analyzer happens to flag.
+pub fn check_exec(p: &Program) -> Result<(), String> {
     // 1. The text assembler must reproduce the program exactly.
     let text = asm_text::emit(p);
     match asm_text::parse(&text) {
@@ -493,7 +514,16 @@ pub struct Failure {
 
 /// Minimizes a failing seed to its smallest reproducing program.
 pub fn minimize(seed: u64, detail: String) -> Failure {
-    let ops = minimize_with(plan(seed), &|cand| check_program(&build(cand)).is_err());
+    let ops = plan(seed);
+    // Shrink against the execution oracle when it reproduces; a
+    // verification-only failure (a generator bug) shrinks against the
+    // full oracle instead.
+    let fails: &dyn Fn(&[GenOp]) -> bool = if check_exec(&build(&ops)).is_err() {
+        &|cand| check_exec(&build(cand)).is_err()
+    } else {
+        &|cand| check_program(&build(cand)).is_err()
+    };
+    let ops = minimize_with(ops, fails);
     Failure {
         seed,
         detail,
@@ -505,9 +535,24 @@ pub fn minimize(seed: u64, detail: String) -> Failure {
 /// shipped as an inline `"programs"` block, run under both the baseline
 /// and the all-passes machine. Checked in under `scenarios/`, it keeps
 /// the regression covered forever.
+///
+/// The static verifier's verdict on the minimized program becomes the
+/// scenario's [`VerifyPolicy`]: a clean program is pinned `"clean"` (any
+/// future finding on it is a regression), warnings pin the default
+/// tolerance, and a program the analyzer rejects — minimization may
+/// strip the seeding that kept it well-formed — ships `"skip"` so the
+/// reproducer still loads.
 pub fn conformance_scenario(fail: &Failure) -> Result<Scenario, crate::scenario::ScenarioError> {
     let name = format!("fuzz_{}", fail.seed);
-    let spec = ProgramSpec::inline(&name, asm_text::emit(&fail.program))?;
+    let report = analysis::verify(&fail.program);
+    let verify = if report.has_errors() {
+        VerifyPolicy::Skip
+    } else if report.is_clean() {
+        VerifyPolicy::Clean
+    } else {
+        VerifyPolicy::AllowWarnings
+    };
+    let spec = ProgramSpec::inline_with(&name, asm_text::emit(&fail.program), verify)?;
     let mk = |label: &str, machine: MachineConfig| ScenarioConfig {
         label: label.to_string(),
         machine,
@@ -523,6 +568,118 @@ pub fn conformance_scenario(fail: &Failure) -> Result<Scenario, crate::scenario:
             mk("optimized", MachineConfig::default_with_optimizer()),
         ],
     })
+}
+
+// ---- parser fuzzing --------------------------------------------------------
+
+/// Which front-end a parser-fuzz case targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParserKind {
+    /// `Scenario::parse` (which layers on `JsonValue::parse`, program
+    /// assembly, and static verification).
+    Json,
+    /// `asm_text::parse_and_verify`.
+    Asm,
+}
+
+/// The well-formed inputs mutation starts from: one scenario file with
+/// every optional block present, one minimal scenario, one generated
+/// program's emitted text, and one hand-written `.s` exercising data
+/// directives.
+fn parser_corpus() -> Vec<(ParserKind, String)> {
+    let scenario = r#"{
+  "version": 1,
+  "name": "corpus",
+  "insts": 50000,
+  "ablation": {"add_one_in": true},
+  "programs": [
+    {"name": "spin",
+     "source": "        li   r1, 5\nspin:   subq r1, 1, r1\n        bne  r1, spin\n        halt",
+     "verify": "clean"}
+  ],
+  "configs": [
+    {"label": "baseline", "workloads": ["spin", "twf"], "machine": {}},
+    {"label": "opt", "workloads": ["*"],
+     "machine": {"fetch_width": 8, "optimizer": {"enabled": true, "feedback_delay": 10}}}
+  ]
+}"#;
+    let minimal = r#"{"version": 1, "name": "m", "insts": 1, "configs": [
+        {"label": "a", "workloads": ["mcf"], "machine": {}}]}"#;
+    let handwritten = "; corpus kernel\n.text\n        li   r1, tab\n        li   r2, 4\nfill:   stq  r2, 0(r1)\n        lda  r1, 8(r1)\n        subq r2, 1, r2\n        bne  r2, fill\n        halt\n.data\n.align 16\ntab:    .zero 64\nvals:   .quad 1, -2, 0x30\nbytes:  .byte 7, 8\nf:      .double 2.5\n";
+    vec![
+        (ParserKind::Json, scenario.to_string()),
+        (ParserKind::Json, minimal.to_string()),
+        (ParserKind::Asm, asm_text::emit(&program_for_seed(3))),
+        (ParserKind::Asm, handwritten.to_string()),
+    ]
+}
+
+/// Applies 1–4 random mutations — byte flips, truncation, and splicing a
+/// random slice of another corpus entry — to `base`.
+fn mutate(rng: &mut SplitMix64, base: &[u8], corpus: &[(ParserKind, String)]) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    for _ in 0..1 + rng.below(4) {
+        match rng.below(3) {
+            0 if !bytes.is_empty() => {
+                // Byte flip.
+                let i = rng.below(bytes.len() as u64) as usize;
+                bytes[i] ^= 1 << rng.below(8);
+            }
+            1 if !bytes.is_empty() => {
+                // Truncation.
+                bytes.truncate(rng.below(bytes.len() as u64 + 1) as usize);
+            }
+            _ => {
+                // Token splice from a random donor (cross-format splices
+                // push JSON into assembler text and vice versa).
+                let donor = corpus[rng.below(corpus.len() as u64) as usize].1.as_bytes();
+                let s = rng.below(donor.len() as u64) as usize;
+                let e = s + 1 + rng.below((donor.len() - s) as u64) as usize;
+                let at = rng.below(bytes.len() as u64 + 1) as usize;
+                let slice: Vec<u8> = donor[s..e].to_vec();
+                bytes.splice(at..at, slice);
+            }
+        }
+    }
+    bytes
+}
+
+/// Runs a `count`-case mutation campaign over the scenario-JSON and
+/// assembler-text parsers. Every case must come back as `Ok` or as a
+/// typed error whose `Display` renders — never a panic. Returns the
+/// first panicking input, base64-free and truncated for the report.
+pub fn fuzz_parsers(count: u64, seed0: u64) -> Result<(), String> {
+    let corpus = parser_corpus();
+    let mut rng = SplitMix64(seed0 ^ 0x7061_7273_6572_7321); // "parsers!"
+    for case in 0..count {
+        let (kind, base) = &corpus[rng.below(corpus.len() as u64) as usize];
+        let mutated = mutate(&mut rng, base.as_bytes(), &corpus);
+        let text = String::from_utf8_lossy(&mutated).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| match kind {
+            // Errors must be typed and renderable; values are discarded.
+            ParserKind::Json => match Scenario::parse(&text) {
+                Ok(_) => {}
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            },
+            ParserKind::Asm => match asm_text::parse_and_verify(&text) {
+                Ok((_, report)) => {
+                    let _ = report.to_json();
+                }
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            },
+        }));
+        if outcome.is_err() {
+            let snippet: String = text.chars().take(200).collect();
+            return Err(format!(
+                "parser-fuzz case {case} ({kind:?}) panicked on input starting: {snippet:?}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Outcome of a fuzz campaign.
@@ -585,6 +742,20 @@ mod tests {
     }
 
     #[test]
+    fn generated_programs_verify_fully_clean() {
+        // The analyzer cross-checks the generator's by-construction
+        // guarantees: no finding of any severity, and every loop proved.
+        for seed in 1..=16 {
+            let report = analysis::verify(&program_for_seed(seed));
+            assert!(report.is_clean(), "seed {seed}: {report}");
+            assert_eq!(
+                report.proved_loops, report.loops,
+                "seed {seed}: every counted loop proves bounded"
+            );
+        }
+    }
+
+    #[test]
     fn small_fuzz_campaign_passes() {
         // The bounded CI-sized differential sweep; `--fuzz N` scales it up.
         let summary = run(24, 1, |_, _| {});
@@ -617,6 +788,28 @@ mod tests {
         let min = minimize_with(ops, &|cand| has_store(cand));
         assert_eq!(min.len(), 1, "exactly the store survives: {min:?}");
         assert!(matches!(min[0], GenOp::Store { .. }));
+    }
+
+    #[test]
+    fn parser_fuzz_campaign_finds_no_panics() {
+        // The CI-sized campaign; `--fuzz-parsers N` scales it up.
+        fuzz_parsers(200, 1).unwrap();
+    }
+
+    #[test]
+    fn parser_corpus_is_well_formed() {
+        // Mutation needs valid starting points: every corpus entry must
+        // parse before any bytes are touched.
+        for (kind, text) in parser_corpus() {
+            match kind {
+                ParserKind::Json => {
+                    Scenario::parse(&text).unwrap();
+                }
+                ParserKind::Asm => {
+                    asm_text::parse_and_verify(&text).unwrap();
+                }
+            }
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use json::{JsonError, JsonErrorKind, JsonValue, ToJson};
 pub use report::Report;
 pub use scenario::{
     machine_from_json, machine_to_json, AblationSpec, ProgramSource, ProgramSpec, Scenario,
-    ScenarioConfig, ScenarioError, ALL_WORKLOADS, SCENARIO_VERSION,
+    ScenarioConfig, ScenarioError, VerifyPolicy, ALL_WORKLOADS, SCENARIO_VERSION,
 };
 pub use session::{SimBuilder, SimSession, DEFAULT_INSTS};
 

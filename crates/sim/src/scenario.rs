@@ -31,11 +31,20 @@
 //! file relative to the scenario file (`"file"`), assembled through
 //! [`contopt_isa::asm_text`]. Configurations then list the program's name
 //! in `"workloads"` like any built-in benchmark.
+//!
+//! Shipped programs are statically verified at load time by
+//! [`contopt_isa::analysis`]: error-severity findings (use-before-init,
+//! wild jumps, out-of-bounds accesses, provably infinite loops…) fail the
+//! load with [`ScenarioError::ProgramVerification`]. The optional
+//! `"verify"` key tunes this per program: `"allow-warnings"` (the
+//! default), `"clean"` (warnings fail too), or `"skip"` (no verification —
+//! used by conformance reproducers whose whole point is to pin a
+//! pathological program).
 
 use crate::json::{JsonError, JsonValue, ToJson};
 use crate::{MachineConfig, OptimizerConfig};
 use contopt::{ConfigFieldError, ConfigScalar};
-use contopt_isa::{asm_text, Program};
+use contopt_isa::{analysis, asm_text, AnalysisReport, Program};
 use contopt_workloads::{Suite, Workload};
 use std::fmt;
 use std::path::Path;
@@ -75,10 +84,51 @@ pub struct ProgramSpec {
     pub name: String,
     /// Where the assembler text comes from.
     pub source: ProgramSource,
+    /// How strictly the static verifier's verdict gates the load (the
+    /// optional `"verify"` key; defaults to
+    /// [`VerifyPolicy::AllowWarnings`]).
+    pub verify: VerifyPolicy,
     /// The assembled program: filled at [`Scenario::parse`] time for
     /// inline sources and at [`Scenario::load`] time for file sources
     /// (parsing text alone cannot resolve a relative file reference).
     pub program: Option<Arc<Program>>,
+}
+
+/// How strictly a shipped program's static-verification verdict is
+/// enforced at scenario load time (the optional `"verify"` key of a
+/// `"programs"` entry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum VerifyPolicy {
+    /// Error-severity findings fail the load; warnings are tolerated.
+    /// The default, and omitted from the canonical serialization.
+    #[default]
+    AllowWarnings,
+    /// Any finding at all — error or warning — fails the load.
+    Clean,
+    /// Skip verification entirely. Used by conformance reproducers whose
+    /// whole point is to pin a pathological program the analyzer would
+    /// reject.
+    Skip,
+}
+
+impl VerifyPolicy {
+    /// The JSON spelling of this policy.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VerifyPolicy::AllowWarnings => "allow-warnings",
+            VerifyPolicy::Clean => "clean",
+            VerifyPolicy::Skip => "skip",
+        }
+    }
+
+    fn parse(s: &str) -> Option<VerifyPolicy> {
+        match s {
+            "allow-warnings" => Some(VerifyPolicy::AllowWarnings),
+            "clean" => Some(VerifyPolicy::Clean),
+            "skip" => Some(VerifyPolicy::Skip),
+            _ => None,
+        }
+    }
 }
 
 /// Where a shipped program's assembler text lives.
@@ -91,10 +141,22 @@ pub enum ProgramSource {
 }
 
 impl ProgramSpec {
-    /// Builds an inline spec, assembling `source` immediately.
+    /// Builds an inline spec under the default verification policy,
+    /// assembling `source` immediately.
     pub fn inline(
         name: impl Into<String>,
         source: impl Into<String>,
+    ) -> Result<ProgramSpec, ScenarioError> {
+        ProgramSpec::inline_with(name, source, VerifyPolicy::default())
+    }
+
+    /// Builds an inline spec with an explicit verification policy,
+    /// assembling `source` immediately (the policy gates later loads, not
+    /// this assembly).
+    pub fn inline_with(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        verify: VerifyPolicy,
     ) -> Result<ProgramSpec, ScenarioError> {
         let name = name.into();
         let source = source.into();
@@ -102,8 +164,23 @@ impl ProgramSpec {
         Ok(ProgramSpec {
             name,
             source: ProgramSource::Inline(source),
+            verify,
             program: Some(program),
         })
+    }
+
+    /// Statically verifies the assembled program — with source spans when
+    /// the text is inline — regardless of the [`VerifyPolicy`]. `None`
+    /// when the program is not assembled yet (a `"file"` source parsed
+    /// without a base directory).
+    pub fn verify_report(&self) -> Option<AnalysisReport> {
+        match (&self.source, &self.program) {
+            (ProgramSource::Inline(text), _) => {
+                asm_text::parse_and_verify(text).map(|(_, r)| r).ok()
+            }
+            (ProgramSource::File(_), Some(p)) => Some(analysis::verify(p)),
+            (ProgramSource::File(_), None) => None,
+        }
     }
 
     /// This program as a runnable workload (suite [`Suite::Kernel`]).
@@ -135,10 +212,13 @@ fn assemble(name: &str, source: &str) -> Result<Arc<Program>, ScenarioError> {
 /// loads of the same scenario never leak more than one copy.
 fn intern_name(name: &str) -> &'static str {
     static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    // The interner only ever appends leaked strings, so a lock poisoned by
+    // a panicking sibling thread still holds a structurally sound list —
+    // recover it rather than cascading the panic.
     let mut names = NAMES
         .get_or_init(Default::default)
         .lock()
-        .expect("name interner poisoned");
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(s) = names.iter().find(|s| **s == name) {
         return s;
     }
@@ -215,6 +295,14 @@ pub enum ScenarioError {
         /// The assembler diagnostic or I/O error.
         detail: String,
     },
+    /// A shipped program failed static verification under its
+    /// [`VerifyPolicy`].
+    ProgramVerification {
+        /// The program's name.
+        name: String,
+        /// The analyzer's first finding plus finding counts.
+        detail: String,
+    },
     /// Two shipped programs share a name, or one shadows a Table 1
     /// benchmark.
     DuplicateProgram(String),
@@ -248,6 +336,9 @@ impl fmt::Display for ScenarioError {
             ScenarioError::DuplicateLabel(l) => write!(f, "duplicate config label {l:?}"),
             ScenarioError::Program { name, detail } => {
                 write!(f, "program {name:?}: {detail}")
+            }
+            ScenarioError::ProgramVerification { name, detail } => {
+                write!(f, "program {name:?} failed verification: {detail}")
             }
             ScenarioError::DuplicateProgram(n) => {
                 write!(
@@ -306,6 +397,7 @@ impl Scenario {
         let mut sc = Scenario::from_json(&doc)?;
         sc.assemble_programs(None)?;
         sc.validate()?;
+        sc.verify_programs()?;
         Ok(sc)
     }
 
@@ -320,6 +412,7 @@ impl Scenario {
         let mut sc = Scenario::from_json(&doc)?;
         sc.assemble_programs(path.parent())?;
         sc.validate()?;
+        sc.verify_programs()?;
         Ok(sc)
     }
 
@@ -345,6 +438,43 @@ impl Scenario {
                         spec.program = Some(assemble(&spec.name, &text)?);
                     }
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Statically verifies every assembled shipped program against its
+    /// [`VerifyPolicy`]: error-severity findings always fail, and a
+    /// [`VerifyPolicy::Clean`] program fails on warnings too. Called by
+    /// [`parse`](Self::parse) and [`load`](Self::load) after assembly;
+    /// programs left unassembled (a `"file"` source parsed without a base
+    /// directory) cannot be checked and are skipped.
+    pub fn verify_programs(&self) -> Result<(), ScenarioError> {
+        for spec in &self.programs {
+            if spec.verify == VerifyPolicy::Skip {
+                continue;
+            }
+            let Some(report) = spec.verify_report() else {
+                continue;
+            };
+            let first: Option<String> =
+                report
+                    .errors
+                    .first()
+                    .map(|e| e.to_string())
+                    .or_else(|| match spec.verify {
+                        VerifyPolicy::Clean => report.warnings.first().map(|w| w.to_string()),
+                        _ => None,
+                    });
+            if let Some(first) = first {
+                return Err(ScenarioError::ProgramVerification {
+                    name: spec.name.clone(),
+                    detail: format!(
+                        "{first} ({} error(s), {} warning(s))",
+                        report.errors.len(),
+                        report.warnings.len()
+                    ),
+                });
             }
         }
         Ok(())
@@ -544,6 +674,7 @@ impl ProgramSpec {
         let mut name = None;
         let mut source = None;
         let mut file = None;
+        let mut verify = VerifyPolicy::default();
         for (key, value) in fields {
             let text = || {
                 value
@@ -555,6 +686,12 @@ impl ProgramSpec {
                 "name" => name = Some(text()?),
                 "source" => source = Some(text()?),
                 "file" => file = Some(text()?),
+                "verify" => {
+                    verify = VerifyPolicy::parse(&text()?).ok_or(expected(
+                        format!("{at}.verify"),
+                        "\"allow-warnings\", \"clean\", or \"skip\"",
+                    ))?;
+                }
                 other => {
                     return Err(ScenarioError::UnknownField {
                         at: at.to_string(),
@@ -571,6 +708,7 @@ impl ProgramSpec {
         Ok(ProgramSpec {
             name: name.ok_or(expected(at, "a \"name\" field"))?,
             source,
+            verify,
             program: None,
         })
     }
@@ -582,10 +720,16 @@ impl ToJson for ProgramSpec {
             ProgramSource::Inline(text) => ("source", text),
             ProgramSource::File(path) => ("file", path),
         };
-        JsonValue::obj([
-            ("name", self.name.as_str().into()),
+        let mut fields = vec![
+            ("name", JsonValue::from(self.name.as_str())),
             (key, text.as_str().into()),
-        ])
+        ];
+        // The default policy stays implicit, so files written before the
+        // key existed still round-trip byte-for-byte.
+        if self.verify != VerifyPolicy::default() {
+            fields.push(("verify", self.verify.as_str().into()));
+        }
+        JsonValue::obj(fields)
     }
 }
 
@@ -1114,6 +1258,64 @@ mod tests {
     }
 
     #[test]
+    fn program_verification_gates_the_load() {
+        // Reads r9 before anything writes it: an error-severity finding.
+        let bad = |policy: &str| {
+            format!(
+                r#"{{"version": 1, "name": "s", "insts": 1,
+                "programs": [{{"name": "p", "source": "        addq r9, 1, r1\n        halt"{policy}}}],
+                "configs": [{{"label": "a", "workloads": ["p"], "machine": {{}}}}]}}"#
+            )
+        };
+        match Scenario::parse(&bad("")) {
+            Err(ScenarioError::ProgramVerification { name, detail }) => {
+                assert_eq!(name, "p");
+                assert!(detail.contains("use_before_init"), "{detail}");
+                assert!(detail.contains("1 error(s)"), "{detail}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // "skip" lets the same program through (conformance reproducers).
+        let sc = Scenario::parse(&bad(r#", "verify": "skip""#)).unwrap();
+        assert_eq!(sc.programs[0].verify, VerifyPolicy::Skip);
+        // A warnings-only program loads by default but not under "clean".
+        let warn = |policy: &str| {
+            format!(
+                r#"{{"version": 1, "name": "s", "insts": 1,
+                "programs": [{{"name": "p", "source": "loop:   li r1, 1\n        bne r1, loop\n        halt"{policy}}}],
+                "configs": [{{"label": "a", "workloads": ["p"], "machine": {{}}}}]}}"#
+            )
+        };
+        assert!(Scenario::parse(&warn("")).is_ok());
+        match Scenario::parse(&warn(r#", "verify": "clean""#)) {
+            Err(ScenarioError::ProgramVerification { detail, .. }) => {
+                assert!(detail.contains("warning"), "{detail}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // An unknown policy spelling is a typed structure error.
+        let bad_policy = Scenario::parse(&bad(r#", "verify": "maybe""#));
+        assert!(
+            matches!(bad_policy, Err(ScenarioError::Expected { .. })),
+            "{bad_policy:?}"
+        );
+    }
+
+    #[test]
+    fn verify_policy_round_trips_and_stays_optional() {
+        let mut sc = program_scenario();
+        assert!(
+            !sc.canonical_json().contains("verify"),
+            "default policy stays implicit"
+        );
+        sc.programs[0].verify = VerifyPolicy::Clean;
+        let text = sc.canonical_json();
+        let parsed = Scenario::parse(&text).unwrap();
+        assert_eq!(parsed.programs[0].verify, VerifyPolicy::Clean);
+        assert_eq!(parsed.canonical_json(), text);
+    }
+
+    #[test]
     fn file_programs_resolve_relative_to_the_scenario() {
         let dir = std::env::temp_dir().join(format!("contopt-scenario-{}", std::process::id()));
         std::fs::create_dir_all(dir.join("asm")).unwrap();
@@ -1122,6 +1324,7 @@ mod tests {
         sc.programs[0] = ProgramSpec {
             name: "spin".into(),
             source: ProgramSource::File("asm/spin.s".into()),
+            verify: VerifyPolicy::default(),
             program: None,
         };
         let path = dir.join("sc.json");

@@ -16,10 +16,10 @@ pub const HJOIN_SRC: &str = include_str!("kernels/hjoin.s");
 
 /// `ptrch` — serial dependent-load ring walk.
 pub fn ptrch() -> Program {
-    asm_text::parse(PTRCH_SRC).expect("ptrch assembles")
+    crate::must_assemble(asm_text::parse(PTRCH_SRC), "ptrch")
 }
 
 /// `hjoin` — open-addressed hash-table build + probe.
 pub fn hjoin() -> Program {
-    asm_text::parse(HJOIN_SRC).expect("hjoin assembles")
+    crate::must_assemble(asm_text::parse(HJOIN_SRC), "hjoin")
 }

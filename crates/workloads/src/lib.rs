@@ -35,7 +35,15 @@ mod mediabench;
 mod specfp;
 mod specint;
 
-use contopt_isa::{Program, DATA_BASE};
+use contopt_isa::{AsmError, Program, DATA_BASE};
+
+/// Finalizes a kernel recipe, panicking with the kernel's name and the
+/// assembler's diagnosis if it does not assemble. Every recipe in this
+/// crate defines the labels it references, so a failure here is a bug in
+/// the recipe itself, not a recoverable condition.
+pub(crate) fn must_assemble(res: Result<Program, AsmError>, kernel: &str) -> Program {
+    res.unwrap_or_else(|e| panic!("{kernel} assembles: {e}"))
+}
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 

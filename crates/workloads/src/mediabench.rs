@@ -104,7 +104,7 @@ fn adpcm(seed: u64, encode: bool) -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("adpcm assembles")
+    crate::must_assemble(a.finish(), "adpcm")
 }
 
 /// `g721d` — g721 decode: ADPCM reconstruction with adaptive quantizer
@@ -178,7 +178,7 @@ pub fn mpeg2_decode() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("mpg2d assembles")
+    crate::must_assemble(a.finish(), "mpg2d")
 }
 
 /// `mpg2e` — mpeg2 encode: sum-of-absolute-differences motion estimation
@@ -229,7 +229,7 @@ pub fn mpeg2_encode() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("mpg2e assembles")
+    crate::must_assemble(a.finish(), "mpg2e")
 }
 
 /// `untst` — gsm untoast (decode): the `Short_term_synthesis_filtering`
@@ -284,7 +284,7 @@ pub fn untoast() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("untst assembles")
+    crate::must_assemble(a.finish(), "untst")
 }
 
 /// `tst` — gsm toast (encode): long-term-predictor cross-correlation — the
@@ -360,5 +360,5 @@ pub fn toast() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("tst assembles")
+    crate::must_assemble(a.finish(), "tst")
 }

@@ -54,7 +54,7 @@ pub fn ammp() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("amp assembles")
+    crate::must_assemble(a.finish(), "amp")
 }
 
 /// `app` — applu: a 3-point stencil sweep (the SSOR solver's relaxation
@@ -100,7 +100,7 @@ pub fn applu() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("app assembles")
+    crate::must_assemble(a.finish(), "app")
 }
 
 /// `art` — art: neural-network recognition — dot products of f64 weight and
@@ -154,7 +154,7 @@ pub fn art() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("art assembles")
+    crate::must_assemble(a.finish(), "art")
 }
 
 /// `eqk` — equake: sparse matrix–vector product in CSR form — integer index
@@ -215,7 +215,7 @@ pub fn equake() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("eqk assembles")
+    crate::must_assemble(a.finish(), "eqk")
 }
 
 /// `msa` — mesa: software rasterization — fixed-point span interpolation
@@ -264,7 +264,7 @@ pub fn mesa() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("msa assembles")
+    crate::must_assemble(a.finish(), "msa")
 }
 
 /// `mgd` — mgrid: multigrid restriction and prolongation — strided array
@@ -315,5 +315,5 @@ pub fn mgrid() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("mgd assembles")
+    crate::must_assemble(a.finish(), "mgd")
 }

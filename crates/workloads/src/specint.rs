@@ -56,7 +56,7 @@ pub fn bzip2() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("bzp assembles")
+    crate::must_assemble(a.finish(), "bzp")
 }
 
 /// `era` — crafty: bitboard manipulation with a software population count,
@@ -107,7 +107,7 @@ pub fn crafty() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("era assembles")
+    crate::must_assemble(a.finish(), "era")
 }
 
 /// `eon` — eon: fixed-point vector math (dot products and normalization),
@@ -146,7 +146,7 @@ pub fn eon() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("eon assembles")
+    crate::must_assemble(a.finish(), "eon")
 }
 
 /// `gap` — gap: a bytecode interpreter dispatch loop (computed jumps through
@@ -183,7 +183,9 @@ pub fn gap() -> Program {
     a.li(r(8), 1); // accumulator
     a.li(r(1), table as i64);
     for (i, lbl) in ["op_add", "op_sub", "op_dbl", "op_hlv"].iter().enumerate() {
-        let addr = a.label_addr(lbl).expect("handler defined above") as i64;
+        let addr = a
+            .label_addr(lbl)
+            .unwrap_or_else(|e| panic!("{lbl} defined above: {e}")) as i64;
         a.li(r(4), addr);
         a.stq(r(4), r(1), 8 * i as i64);
     }
@@ -204,7 +206,7 @@ pub fn gap() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("gap assembles")
+    crate::must_assemble(a.finish(), "gap")
 }
 
 /// `gcc` — gcc: a token-classification state machine, a ladder of
@@ -250,7 +252,7 @@ pub fn gcc() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("gcc assembles")
+    crate::must_assemble(a.finish(), "gcc")
 }
 
 /// `mcf` — mcf: the network simplex's `sort_basket` quicksort (§5.2 of the
@@ -357,7 +359,7 @@ pub fn mcf() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(24), r(1), 0);
     a.halt();
-    a.finish().expect("mcf assembles")
+    crate::must_assemble(a.finish(), "mcf")
 }
 
 /// `prl` — perlbmk: string hashing and hash-table probing, the interpreter's
@@ -401,7 +403,7 @@ pub fn perlbmk() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("prl assembles")
+    crate::must_assemble(a.finish(), "prl")
 }
 
 /// `twf` — twolf: simulated-annealing placement — swap two cells, compute a
@@ -443,7 +445,7 @@ pub fn twolf() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("twf assembles")
+    crate::must_assemble(a.finish(), "twf")
 }
 
 /// `vor` — vortex: object-database record traversal — fixed-offset field
@@ -486,7 +488,7 @@ pub fn vortex() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("vor assembles")
+    crate::must_assemble(a.finish(), "vor")
 }
 
 /// `vpr` — vpr: maze routing over a 2-D grid — neighbor cost loads with
@@ -541,5 +543,5 @@ pub fn vpr() -> Program {
     a.li(r(1), chk as i64);
     a.stq(r(8), r(1), 0);
     a.halt();
-    a.finish().expect("vpr assembles")
+    crate::must_assemble(a.finish(), "vpr")
 }

@@ -11,6 +11,10 @@
 //! cargo run --release -p contopt-sim --example gsm_filter
 //! ```
 
+// Example code may panic on impossible conditions; the workspace
+// unwrap/expect lints police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_sim::{CpRa, EarlyExec, PassSet, RleSf, SimSession, ValueFeedback};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

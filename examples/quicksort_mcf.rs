@@ -7,6 +7,10 @@
 //! cargo run --release -p contopt-sim --example quicksort_mcf
 //! ```
 
+// Example code may panic on impossible conditions; the workspace
+// unwrap/expect lints police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_sim::{MachineConfig, SimSession};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

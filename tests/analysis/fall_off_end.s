@@ -1,0 +1,10 @@
+; Verifier corpus: execution can reach the end of the code image without
+; a halt — fall_off_end. The skipped store also leaves dead code behind
+; the unconditional branch: unreachable_code.
+.text
+        li   r1, 1
+        br   over
+        stq  r1, 0x100000       ; unreachable
+over:   addq r1, r1, r2
+.data
+        .zero 8

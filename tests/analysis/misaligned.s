@@ -1,0 +1,8 @@
+; Verifier corpus: an 8-byte load from a 4-aligned address inside a
+; declared segment — misaligned, not out_of_bounds.
+.text
+        li   r2, buf
+        ldq  r1, 4(r2)
+        halt
+.data
+buf:    .zero 16

@@ -1,0 +1,8 @@
+; Verifier corpus: a store whose address is resolvable at analysis time
+; and lands below the data region — out_of_bounds.
+.text
+        li   r1, 0x40           ; well below DATA_BASE
+        stq  r1, 0(r1)
+        halt
+.data
+buf:    .zero 16                ; a declared segment the store misses

@@ -1,0 +1,6 @@
+; Verifier corpus: a cycle with no exit edge and no halt — provably
+; infinite, an unbounded_loop error (not a mere unprovable warning).
+.text
+        li   r1, 0
+spin:   addq r1, 1, r1
+        br   spin

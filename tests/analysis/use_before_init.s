@@ -1,0 +1,9 @@
+; Verifier corpus: r5 is read before any instruction writes it, and the
+; branch skipping the initializer leaves r6 maybe-uninitialized at the
+; join — both must surface as use_before_init.
+.text
+        addq r5, 1, r1          ; r5 never written
+        beq  r1, skip
+        li   r6, 7              ; initialized on one path only
+skip:   addq r6, 1, r2          ; may-uninit at the join
+        halt

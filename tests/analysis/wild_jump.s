@@ -1,0 +1,7 @@
+; Verifier corpus: one branch lands outside the code image, another in
+; the middle of an instruction — both are wild_jump errors.
+.text
+        li   r1, 1
+        bne  r1, 0x9000         ; far beyond the program
+        beq  r1, 0x1006         ; not on an instruction boundary
+        halt

@@ -5,6 +5,11 @@
 //! Docs that reference moved or deleted files rot silently; this test
 //! makes that rot a build failure.
 
+// Test harness code may panic freely; helper functions here sit outside
+// clippy's in-test-function exemption for the workspace unwrap/expect
+// lints, which police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::path::{Path, PathBuf};
 
 fn repo_root() -> PathBuf {

@@ -3,6 +3,11 @@
 //! at any worker count, an inactive pass's marginal is exactly zero, and
 //! the checked-in `goldens/ablate_smoke/ablation.json` reproduces.
 
+// Test harness code may panic freely; helper functions here sit outside
+// clippy's in-test-function exemption for the workspace unwrap/expect
+// lints, which police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_experiments::{
     ablate_smoke_scenario, ablation_plan, ablation_report, check_ablation_golden, Lab,
     TolerancePolicy,

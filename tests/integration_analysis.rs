@@ -1,0 +1,143 @@
+//! Workspace-level integration tests for the static program verifier:
+//! the `tests/analysis/` corpus of crafted-bad `.s` files golden-pins
+//! the analyzer's canonical JSON diagnostics, fuzz-generated programs
+//! must verify fully clean, every Table 1 suite kernel must verify
+//! error-free, and the `--verify` CLI must map verdicts onto its
+//! documented 0/1/2/3 exit codes.
+
+// Test harness code may panic freely; helper functions here sit outside
+// clippy's in-test-function exemption for the workspace unwrap/expect
+// lints, which police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use contopt_sim::isa::{analysis, asm_text};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/analysis")
+}
+
+fn corpus_sources() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/analysis exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "s"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_diagnostics_are_golden_pinned() {
+    let files = corpus_sources();
+    assert!(
+        files.len() >= 6,
+        "corpus holds the crafted-bad programs: {files:?}"
+    );
+    for path in files {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let (_, report) = asm_text::parse_and_verify(&src)
+            .unwrap_or_else(|e| panic!("{} must parse: {e}", path.display()));
+        assert!(
+            report.has_errors(),
+            "{} is in the corpus because it is bad",
+            path.display()
+        );
+        let golden = path.with_extension("json");
+        let expected = std::fs::read_to_string(&golden)
+            .unwrap_or_else(|e| panic!("{} golden missing: {e}", golden.display()));
+        assert_eq!(
+            report.to_json() + "\n",
+            expected,
+            "diagnostics drifted for {}; update {} intentionally",
+            path.display(),
+            golden.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_every_pinned_error_kind() {
+    // Each crafted file must trip the kind it is named for, with a span.
+    for (stem, kind) in [
+        ("use_before_init", "use_before_init"),
+        ("wild_jump", "wild_jump"),
+        ("oob_store", "out_of_bounds"),
+        ("misaligned", "misaligned"),
+        ("unbounded_loop", "unbounded_loop"),
+        ("fall_off_end", "fall_off_end"),
+    ] {
+        let path = corpus_dir().join(format!("{stem}.s"));
+        let src = std::fs::read_to_string(&path).unwrap();
+        let (_, report) = asm_text::parse_and_verify(&src).unwrap();
+        let hit = report.errors.iter().find(|e| e.kind.code() == kind);
+        let hit = hit.unwrap_or_else(|| panic!("{stem}.s must report {kind}: {report}"));
+        assert!(
+            hit.span.is_some(),
+            "text-parsed findings carry source spans: {hit:?}"
+        );
+    }
+}
+
+#[test]
+fn fuzz_generated_programs_verify_clean_for_64_seeds() {
+    // The property the generator promises by construction, checked by
+    // the analyzer: no finding of any severity, every loop proved.
+    for seed in 1..=64 {
+        let report = analysis::verify(&contopt_sim::fuzz::program_for_seed(seed));
+        assert!(report.is_clean(), "seed {seed}: {report}");
+        assert_eq!(report.proved_loops, report.loops, "seed {seed}: {report}");
+    }
+}
+
+#[test]
+fn all_suite_kernels_verify_without_errors() {
+    let suite = contopt_sim::workloads::suite();
+    assert_eq!(suite.len(), 24, "the whole Table 1 suite");
+    for w in suite {
+        let report = analysis::verify(&w.program);
+        assert!(!report.has_errors(), "{}: {report}", w.name);
+    }
+}
+
+#[test]
+fn verify_cli_maps_verdicts_to_exit_codes() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let run = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_contopt-experiments"))
+            .current_dir(&repo)
+            .args(args)
+            .output()
+            .expect("driver runs")
+    };
+    // Error-severity corpus file -> 1.
+    let out = run(&["--verify", "tests/analysis/oob_store.s"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("out_of_bounds"),
+        "{out:?}"
+    );
+    // Warnings-only kernel -> 2; --allow-warnings downgrades to 0.
+    let hjoin = "crates/workloads/src/kernels/hjoin.s";
+    assert_eq!(run(&["--verify", hjoin]).status.code(), Some(2));
+    assert_eq!(
+        run(&["--verify", hjoin, "--allow-warnings"]).status.code(),
+        Some(0)
+    );
+    // A clean kernel and a clean scenario programs block -> 0.
+    let out = run(&[
+        "--verify",
+        "crates/workloads/src/kernels/ptrch.s",
+        "scenarios/asm_smoke.json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    // Unreadable -> 3, and --json reports the machine-readable verdict.
+    let out = run(&["--verify", "tests/analysis/does_not_exist.s", "--json"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("\"exit_code\": 3"),
+        "{out:?}"
+    );
+}

@@ -2,6 +2,11 @@
 //! a reduced instruction budget, produces structurally complete output, and
 //! reproduces the qualitative claims of the paper's evaluation section.
 
+// Test harness code may panic freely; helper functions here sit outside
+// clippy's in-test-function exemption for the workspace unwrap/expect
+// lints, which police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_experiments::{
     fig10, fig11, fig12, fig6, fig6_plan, fig8, fig9, geomean, table1, table2, table3, Lab,
 };

@@ -3,6 +3,11 @@
 //! early branch resolution, strength reduction, branch inference) seen
 //! end-to-end through the pipeline, plus symbolic-algebra properties.
 
+// Test harness code may panic freely; helper functions here sit outside
+// clippy's in-test-function exemption for the workspace unwrap/expect
+// lints, which police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_sim::isa::{r, Asm, Program};
 use contopt_sim::{
     sym_add, sym_add_imm, sym_shl, sym_sub, MachineConfig, OptimizerConfig, PhysReg, Report,

@@ -4,6 +4,11 @@
 //! checking turns every run into a deep correctness check: any value it
 //! derives that disagrees with the functional oracle panics.
 
+// Test harness code may panic freely; helper functions here sit outside
+// clippy's in-test-function exemption for the workspace unwrap/expect
+// lints, which police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_sim::isa::{r, Asm, Program};
 use contopt_sim::{simulate, MachineConfig, OptimizerConfig};
 

@@ -3,6 +3,11 @@
 //! (typed errors, no panics), serialization round-trips byte-for-byte, and
 //! the golden harness detects result drift.
 
+// Test harness code may panic freely; helper functions here sit outside
+// clippy's in-test-function exemption for the workspace unwrap/expect
+// lints, which police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_experiments::{
     builtin_scenarios, check_goldens, fig10_plan, fig11_plan, fig12_plan, fig6_plan, fig8_plan,
     fig9_plan, record_goldens, scenario_plan, smoke_scenario, table3_plan, DriftKind, Lab, Plan,

@@ -2,6 +2,11 @@
 //! `PassSet ↔ OptimizerConfig` bridges, and the paper's ablation
 //! scenarios expressed as pass lists.
 
+// Test harness code may panic freely; helper functions here sit outside
+// clippy's in-test-function exemption for the workspace unwrap/expect
+// lints, which police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_sim::isa::{r, Asm, Program};
 use contopt_sim::passes::PassId;
 use contopt_sim::{

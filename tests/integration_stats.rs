@@ -3,6 +3,11 @@
 //! maintained separately), the sum invariant holds end-to-end across the
 //! full workload suite, and disabling a pass zeroes exactly its block.
 
+// Test harness code may panic freely; helper functions here sit outside
+// clippy's in-test-function exemption for the workspace unwrap/expect
+// lints, which police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_sim::workloads::suite;
 use contopt_sim::{OptStats, Pass, PassStats, Report, SimSession};
 

@@ -4,6 +4,11 @@
 //! architectural behaviour) and with the optimizer's strict value checker
 //! active throughout.
 
+// Test harness code may panic freely; helper functions here sit outside
+// clippy's in-test-function exemption for the workspace unwrap/expect
+// lints, which police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_sim::emu::Emulator;
 use contopt_sim::workloads::{suite, Suite, CHECKSUM_ADDR};
 use contopt_sim::{simulate, MachineConfig, OptimizerConfig};

@@ -7,6 +7,11 @@
 //! This file is its own test binary with exactly one test so no concurrent
 //! test can perturb the global counter.
 
+// Test harness code may panic freely; helper functions here sit outside
+// clippy's in-test-function exemption for the workspace unwrap/expect
+// lints, which police the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use contopt_sim::isa::{r, Asm, Program};
 use contopt_sim::{MachineConfig, SimSession};
 use std::alloc::{GlobalAlloc, Layout, System};
