@@ -141,6 +141,15 @@ fn main() -> ExitCode {
                     status.in_flight,
                     status.total_simulations,
                 );
+                for ds in &status.downstreams {
+                    println!(
+                        "  downstream {}: {}, {} outstanding, {} lifetime forwarded",
+                        ds.address,
+                        if ds.healthy { "healthy" } else { "unhealthy" },
+                        ds.outstanding,
+                        ds.forwarded,
+                    );
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => bad(&format!("ping {}: {e}", client.addr())),
@@ -216,7 +225,7 @@ fn run_one(
     let status = sweep.status();
     let retries = sweep.retries();
     eprintln!(
-        "contopt-client: scenario {:?} @ {}: {} cells ({} unique: {} simulated, {} cached, {} joined, {} failed); server lifetime {} simulations, {} cache entries{}",
+        "contopt-client: scenario {:?} @ {}: {} cells ({} unique: {} simulated, {} cached, {} joined, {} failed{}); server lifetime {} simulations, {} cache entries{}",
         sc.name,
         client.addr(),
         status.results,
@@ -225,6 +234,11 @@ fn run_one(
         status.cache_hits,
         status.joined,
         status.errors,
+        if status.forwarded > 0 {
+            format!(", {} forwarded downstream", status.forwarded)
+        } else {
+            String::new()
+        },
         status.total_simulations,
         status.cache_entries,
         if retries > 0 {

@@ -54,7 +54,7 @@
 
 pub mod protocol;
 
-use contopt_sim::Scenario;
+use contopt_sim::{ProgramSpec, Scenario};
 use protocol::{
     read_frame, write_frame, CellReply, Message, PlanCell, ProtocolError, ServerStatus,
     SweepStatus, WireError,
@@ -259,10 +259,17 @@ impl Client {
         jobs: Option<u64>,
     ) -> Result<Sweep, ClientError> {
         scenario.validate().map_err(ProtocolError::Scenario)?;
-        self.submit(Message::SubmitScenario {
-            jobs,
-            scenario: scenario.clone(),
-        })
+        // Shipped programs must be self-contained on the wire: a "file"
+        // source resolves against *this* host's filesystem, so its
+        // assembled form travels as canonical inline text instead.
+        let scenario = if scenario.programs.is_empty() {
+            scenario.clone()
+        } else {
+            scenario
+                .with_inlined_programs()
+                .map_err(ProtocolError::Scenario)?
+        };
+        self.submit(Message::SubmitScenario { jobs, scenario })
     }
 
     /// Submits a raw list of cells under one instruction budget.
@@ -272,7 +279,31 @@ impl Client {
         cells: Vec<PlanCell>,
         jobs: Option<u64>,
     ) -> Result<Sweep, ClientError> {
-        self.submit(Message::SubmitPlan { jobs, insts, cells })
+        self.submit_plan_with_programs(insts, cells, Vec::new(), jobs)
+    }
+
+    /// [`submit_plan`](Self::submit_plan) with text-authored programs
+    /// shipped alongside the cells: workload names resolve against
+    /// `programs` before Table 1, exactly as in a scenario's
+    /// `"programs"` block. Sources must be inline ([`ProgramSpec`]s
+    /// built by [`Scenario::with_inlined_programs`] or
+    /// `ProgramSpec::inline` qualify); the server re-assembles and
+    /// verifies them at its protocol boundary. This is also the
+    /// call a federated frontier server makes on its own downstream
+    /// links — the SDK is shared between clients and servers.
+    pub fn submit_plan_with_programs(
+        &self,
+        insts: u64,
+        cells: Vec<PlanCell>,
+        programs: Vec<ProgramSpec>,
+        jobs: Option<u64>,
+    ) -> Result<Sweep, ClientError> {
+        self.submit(Message::SubmitPlan {
+            jobs,
+            insts,
+            cells,
+            programs,
+        })
     }
 
     /// Probes the server's liveness: sends a `ping` and returns the

@@ -23,6 +23,15 @@
 //! extensions: the framing, the version check, and every pre-existing
 //! payload are unchanged (see `docs/PROTOCOL.md`).
 //!
+//! The same protocol federates: a frontier `contopt-server` started
+//! with `--downstream` forwards deduplicated cells to downstream
+//! servers as ordinary [`SubmitPlan`](Message::SubmitPlan) requests
+//! (shipping any text-authored programs inline), and reports its
+//! topology through the `downstreams` block of
+//! [`ServerStatus`](Message::ServerStatus) and the `forwarded` counter
+//! of [`SweepStatus`](Message::SweepStatus) — all additive v1
+//! extensions too.
+//!
 //! # Framing
 //!
 //! Every message is one *frame*: a 4-byte big-endian payload length
@@ -41,8 +50,9 @@
 //! write locally — so a remote `--check` can byte-compare without any
 //! re-serialization step that could perturb formatting.
 
+use contopt_sim::isa::{asm_text, Program};
 use contopt_sim::{
-    machine_from_json, machine_to_json, JsonError, JsonValue, MachineConfig, Scenario,
+    machine_from_json, machine_to_json, JsonError, JsonValue, MachineConfig, ProgramSpec, Scenario,
     ScenarioError, ToJson,
 };
 use std::fmt;
@@ -76,6 +86,14 @@ pub struct PlanCell {
 /// result cache, *joined* — another client's in-flight simulation of the
 /// same fingerprint was awaited instead of duplicated — or failed with a
 /// typed per-cell error.
+///
+/// On a federated frontier the invariant holds *tier-wide*: cells
+/// answered by downstream servers fold their downstream `simulated` /
+/// `cache_hits` / `joined` into the same counters, and [`forwarded`]
+/// (additive v1 extension, default 0 on parse) reports how many unique
+/// cells a downstream answered.
+///
+/// [`forwarded`]: SweepStatus::forwarded
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepStatus {
     /// Number of per-cell frames ([`CellResult`] or [`CellError`]) that
@@ -95,6 +113,11 @@ pub struct SweepStatus {
     /// each is reported as a [`CellError`] frame, while every sibling
     /// cell still arrives normally.
     pub errors: u64,
+    /// Unique cells whose reports came from a downstream server of a
+    /// federated frontier (each also counted once in `simulated`,
+    /// `cache_hits`, or `joined`, per what the downstream did). Always 0
+    /// on a standalone server.
+    pub forwarded: u64,
     /// Server-lifetime count of simulations performed, across all
     /// clients. A repeated submission that was served entirely from
     /// cache leaves this unchanged.
@@ -205,10 +228,65 @@ impl CellReply {
     }
 }
 
+/// One downstream link's slice of a federated server's
+/// [`ServerStatus`]: identity, health, and lifetime traffic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DownstreamStatus {
+    /// The downstream server's `HOST:PORT` address as configured.
+    pub address: String,
+    /// Whether the frontier currently considers the link usable. An
+    /// unhealthy link drains (receives no new cells) until a background
+    /// re-probe succeeds.
+    pub healthy: bool,
+    /// Cells currently forwarded to this downstream and not yet
+    /// answered.
+    pub outstanding: u64,
+    /// Lifetime count of cells this link has forwarded.
+    pub forwarded: u64,
+}
+
+impl DownstreamStatus {
+    fn from_json(doc: &JsonValue, at: &str) -> Result<DownstreamStatus, ProtocolError> {
+        Ok(DownstreamStatus {
+            address: doc
+                .get("address")
+                .and_then(JsonValue::as_str)
+                .ok_or(malformed(format!("{at}.address"), "a string"))?
+                .to_string(),
+            healthy: doc
+                .get("healthy")
+                .and_then(JsonValue::as_bool)
+                .ok_or(malformed(format!("{at}.healthy"), "a boolean"))?,
+            outstanding: doc
+                .get("outstanding")
+                .and_then(JsonValue::as_u64)
+                .ok_or(malformed(
+                    format!("{at}.outstanding"),
+                    "an unsigned integer",
+                ))?,
+            forwarded: doc
+                .get("forwarded")
+                .and_then(JsonValue::as_u64)
+                .ok_or(malformed(format!("{at}.forwarded"), "an unsigned integer"))?,
+        })
+    }
+}
+
+impl ToJson for DownstreamStatus {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("address", self.address.as_str().into()),
+            ("healthy", self.healthy.into()),
+            ("outstanding", self.outstanding.into()),
+            ("forwarded", self.forwarded.into()),
+        ])
+    }
+}
+
 /// The server's health-check reply to a [`Ping`](Message::Ping):
 /// configuration and lifetime counters, cheap enough for tight liveness
 /// probing.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStatus {
     /// The protocol version the server speaks ([`PROTOCOL_VERSION`]).
     pub protocol_version: u64,
@@ -222,6 +300,11 @@ pub struct ServerStatus {
     pub in_flight: u64,
     /// Lifetime count of simulations performed.
     pub total_simulations: u64,
+    /// Downstream federation topology, one entry per configured link
+    /// (additive v1 extension: omitted from the wire when empty, so a
+    /// standalone server's status frames are byte-identical to
+    /// pre-federation builds; defaults to empty on parse).
+    pub downstreams: Vec<DownstreamStatus>,
 }
 
 /// A server-reported failure.
@@ -261,6 +344,15 @@ pub enum Message {
         insts: u64,
         /// The cells, in the order results should come back.
         cells: Vec<PlanCell>,
+        /// Text-authored programs shipped with the plan (usually empty).
+        /// Cell workload names resolve against these before Table 1, as
+        /// in a scenario's `"programs"` block. Sources must be inline —
+        /// a `"file"` path is meaningless on the receiving host — and
+        /// each program is assembled and verified under its
+        /// [`VerifyPolicy`](contopt_sim::VerifyPolicy) at the protocol
+        /// boundary. Omitted from the wire when empty, so plans without
+        /// programs are byte-identical to pre-federation builds.
+        programs: Vec<ProgramSpec>,
     },
     /// Server → client: the sweep completed; results follow.
     SweepStatus(SweepStatus),
@@ -366,6 +458,7 @@ impl ToJson for SweepStatus {
             ("cache_hits", self.cache_hits.into()),
             ("joined", self.joined.into()),
             ("errors", self.errors.into()),
+            ("forwarded", self.forwarded.into()),
             ("total_simulations", self.total_simulations.into()),
             ("cache_entries", self.cache_entries.into()),
         ])
@@ -391,6 +484,12 @@ impl SweepStatus {
                 None => 0,
                 Some(_) => field("errors")?,
             },
+            // Additive v1 extension: absent from pre-federation servers,
+            // which never forwarded — default 0.
+            forwarded: match doc.get("forwarded") {
+                None => 0,
+                Some(_) => field("forwarded")?,
+            },
             total_simulations: field("total_simulations")?,
             cache_entries: field("cache_entries")?,
         })
@@ -399,14 +498,21 @@ impl SweepStatus {
 
 impl ToJson for ServerStatus {
     fn to_json(&self) -> JsonValue {
-        JsonValue::obj([
-            ("protocol_version", self.protocol_version.into()),
+        let mut fields = vec![
+            ("protocol_version", JsonValue::from(self.protocol_version)),
             ("jobs", self.jobs.into()),
             ("cache_capacity", self.cache_capacity.into()),
             ("cache_entries", self.cache_entries.into()),
             ("in_flight", self.in_flight.into()),
             ("total_simulations", self.total_simulations.into()),
-        ])
+        ];
+        if !self.downstreams.is_empty() {
+            fields.push((
+                "downstreams",
+                JsonValue::arr(self.downstreams.iter().map(ToJson::to_json)),
+            ));
+        }
+        JsonValue::obj(fields)
     }
 }
 
@@ -417,6 +523,20 @@ impl ServerStatus {
                 .and_then(JsonValue::as_u64)
                 .ok_or(malformed(format!("{at}.{key}"), "an unsigned integer"))
         };
+        // Additive v1 extension: standalone (and pre-federation) servers
+        // omit the topology entirely — default to no downstreams.
+        let mut downstreams = Vec::new();
+        if let Some(items) = doc.get("downstreams") {
+            let items = items
+                .as_array()
+                .ok_or(malformed(format!("{at}.downstreams"), "an array"))?;
+            for (i, item) in items.iter().enumerate() {
+                downstreams.push(DownstreamStatus::from_json(
+                    item,
+                    &format!("{at}.downstreams[{i}]"),
+                )?);
+            }
+        }
         Ok(ServerStatus {
             protocol_version: field("protocol_version")?,
             jobs: field("jobs")?,
@@ -424,6 +544,7 @@ impl ServerStatus {
             cache_entries: field("cache_entries")?,
             in_flight: field("in_flight")?,
             total_simulations: field("total_simulations")?,
+            downstreams,
         })
     }
 }
@@ -456,7 +577,12 @@ impl Message {
                 }
                 fields.push(("scenario".into(), scenario.to_json()));
             }
-            Message::SubmitPlan { jobs, insts, cells } => {
+            Message::SubmitPlan {
+                jobs,
+                insts,
+                cells,
+                programs,
+            } => {
                 if let Some(j) = jobs {
                     fields.push(("jobs".into(), (*j).into()));
                 }
@@ -471,6 +597,12 @@ impl Message {
                         ])
                     })),
                 ));
+                if !programs.is_empty() {
+                    fields.push((
+                        "programs".into(),
+                        JsonValue::arr(programs.iter().map(ToJson::to_json)),
+                    ));
+                }
             }
             Message::SweepStatus(status) => {
                 let JsonValue::Object(inner) = status.to_json() else {
@@ -544,8 +676,22 @@ impl Message {
                 let sc_doc = doc
                     .get("scenario")
                     .ok_or(malformed("payload.scenario", "a scenario object"))?;
-                let scenario = Scenario::from_json(sc_doc)?;
+                let mut scenario = Scenario::from_json(sc_doc)?;
+                // Shipped programs must be self-contained on the wire:
+                // inline sources assemble here, but a "file" path cannot
+                // resolve on the receiving host (senders inline first —
+                // Scenario::with_inlined_programs).
+                scenario.assemble_programs(None)?;
+                if let Some(spec) = scenario.programs.iter().find(|p| p.program.is_none()) {
+                    return Err(ProtocolError::Scenario(ScenarioError::Program {
+                        name: spec.name.clone(),
+                        detail: "wire submissions must inline program text \
+                                 (a \"file\" path cannot resolve on the server)"
+                            .into(),
+                    }));
+                }
                 scenario.validate()?;
+                scenario.verify_programs()?;
                 Ok(Message::SubmitScenario { jobs, scenario })
             }
             "submit_plan" => {
@@ -580,7 +726,28 @@ impl Message {
                         workload,
                     });
                 }
-                Ok(Message::SubmitPlan { jobs, insts, cells })
+                let mut programs = Vec::new();
+                if let Some(items) = doc.get("programs") {
+                    let items = items
+                        .as_array()
+                        .ok_or(malformed("payload.programs", "an array"))?;
+                    for (i, item) in items.iter().enumerate() {
+                        let at = format!("payload.programs[{i}]");
+                        let mut spec = ProgramSpec::from_json(item, &at)?;
+                        // Wire programs must be inline; assemble and
+                        // enforce the verification policy right at the
+                        // boundary, before any simulation is planned.
+                        spec.assemble_inline()?;
+                        spec.verify_under_policy()?;
+                        programs.push(spec);
+                    }
+                }
+                Ok(Message::SubmitPlan {
+                    jobs,
+                    insts,
+                    cells,
+                    programs,
+                })
             }
             "sweep_status" => Ok(Message::SweepStatus(SweepStatus::from_json(
                 doc, "payload",
@@ -666,7 +833,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Message, ProtocolError> {
 /// The behavioural fingerprint of one simulation cell, as a 16-hex-digit
 /// string: FNV-1a over the canonical machine JSON ([`machine_to_json`],
 /// which normalizes the optimizer block), the workload name, and the
-/// instruction budget.
+/// instruction budget. For a cell bound to a named Table 1 workload —
+/// shorthand for [`cell_fingerprint_for`] with no program.
 ///
 /// Two cells that cannot differ in simulation — however their
 /// configurations were constructed — fingerprint identically, which is
@@ -676,6 +844,23 @@ pub fn read_frame(r: &mut impl Read) -> Result<Message, ProtocolError> {
 /// can never serve the wrong report; the fingerprint is the wire-visible
 /// name of the key.)
 pub fn cell_fingerprint(machine: &MachineConfig, workload: &str, insts: u64) -> String {
+    cell_fingerprint_for(machine, workload, insts, None)
+}
+
+/// [`cell_fingerprint`] for a cell that may carry a text-authored
+/// program: the program's canonical [`asm_text::emit`] encoding is
+/// folded into the same FNV-1a stream, so two shipped programs with the
+/// same behaviour (identical assembled `Program`) fingerprint
+/// identically regardless of source formatting, and a shipped program
+/// can never collide with a Table 1 workload of the same name. With
+/// `None` the digest is byte-for-byte the pre-federation
+/// [`cell_fingerprint`], so existing caches and goldens stay valid.
+pub fn cell_fingerprint_for(
+    machine: &MachineConfig,
+    workload: &str,
+    insts: u64,
+    program: Option<&Program>,
+) -> String {
     let canonical = machine_to_json(machine).to_string();
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
@@ -689,6 +874,10 @@ pub fn cell_fingerprint(machine: &MachineConfig, workload: &str, insts: u64) -> 
     eat(workload.as_bytes());
     eat(&[0]);
     eat(&insts.to_be_bytes());
+    if let Some(program) = program {
+        eat(&[0]);
+        eat(asm_text::emit(program).as_bytes());
+    }
     format!("{h:016x}")
 }
 
@@ -744,6 +933,21 @@ mod tests {
                     machine: MachineConfig::default_paper(),
                     workload: "mcf".into(),
                 }],
+                programs: vec![],
+            },
+            Message::SubmitPlan {
+                jobs: None,
+                insts: 10_000,
+                cells: vec![PlanCell {
+                    label: "base".into(),
+                    machine: MachineConfig::default_paper(),
+                    workload: "ktwf".into(),
+                }],
+                programs: vec![ProgramSpec::inline(
+                    "ktwf",
+                    asm_text::emit(&contopt_sim::workloads::build("twf").unwrap().program),
+                )
+                .unwrap()],
             },
             Message::SweepStatus(SweepStatus {
                 results: 4,
@@ -752,6 +956,7 @@ mod tests {
                 cache_hits: 1,
                 joined: 0,
                 errors: 1,
+                forwarded: 1,
                 total_simulations: 17,
                 cache_entries: 9,
             }),
@@ -776,6 +981,29 @@ mod tests {
                 cache_entries: 12,
                 in_flight: 3,
                 total_simulations: 99,
+                downstreams: vec![],
+            }),
+            Message::ServerStatus(ServerStatus {
+                protocol_version: PROTOCOL_VERSION,
+                jobs: 8,
+                cache_capacity: 1024,
+                cache_entries: 12,
+                in_flight: 3,
+                total_simulations: 99,
+                downstreams: vec![
+                    DownstreamStatus {
+                        address: "10.0.0.2:7070".into(),
+                        healthy: true,
+                        outstanding: 2,
+                        forwarded: 41,
+                    },
+                    DownstreamStatus {
+                        address: "10.0.0.3:7070".into(),
+                        healthy: false,
+                        outstanding: 0,
+                        forwarded: 7,
+                    },
+                ],
             }),
             Message::Error(WireError {
                 code: "bad-request".into(),
@@ -800,7 +1028,18 @@ mod tests {
                     assert_eq!(ja, jb);
                     assert_eq!(&a.normalized(), b);
                 }
-                (Message::SubmitPlan { cells: a, .. }, Message::SubmitPlan { cells: b, .. }) => {
+                (
+                    Message::SubmitPlan {
+                        cells: a,
+                        programs: pa,
+                        ..
+                    },
+                    Message::SubmitPlan {
+                        cells: b,
+                        programs: pb,
+                        ..
+                    },
+                ) => {
                     assert_eq!(a.len(), b.len());
                     for (x, y) in a.iter().zip(b) {
                         assert_eq!(x.label, y.label);
@@ -809,6 +1048,9 @@ mod tests {
                         normalized.optimizer = normalized.optimizer.normalized();
                         assert_eq!(normalized, y.machine);
                     }
+                    // Shipped programs re-assemble on parse to the same
+                    // Program (parse ∘ emit is the identity).
+                    assert_eq!(pa, pb);
                 }
                 _ => assert_eq!(msg, &back, "{}", msg.type_tag()),
             }
@@ -874,6 +1116,94 @@ mod tests {
             panic!("wrong type back");
         };
         assert_eq!(status.errors, 0);
+        assert_eq!(status.forwarded, 0, "pre-federation default");
+    }
+
+    #[test]
+    fn server_status_downstreams_default_to_empty() {
+        // Standalone and pre-federation servers omit the topology.
+        let doc = JsonValue::parse(
+            r#"{"v": 1, "type": "server_status", "protocol_version": 1,
+                "jobs": 2, "cache_capacity": 4, "cache_entries": 0,
+                "in_flight": 0, "total_simulations": 5}"#,
+        )
+        .unwrap();
+        let Message::ServerStatus(status) = Message::from_json(&doc).unwrap() else {
+            panic!("wrong type back");
+        };
+        assert!(status.downstreams.is_empty());
+    }
+
+    #[test]
+    fn file_sourced_programs_are_rejected_on_the_wire() {
+        // A "file" path is relative to a scenario file the server does
+        // not have; both submission forms must reject it with a typed
+        // error, for plans and scenarios alike.
+        let plan = JsonValue::parse(
+            r#"{"v": 1, "type": "submit_plan", "insts": 1000, "cells": [],
+                "programs": [{"name": "k", "file": "k.s"}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            Message::from_json(&plan),
+            Err(ProtocolError::Scenario(ScenarioError::Program { .. }))
+        ));
+        let scenario = JsonValue::parse(
+            r#"{"v": 1, "type": "submit_scenario", "scenario": {
+                "version": 1, "name": "s", "insts": 1000,
+                "programs": [{"name": "k", "file": "k.s"}],
+                "configs": [{"label": "a", "workloads": ["k"], "machine": {}}]}}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            Message::from_json(&scenario),
+            Err(ProtocolError::Scenario(ScenarioError::Program { .. }))
+        ));
+    }
+
+    #[test]
+    fn inline_programs_survive_a_scenario_submission() {
+        // Since the federation PR the server accepts programs-bearing
+        // scenarios; the embedded program must come back assembled.
+        let text = asm_text::emit(&contopt_sim::workloads::build("twf").unwrap().program);
+        let mut scenario = smoke_like_scenario();
+        scenario.programs = vec![ProgramSpec::inline("ktwf", text).unwrap()];
+        scenario.configs[0].workloads = vec!["ktwf".into()];
+        let msg = Message::SubmitScenario {
+            jobs: None,
+            scenario: scenario.clone(),
+        };
+        let Message::SubmitScenario { scenario: back, .. } = round_trip(&msg) else {
+            panic!("wrong type back");
+        };
+        assert_eq!(back.programs.len(), 1);
+        assert!(back.programs[0].program.is_some(), "assembled on parse");
+        assert_eq!(back.programs[0].program, scenario.programs[0].program);
+    }
+
+    #[test]
+    fn fingerprints_cover_program_bytes() {
+        let base = MachineConfig::default_paper();
+        let twf = contopt_sim::workloads::build("twf").unwrap().program;
+        let untst = contopt_sim::workloads::build("untst").unwrap().program;
+        let plain = cell_fingerprint(&base, "k", 1000);
+        let with_twf = cell_fingerprint_for(&base, "k", 1000, Some(&twf));
+        assert_ne!(plain, with_twf, "program bytes matter");
+        assert_eq!(
+            with_twf,
+            cell_fingerprint_for(&base, "k", 1000, Some(&twf)),
+            "deterministic"
+        );
+        assert_ne!(
+            with_twf,
+            cell_fingerprint_for(&base, "k", 1000, Some(&untst)),
+            "different programs differ"
+        );
+        assert_eq!(
+            plain,
+            cell_fingerprint_for(&base, "k", 1000, None),
+            "None is byte-identical to the pre-federation digest"
+        );
     }
 
     #[test]

@@ -24,14 +24,21 @@ OPTIONS:
                           real port without racing the daemon; the write
                           is atomic (temp file + rename), so pollers
                           never observe a partial port
+  --downstream ADDRS      comma-separated HOST:PORT list of downstream
+                          contopt-servers to federate sweeps across
+                          (default: the CONTOPT_DOWNSTREAM environment
+                          variable; empty = standalone). Each request's
+                          cells are placed across the local pool and the
+                          healthy downstreams; an unreachable downstream
+                          drains while its cells run locally
   --help                  print this help
 
 The server answers contopt-client submissions (see docs/PROTOCOL.md)
 with canonical report JSON, deduplicating concurrent identical cells
 and caching completed ones by configuration fingerprint. `ping`
-requests are answered with a `server_status` health snapshot. A cell
-whose simulation fails degrades to a typed `cell_error` frame; its
-siblings still stream back.
+requests are answered with a `server_status` health snapshot (including
+downstream topology when federated). A cell whose simulation fails
+degrades to a typed `cell_error` frame; its siblings still stream back.
 ";
 
 /// Writes `port` to `path` atomically: temp file in the same directory,
@@ -96,7 +103,21 @@ fn main() -> ExitCode {
         Some(None) => return bad("--port-file takes a path".to_string()),
         None => None,
     };
+    let downstreams = match value_of("--downstream") {
+        Some(Some(list)) => list,
+        Some(None) => return bad("--downstream takes HOST:PORT[,HOST:PORT…]".to_string()),
+        None => std::env::var("CONTOPT_DOWNSTREAM").unwrap_or_default(),
+    };
+    config.federation.downstreams = downstreams
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
 
+    let jobs = config.jobs;
+    let cache_capacity = config.cache_capacity;
+    let request_timeout = config.request_timeout;
     let server = match Server::bind(&addr, config) {
         Ok(s) => s,
         Err(e) => return bad(format!("cannot bind {addr}: {e}")),
@@ -120,14 +141,21 @@ fn main() -> ExitCode {
         }
     }
     eprintln!(
-        "contopt-server: listening on {bound} ({} worker(s), cache {} cells, request timeout {})",
-        config.jobs,
-        config.cache_capacity,
-        match config.request_timeout {
+        "contopt-server: listening on {bound} ({jobs} worker(s), cache {cache_capacity} cells, request timeout {})",
+        match request_timeout {
             Some(t) => format!("{}s", t.as_secs()),
             None => "off".to_string(),
         }
     );
+    // A frontier probes its downstream tier once at startup so operators
+    // see reachability immediately; unhealthy links re-probe on demand.
+    for ds in server.engine().probe_downstreams() {
+        eprintln!(
+            "contopt-server: downstream {} is {}",
+            ds.address,
+            if ds.healthy { "healthy" } else { "unreachable" }
+        );
+    }
     match server.serve_forever() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => bad(format!("serve failed: {e}")),

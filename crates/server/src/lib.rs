@@ -39,12 +39,27 @@
 //! cell panics, connection drops, frame truncation, delays, and black
 //! holes into a live server; `tests/faults.rs` drives it end-to-end.
 //!
+//! The service also **federates**: a *frontier* server configured with
+//! downstream addresses ([`ServerConfig::federation`], `--downstream` /
+//! `CONTOPT_DOWNSTREAM` on the binary) places each request's unique
+//! cells across its local pool and its downstream contopt-servers
+//! (least-outstanding-cells, [`scheduler`]), forwarding batches over
+//! the same v1 protocol through the ordinary client SDK ([`federation`]
+//! — per-link deadlines, deterministic retry backoff). Reports are
+//! opaque canonical JSON and every tier keys its cache by the same
+//! behavioural fingerprint, so any topology produces byte-identical
+//! sweeps; an unreachable downstream drains while its in-flight batch
+//! is absorbed by the local pool — no cell is lost or simulated twice.
+//!
 //! Everything is `std`: `TcpListener` + one thread per connection,
 //! `Mutex`/`Condvar` for the engine, scoped threads for the per-request
 //! worker pool.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod federation;
+pub mod scheduler;
 
 #[cfg(any(test, feature = "fault-injection"))]
 pub mod fault;
@@ -84,10 +99,13 @@ mod fault_stub {
 use fault_stub::{ConnFaults, FrameFate};
 
 use contopt_client::protocol::{
-    cell_fingerprint, read_frame, write_frame, CellError, CellReply, CellResult, Message,
-    ProtocolError, ServerStatus, SweepStatus, WireError, PROTOCOL_VERSION,
+    cell_fingerprint_for, read_frame, write_frame, CellError, CellReply, CellResult,
+    DownstreamStatus, Message, PlanCell, ProtocolError, ServerStatus, SweepStatus, WireError,
+    PROTOCOL_VERSION,
 };
-use contopt_sim::{MachineConfig, SimSession};
+use contopt_sim::isa::{asm_text, Program};
+use contopt_sim::{MachineConfig, ProgramSource, ProgramSpec, SimSession, VerifyPolicy};
+use federation::{DownstreamLink, Federation, FederationConfig};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -98,7 +116,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning for a [`Server`] / [`SweepEngine`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads available per request. Submissions may hint a
     /// smaller number; larger hints are clamped to this.
@@ -113,6 +131,9 @@ pub struct ServerConfig {
     /// How long shutdown waits for in-flight connections to finish
     /// before giving up on them.
     pub drain_timeout: Duration,
+    /// Downstream federation (no downstreams = standalone server, every
+    /// cell executes locally).
+    pub federation: FederationConfig,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +143,7 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             request_timeout: Some(DEFAULT_REQUEST_TIMEOUT),
             drain_timeout: Duration::from_secs(5),
+            federation: FederationConfig::default(),
         }
     }
 }
@@ -139,16 +161,55 @@ pub fn default_jobs() -> usize {
 /// The full behavioural identity of a simulation cell. The optimizer
 /// block is normalized, so configurations that cannot differ in
 /// simulation share a key — the in-memory form of the wire-visible
-/// [`cell_fingerprint`]. Unlike the experiments `Lab` (one budget per
-/// lab), the budget is part of the key: submissions choose their own.
-type CellKey = (MachineConfig, String, u64);
+/// [`cell_fingerprint_for`]. Unlike the experiments `Lab` (one budget
+/// per lab), the budget is part of the key: submissions choose their
+/// own. A cell bound to a shipped program additionally carries the
+/// program's canonical text — the full encoding, not a digest, so a
+/// hash collision can never serve the wrong report.
+type CellKey = (MachineConfig, String, u64, Option<Arc<str>>);
 
-fn cell_key(machine: &MachineConfig, workload: &str, insts: u64) -> CellKey {
+fn cell_key(
+    machine: &MachineConfig,
+    workload: &str,
+    insts: u64,
+    program: Option<&CellProgram>,
+) -> CellKey {
     let normalized = MachineConfig {
         optimizer: machine.optimizer.normalized(),
         ..*machine
     };
-    (normalized, workload.to_string(), insts)
+    (
+        normalized,
+        workload.to_string(),
+        insts,
+        program.map(|cp| Arc::clone(&cp.text)),
+    )
+}
+
+/// A text-authored program bound to a cell (from a scenario's or plan's
+/// `"programs"` block): the assembled image, its canonical encoding,
+/// and the verification policy it was admitted under.
+#[derive(Debug, Clone)]
+pub struct CellProgram {
+    /// The canonical [`asm_text::emit`] rendering — the behavioural
+    /// identity folded into cache keys and wire fingerprints, and the
+    /// text a frontier re-ships when it forwards the cell downstream.
+    pub text: Arc<str>,
+    /// The assembled program the simulation runs.
+    pub program: Arc<Program>,
+    /// The verification policy forwarded along with the program.
+    pub verify: VerifyPolicy,
+}
+
+impl CellProgram {
+    /// Canonicalizes an assembled program for caching and forwarding.
+    pub fn new(program: Arc<Program>, verify: VerifyPolicy) -> CellProgram {
+        CellProgram {
+            text: asm_text::emit(&program).into(),
+            program,
+            verify,
+        }
+    }
 }
 
 /// One requested cell, before deduplication.
@@ -158,8 +219,12 @@ pub struct SweepCell {
     pub label: String,
     /// The machine configuration to simulate.
     pub machine: MachineConfig,
-    /// Table 1 workload short name.
+    /// Workload short name: Table 1, or a shipped program's name when
+    /// `program` is set.
     pub workload: String,
+    /// The shipped program this cell runs, when the submission carried
+    /// one under this cell's workload name.
+    pub program: Option<CellProgram>,
 }
 
 /// How one unique cell was satisfied.
@@ -172,6 +237,8 @@ enum Obtained {
     /// Waited for another request's in-flight simulation of the same
     /// cell.
     Joined,
+    /// Answered by a downstream server of this federated frontier.
+    Forwarded,
 }
 
 /// The outcome of producing one unique cell.
@@ -179,7 +246,21 @@ enum CellOutcome {
     /// The canonical report, and how it was obtained.
     Ready(Arc<String>, Obtained),
     /// The cell failed; `code` is the wire-visible cause.
-    Failed { code: &'static str, message: String },
+    Failed { code: String, message: String },
+}
+
+/// The non-blocking face of the cache/claim state machine, for the
+/// forwarding path (which must never sleep on another request's work
+/// while it holds a whole batch).
+enum TryObtain {
+    /// Served from cache.
+    Hit(Arc<String>),
+    /// Another request owns the in-flight claim; come back via the
+    /// blocking [`SweepEngine::obtain`] after the batch resolves.
+    Busy,
+    /// The claim is now held by the caller, who must resolve it through
+    /// `simulate_claimed`, `publish_forwarded`, or `release_claim`.
+    Claimed,
 }
 
 struct CacheEntry {
@@ -211,6 +292,8 @@ pub struct SweepEngine {
     /// Set when the server begins shutting down; long-running fault
     /// handlers (black holes) also poll it so drain stays bounded.
     draining: AtomicBool,
+    /// Downstream links (empty on a standalone server).
+    federation: Federation,
     #[cfg(any(test, feature = "fault-injection"))]
     faults: Mutex<Option<Arc<fault::FaultPlan>>>,
 }
@@ -238,9 +321,21 @@ impl SweepEngine {
             conns: Mutex::new(0),
             conn_cond: Condvar::new(),
             draining: AtomicBool::new(false),
+            federation: Federation::new(&config.federation),
             #[cfg(any(test, feature = "fault-injection"))]
             faults: Mutex::new(None),
         }
+    }
+
+    /// The downstream federation (empty on a standalone server).
+    pub fn federation(&self) -> &Federation {
+        &self.federation
+    }
+
+    /// Synchronously probes every downstream link (daemon startup,
+    /// tests) and returns the resulting topology snapshot.
+    pub fn probe_downstreams(&self) -> Vec<DownstreamStatus> {
+        self.federation.probe_all()
     }
 
     /// Lifetime count of simulations this engine has run, across all
@@ -269,6 +364,7 @@ impl SweepEngine {
             cache_entries: state.cache.len() as u64,
             in_flight: state.in_flight.len() as u64,
             total_simulations: state.total_simulations,
+            downstreams: self.federation.statuses(),
         }
     }
 
@@ -361,12 +457,15 @@ impl SweepEngine {
         true
     }
 
-    /// Executes one sweep: dedupes the cells, fans them across at most
-    /// `jobs_hint` workers (clamped to the engine's pool), and assembles
+    /// Executes one sweep: dedupes the cells, places them across the
+    /// local worker pool and any healthy downstream links
+    /// (least-outstanding-cells, [`scheduler::place`]), and assembles
     /// results in declaration order. Fails fast — before any simulation —
     /// if a cell names an unknown workload or an invalid configuration.
     /// A cell that *fails during simulation* (panic) degrades to a typed
-    /// [`CellReply::Failed`] while its siblings complete normally.
+    /// [`CellReply::Failed`] while its siblings complete normally; a
+    /// downstream link that fails mid-batch is marked unhealthy and its
+    /// cells are absorbed by the local pool.
     pub fn sweep(
         &self,
         insts: u64,
@@ -379,7 +478,7 @@ impl SweepEngine {
         let cell_to_uniq: Vec<usize> = cells
             .iter()
             .map(|cell| {
-                let key = cell_key(&cell.machine, &cell.workload, insts);
+                let key = cell_key(&cell.machine, &cell.workload, insts, cell.program.as_ref());
                 *uniq_index.entry(key).or_insert_with(|| {
                     uniq.push(cell);
                     uniq.len() - 1
@@ -392,12 +491,19 @@ impl SweepEngine {
         let sessions: Vec<(CellKey, SimSession)> = uniq
             .iter()
             .map(|cell| {
-                SimSession::builder()
-                    .machine(cell.machine)
-                    .workload(cell.workload.clone())
-                    .insts(insts)
+                let builder = SimSession::builder().machine(cell.machine).insts(insts);
+                let builder = match &cell.program {
+                    Some(cp) => builder.program(Arc::clone(&cp.program)),
+                    None => builder.workload(cell.workload.clone()),
+                };
+                builder
                     .build()
-                    .map(|s| (cell_key(&cell.machine, &cell.workload, insts), s))
+                    .map(|s| {
+                        (
+                            cell_key(&cell.machine, &cell.workload, insts, cell.program.as_ref()),
+                            s,
+                        )
+                    })
                     .map_err(|e| WireError {
                         code: "bad-request".to_string(),
                         message: format!("cell {:?}/{}: {e}", cell.label, cell.workload),
@@ -405,24 +511,61 @@ impl SweepEngine {
             })
             .collect::<Result<_, _>>()?;
 
+        // Place each unique cell on a backend: 0 = the local pool,
+        // 1.. = healthy downstream links. Placement balances load only;
+        // results are byte-identical at any topology.
+        let links = self.federation.healthy_links();
+        let assignment = if links.is_empty() {
+            vec![0; sessions.len()]
+        } else {
+            let mut loads = Vec::with_capacity(links.len() + 1);
+            loads.push(self.in_flight_cells() as u64);
+            loads.extend(links.iter().map(|l| l.outstanding()));
+            scheduler::place(sessions.len(), &loads)
+        };
+        let local_cells: Vec<usize> = (0..sessions.len())
+            .filter(|&i| assignment[i] == 0)
+            .collect();
+        let mut per_link: Vec<Vec<usize>> = vec![Vec::new(); links.len()];
+        for (i, &backend) in assignment.iter().enumerate() {
+            if backend > 0 {
+                per_link[backend - 1].push(i);
+            }
+        }
+
         let jobs = jobs_hint
             .map(|h| h.clamp(1, self.jobs as u64) as usize)
             .unwrap_or(self.jobs)
-            .min(sessions.len().max(1));
+            .min(local_cells.len().max(1));
         let next = AtomicUsize::new(0);
         let mut obtained: Vec<Option<CellOutcome>> = (0..sessions.len()).map(|_| None).collect();
-        let done = std::thread::scope(|s| {
+        let sessions_ref = &sessions;
+        let uniq_ref = &uniq;
+        let local_ref = &local_cells;
+        let (done, ds_statuses) = std::thread::scope(|s| {
             let workers: Vec<_> = (0..jobs)
                 .map(|_| {
                     s.spawn(|| {
                         let mut out = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some((key, session)) = sessions.get(i) else {
+                            let Some(&cell) = local_ref.get(i) else {
                                 return out;
                             };
-                            out.push((i, self.obtain(key, session)));
+                            let (key, session) = &sessions_ref[cell];
+                            out.push((cell, self.obtain(key, session)));
                         }
+                    })
+                })
+                .collect();
+            let forwarders: Vec<_> = per_link
+                .into_iter()
+                .zip(links.iter())
+                .filter(|(batch, _)| !batch.is_empty())
+                .map(|(batch, link)| {
+                    let link = Arc::clone(link);
+                    s.spawn(move || {
+                        self.forward_batch(insts, uniq_ref, sessions_ref, &batch, &link)
                     })
                 })
                 .collect();
@@ -430,10 +573,20 @@ impl SweepEngine {
             // panics are already caught inside `obtain`, so this is a
             // second line of defense, not the expected path); the
             // unfilled slots degrade to typed internal errors below.
-            workers
+            // Forwarder claims release on unwind (ClaimSet), so joiners
+            // re-claim instead of deadlocking.
+            let mut done: Vec<(usize, CellOutcome)> = workers
                 .into_iter()
                 .flat_map(|h| h.join().unwrap_or_default())
-                .collect::<Vec<_>>()
+                .collect();
+            let mut ds_statuses: Vec<SweepStatus> = Vec::new();
+            for h in forwarders {
+                if let Ok((out, status)) = h.join() {
+                    done.extend(out);
+                    ds_statuses.extend(status);
+                }
+            }
+            (done, ds_statuses)
         });
         for (i, result) in done {
             obtained[i] = Some(result);
@@ -443,20 +596,37 @@ impl SweepEngine {
         let mut cache_hits = 0u64;
         let mut joined = 0u64;
         let mut errors = 0u64;
+        let mut forwarded = 0u64;
         for entry in obtained.iter() {
             match entry {
                 Some(CellOutcome::Ready(_, Obtained::Simulated)) => simulated += 1,
                 Some(CellOutcome::Ready(_, Obtained::CacheHit)) => cache_hits += 1,
                 Some(CellOutcome::Ready(_, Obtained::Joined)) => joined += 1,
+                Some(CellOutcome::Ready(_, Obtained::Forwarded)) => forwarded += 1,
                 Some(CellOutcome::Failed { .. }) | None => errors += 1,
             }
+        }
+        // Federated accounting: what a downstream did for our forwarded
+        // cells folds into the same counters, so the invariant
+        // `simulated + cache_hits + joined + errors == unique` holds
+        // tier-wide. Downstream *errors* are not added — each already
+        // surfaced as a Failed outcome above.
+        for ds in &ds_statuses {
+            simulated += ds.simulated;
+            cache_hits += ds.cache_hits;
+            joined += ds.joined;
         }
 
         let results: Vec<CellReply> = cells
             .iter()
             .zip(&cell_to_uniq)
             .map(|(cell, &u)| {
-                let fingerprint = cell_fingerprint(&cell.machine, &cell.workload, insts);
+                let fingerprint = cell_fingerprint_for(
+                    &cell.machine,
+                    &cell.workload,
+                    insts,
+                    cell.program.as_ref().map(|cp| cp.program.as_ref()),
+                );
                 match &obtained[u] {
                     Some(CellOutcome::Ready(report, _)) => CellReply::Report(CellResult {
                         label: cell.label.clone(),
@@ -468,7 +638,7 @@ impl SweepEngine {
                         label: cell.label.clone(),
                         workload: cell.workload.clone(),
                         fingerprint,
-                        code: (*code).to_string(),
+                        code: code.clone(),
                         message: message.clone(),
                     }),
                     None => CellReply::Failed(CellError {
@@ -490,6 +660,7 @@ impl SweepEngine {
             cache_hits,
             joined,
             errors,
+            forwarded,
             total_simulations: state.total_simulations,
             cache_entries: state.cache.len() as u64,
         };
@@ -498,6 +669,147 @@ impl SweepEngine {
             status,
             cells: results,
         })
+    }
+
+    /// Forwards one placed batch over a downstream link as an ordinary
+    /// `submit_plan` (shipping any cell programs inline), publishing
+    /// every returned report into the local cache under the batch's
+    /// already-held claims — cache coherence across tiers: on the next
+    /// request a forwarded cell is indistinguishable from a locally
+    /// simulated one. A link failure (retries exhausted, rejection, or
+    /// a short reply stream) marks the link unhealthy and the remaining
+    /// batch is simulated locally under the same claims, so no cell is
+    /// lost or simulated twice.
+    fn forward_batch(
+        &self,
+        insts: u64,
+        uniq: &[&SweepCell],
+        sessions: &[(CellKey, SimSession)],
+        batch: &[usize],
+        link: &Arc<DownstreamLink>,
+    ) -> (Vec<(usize, CellOutcome)>, Option<SweepStatus>) {
+        let mut out: Vec<(usize, CellOutcome)> = Vec::with_capacity(batch.len());
+        let mut claimed: Vec<usize> = Vec::new();
+        let mut deferred: Vec<usize> = Vec::new();
+        // Phase 1 (non-blocking): a frontier cache hit never forwards,
+        // a busy cell waits its turn locally, everything else is
+        // claimed for the downstream batch.
+        for &i in batch {
+            match self.try_obtain(&sessions[i].0) {
+                TryObtain::Hit(report) => {
+                    out.push((i, CellOutcome::Ready(report, Obtained::CacheHit)));
+                }
+                TryObtain::Busy => deferred.push(i),
+                TryObtain::Claimed => claimed.push(i),
+            }
+        }
+
+        let mut ds_status = None;
+        if !claimed.is_empty() {
+            // Panic-safe claim ledger: claims not explicitly resolved
+            // below are released on unwind so Condvar joiners re-claim
+            // instead of deadlocking on cells nobody owns.
+            struct ClaimSet<'a> {
+                engine: &'a SweepEngine,
+                keys: Vec<Option<&'a CellKey>>,
+            }
+            impl<'a> ClaimSet<'a> {
+                fn take(&mut self, j: usize) -> Option<&'a CellKey> {
+                    self.keys.get_mut(j).and_then(Option::take)
+                }
+            }
+            impl Drop for ClaimSet<'_> {
+                fn drop(&mut self) {
+                    for key in self.keys.iter().flatten() {
+                        self.engine.release_claim(key);
+                    }
+                }
+            }
+            let mut claims = ClaimSet {
+                engine: self,
+                keys: claimed.iter().map(|&i| Some(&sessions[i].0)).collect(),
+            };
+
+            let mut plan = Vec::with_capacity(claimed.len());
+            let mut programs: Vec<ProgramSpec> = Vec::new();
+            for &i in &claimed {
+                let cell = uniq[i];
+                if let Some(cp) = &cell.program {
+                    if !programs.iter().any(|p| p.name == cell.workload) {
+                        programs.push(ProgramSpec {
+                            name: cell.workload.clone(),
+                            source: ProgramSource::Inline(cp.text.to_string()),
+                            verify: cp.verify,
+                            program: Some(Arc::clone(&cp.program)),
+                        });
+                    }
+                }
+                plan.push(PlanCell {
+                    label: cell.label.clone(),
+                    machine: cell.machine,
+                    workload: cell.workload.clone(),
+                });
+            }
+
+            link.add_outstanding(claimed.len() as u64);
+            let forwarded = link
+                .client()
+                .submit_plan_with_programs(insts, plan, programs, None)
+                .and_then(|mut sweep| {
+                    let replies = sweep.fetch_reports()?;
+                    Ok((sweep.status(), replies))
+                });
+            link.sub_outstanding(claimed.len() as u64);
+
+            match forwarded {
+                Ok((status, replies)) if replies.len() == claimed.len() => {
+                    link.note_forwarded(claimed.len() as u64);
+                    ds_status = Some(status);
+                    for (j, reply) in replies.into_iter().enumerate() {
+                        let i = claimed[j];
+                        let Some(key) = claims.take(j) else { continue };
+                        match reply {
+                            CellReply::Report(r) => {
+                                let report = Arc::new(r.report);
+                                self.publish_forwarded(key, &report);
+                                out.push((i, CellOutcome::Ready(report, Obtained::Forwarded)));
+                            }
+                            CellReply::Failed(e) => {
+                                // The downstream's typed cell_error
+                                // occupies this cell's slot, exactly as
+                                // a local panic would.
+                                self.release_claim(key);
+                                out.push((
+                                    i,
+                                    CellOutcome::Failed {
+                                        code: e.code,
+                                        message: e.message,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    // Link exhausted: drain it and absorb the batch
+                    // locally under the claims we already hold.
+                    link.mark_unhealthy();
+                    for (j, &i) in claimed.iter().enumerate() {
+                        let Some(key) = claims.take(j) else { continue };
+                        out.push((i, self.simulate_claimed(key, &sessions[i].1)));
+                    }
+                }
+            }
+        }
+
+        // Phase 2: cells that were in flight elsewhere when the batch
+        // was placed — every claim of ours is resolved by now, so
+        // blocking on their owners cannot deadlock.
+        for &i in &deferred {
+            let (key, session) = &sessions[i];
+            out.push((i, self.obtain(key, session)));
+        }
+        (out, ds_status)
     }
 
     /// Produces one cell's canonical report: from cache, by joining an
@@ -533,9 +845,36 @@ impl SweepEngine {
             break;
         }
         drop(state);
+        self.simulate_claimed(key, session)
+    }
 
-        // If the simulation panics, release the claim so joiners wake and
-        // re-claim instead of deadlocking on a cell nobody owns.
+    /// One non-blocking step of [`obtain`](Self::obtain): a cache hit
+    /// returns the report, an in-flight cell reports busy (the caller
+    /// decides whether to wait), otherwise the cell is claimed and the
+    /// caller *must* resolve the claim — by
+    /// [`simulate_claimed`](Self::simulate_claimed),
+    /// [`publish_forwarded`](Self::publish_forwarded), or
+    /// [`release_claim`](Self::release_claim).
+    fn try_obtain(&self, key: &CellKey) -> TryObtain {
+        let mut state = self.lock();
+        let s = &mut *state;
+        if let Some(entry) = s.cache.get_mut(key) {
+            s.tick += 1;
+            entry.tick = s.tick;
+            return TryObtain::Hit(Arc::clone(&entry.report));
+        }
+        if s.in_flight.contains(key) {
+            return TryObtain::Busy;
+        }
+        s.in_flight.insert(key.clone());
+        TryObtain::Claimed
+    }
+
+    /// Runs a cell the caller already holds the in-flight claim for,
+    /// publishing the report (or releasing the claim on panic, so
+    /// joiners wake and re-claim instead of deadlocking on a cell
+    /// nobody owns).
+    fn simulate_claimed(&self, key: &CellKey, session: &SimSession) -> CellOutcome {
         struct Claim<'a> {
             engine: &'a SweepEngine,
             key: &'a CellKey,
@@ -544,8 +883,7 @@ impl SweepEngine {
         impl Drop for Claim<'_> {
             fn drop(&mut self) {
                 if !self.published {
-                    self.engine.lock().in_flight.remove(self.key);
-                    self.engine.cond.notify_all();
+                    self.engine.release_claim(self.key);
                 }
             }
         }
@@ -575,7 +913,7 @@ impl SweepEngine {
                 // removed and joiners are notified, so they re-claim the
                 // cell (and surface their own error if it fails again).
                 return CellOutcome::Failed {
-                    code: "panic",
+                    code: "panic".to_string(),
                     message: panic_message(payload.as_ref()),
                 };
             }
@@ -583,6 +921,28 @@ impl SweepEngine {
 
         let mut state = self.lock();
         state.total_simulations += 1;
+        self.publish_locked(&mut state, key, &report);
+        claim.published = true;
+        drop(state);
+        self.cond.notify_all();
+        CellOutcome::Ready(report, Obtained::Simulated)
+    }
+
+    /// Installs a report produced *elsewhere* (a downstream server)
+    /// under a claim this frontier holds. Identical to the local
+    /// publish except the engine's own simulation counter does not
+    /// move — the downstream's `sweep_status` accounts for the work.
+    fn publish_forwarded(&self, key: &CellKey, report: &Arc<String>) {
+        let mut state = self.lock();
+        self.publish_locked(&mut state, key, report);
+        drop(state);
+        self.cond.notify_all();
+    }
+
+    /// Caches `report` under `key` (tick-stamped, capacity-gated LRU)
+    /// and releases the in-flight claim. Callers notify the Condvar
+    /// after unlocking.
+    fn publish_locked(&self, state: &mut EngineState, key: &CellKey, report: &Arc<String>) {
         state.tick += 1;
         let tick = state.tick;
         if self.cache_capacity > 0 {
@@ -601,16 +961,19 @@ impl SweepEngine {
             state.cache.insert(
                 key.clone(),
                 CacheEntry {
-                    report: Arc::clone(&report),
+                    report: Arc::clone(report),
                     tick,
                 },
             );
         }
         state.in_flight.remove(key);
-        claim.published = true;
-        drop(state);
+    }
+
+    /// Releases an unresolved in-flight claim and wakes joiners so they
+    /// re-claim the cell.
+    fn release_claim(&self, key: &CellKey) {
+        self.lock().in_flight.remove(key);
         self.cond.notify_all();
-        CellOutcome::Ready(report, Obtained::Simulated)
     }
 }
 
@@ -636,24 +999,55 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Builds the name → [`CellProgram`] table for a submission's inline
+/// programs. Every spec must arrive assembled (the protocol layer
+/// assembles inline text on parse); names must be unique and must not
+/// shadow a Table 1 workload — the same rule at every federation tier,
+/// so a frontier never forwards a program a downstream would refuse.
+fn program_table(programs: &[ProgramSpec]) -> Result<Vec<(String, CellProgram)>, WireError> {
+    let bad = |message: String| WireError {
+        code: "bad-request".to_string(),
+        message,
+    };
+    let mut table: Vec<(String, CellProgram)> = Vec::with_capacity(programs.len());
+    for spec in programs {
+        if contopt_sim::workloads::build(&spec.name).is_some() {
+            return Err(bad(format!(
+                "program {:?} shadows a Table 1 workload; pick a distinct name",
+                spec.name
+            )));
+        }
+        if table.iter().any(|(name, _)| *name == spec.name) {
+            return Err(bad(format!("duplicate program {:?}", spec.name)));
+        }
+        let Some(program) = &spec.program else {
+            return Err(bad(format!(
+                "program {:?} is not assembled; wire submissions carry inline program text",
+                spec.name
+            )));
+        };
+        table.push((
+            spec.name.clone(),
+            CellProgram::new(Arc::clone(program), spec.verify),
+        ));
+    }
+    Ok(table)
+}
+
 /// Expands a submission message into the flat cell list the engine runs.
 /// Returns `(insts, cells, jobs_hint)`.
 fn expand_request(msg: Message) -> Result<(u64, Vec<SweepCell>, Option<u64>), WireError> {
     match msg {
         Message::SubmitScenario { jobs, scenario } => {
-            // The result cache keys cells by workload *name*; a scenario
-            // shipping its own programs would alias names across clients.
-            if !scenario.programs.is_empty() {
-                return Err(WireError {
-                    code: "bad-request".to_string(),
-                    message: "scenarios with \"programs\" blocks cannot be submitted to the \
-                              sweep service; run them locally with contopt-experiments"
-                        .to_string(),
-                });
-            }
+            // Scenario programs arrive assembled and verified (the
+            // protocol layer enforces inline text and runs the
+            // verifier); cells carrying one are cache-keyed by the
+            // canonical program text, so client-chosen names can never
+            // alias each other or Table 1 workloads.
+            let table = program_table(&scenario.programs)?;
             let mut cells = Vec::new();
             for cfg in &scenario.configs {
-                let workloads = cfg.resolved_workloads().map_err(|e| WireError {
+                let workloads = scenario.workloads_for(cfg).map_err(|e| WireError {
                     code: "bad-request".to_string(),
                     message: e.to_string(),
                 })?;
@@ -661,24 +1055,40 @@ fn expand_request(msg: Message) -> Result<(u64, Vec<SweepCell>, Option<u64>), Wi
                     cells.push(SweepCell {
                         label: cfg.label.clone(),
                         machine: cfg.machine,
+                        program: table
+                            .iter()
+                            .find(|(name, _)| *name == w.name)
+                            .map(|(_, cp)| cp.clone()),
                         workload: w.name.to_string(),
                     });
                 }
             }
             Ok((scenario.insts, cells, jobs))
         }
-        Message::SubmitPlan { jobs, insts, cells } => Ok((
-            insts,
-            cells
-                .into_iter()
-                .map(|c| SweepCell {
-                    label: c.label,
-                    machine: c.machine,
-                    workload: c.workload,
-                })
-                .collect(),
+        Message::SubmitPlan {
             jobs,
-        )),
+            insts,
+            cells,
+            programs,
+        } => {
+            let table = program_table(&programs)?;
+            Ok((
+                insts,
+                cells
+                    .into_iter()
+                    .map(|c| SweepCell {
+                        label: c.label,
+                        machine: c.machine,
+                        program: table
+                            .iter()
+                            .find(|(name, _)| *name == c.workload)
+                            .map(|(_, cp)| cp.clone()),
+                        workload: c.workload,
+                    })
+                    .collect(),
+                jobs,
+            ))
+        }
         other => Err(WireError {
             code: "bad-request".to_string(),
             message: format!(

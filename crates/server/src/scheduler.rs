@@ -1,0 +1,73 @@
+//! Least-outstanding-cells placement across sweep backends.
+//!
+//! The frontier engine places each unique cell of a request onto one
+//! *backend*: index 0 is by convention the local worker pool, indices
+//! 1.. are healthy downstream links ([`crate::federation`]). Placement
+//! is greedy and deterministic — each cell goes to the backend with the
+//! fewest cells outstanding (its starting load plus what this request
+//! has already assigned to it), ties broken toward the lowest index, so
+//! the local pool wins an empty-cluster tie and a given (loads, n)
+//! input always yields the same assignment.
+//!
+//! Placement never affects *results*: reports are opaque canonical JSON
+//! keyed by behavioural fingerprint, so any topology produces
+//! byte-identical sweeps — the scheduler only spreads the work.
+
+/// Assigns `cells` cells to backends with the given starting `loads`
+/// (index 0 = local). Returns one backend index per cell. With zero or
+/// one backend every cell lands on backend 0.
+pub fn place(cells: usize, loads: &[u64]) -> Vec<usize> {
+    if loads.len() <= 1 {
+        return vec![0; cells];
+    }
+    let mut assigned = loads.to_vec();
+    (0..cells)
+        .map(|_| {
+            let mut best = 0;
+            for (i, &load) in assigned.iter().enumerate() {
+                if load < assigned[best] {
+                    best = i;
+                }
+            }
+            assigned[best] += 1;
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_local_without_downstreams() {
+        assert_eq!(place(4, &[]), vec![0, 0, 0, 0]);
+        assert_eq!(place(3, &[7]), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn idle_backends_round_robin_from_local() {
+        // All loads equal: ties break toward the lowest index, so the
+        // assignment cycles local, ds1, ds2, local, …
+        assert_eq!(place(4, &[0, 0, 0]), vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn loaded_backends_receive_less() {
+        // Backend 1 starts 3 cells behind; it receives nothing until
+        // the others catch up.
+        assert_eq!(place(6, &[0, 3, 0]), vec![0, 2, 0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        assert_eq!(place(17, &[2, 0, 5]), place(17, &[2, 0, 5]));
+    }
+
+    #[test]
+    fn every_cell_is_placed_in_range() {
+        let assignment = place(100, &[1, 4, 0, 2]);
+        assert_eq!(assignment.len(), 100);
+        assert!(assignment.iter().all(|&b| b < 4));
+    }
+}

@@ -9,6 +9,9 @@
 //! `cargo test` compiles this file to an empty crate.
 
 #![cfg(feature = "fault-injection")]
+// Test scaffolding may panic freely; the crate-level deny on
+// unwrap/expect protects the service itself, not its test harness.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use contopt_client::protocol::{CellReply, CellResult};
 use contopt_client::{Client, ClientConfig, RetryPolicy};
@@ -58,6 +61,31 @@ fn default_config() -> ServerConfig {
         cache_capacity: 1024,
         request_timeout: Some(Duration::from_secs(2)),
         drain_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    }
+}
+
+/// A frontier whose downstream links fail fast: a finite I/O deadline
+/// (long enough for a debug-build downstream to actually simulate its
+/// batch, short enough that a black-holed link degrades in test time)
+/// and a tight retry schedule.
+fn frontier_config(downstreams: Vec<String>) -> ServerConfig {
+    ServerConfig {
+        federation: contopt_server::federation::FederationConfig {
+            downstreams,
+            client: ClientConfig {
+                connect_timeout: Some(Duration::from_secs(5)),
+                io_timeout: Some(Duration::from_secs(3)),
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    base_delay: Duration::from_millis(10),
+                    max_delay: Duration::from_millis(80),
+                    seed: 13,
+                },
+            },
+            ..contopt_server::federation::FederationConfig::default()
+        },
+        ..default_config()
     }
 }
 
@@ -267,4 +295,126 @@ fn delays_within_the_deadline_are_absorbed() {
     assert_eq!(cells.len(), 4);
     assert!(cells.iter().all(|c| c.report().is_some()));
     assert_eq!(sweep.status().errors, 0);
+}
+
+/// Three-node chaos: a frontier over two downstreams, one of which
+/// black-holes every connection (armed through the same `CONTOPT_FAULTS`
+/// grammar the daemon reads). The sweep still completes — the dead
+/// link's cells are absorbed locally — with zero lost and zero
+/// duplicated simulations anywhere in the topology, and the dead link
+/// is reported unhealthy afterwards.
+#[test]
+fn blackholed_downstream_drains_and_the_sweep_completes() {
+    // Arm the black hole exactly as an operator would: via the
+    // environment grammar. The budget is generous because *every*
+    // connection (forwards, retries, background re-probe pings) burns
+    // one black-hole charge.
+    std::env::set_var("CONTOPT_FAULTS", "blackhole*64");
+    let plan = FaultPlan::from_env()
+        .expect("CONTOPT_FAULTS parses")
+        .expect("CONTOPT_FAULTS is set");
+    std::env::remove_var("CONTOPT_FAULTS");
+
+    let healthy = faulty_server(FaultPlan::new(), default_config());
+    let dead = faulty_server(
+        plan,
+        ServerConfig {
+            request_timeout: Some(Duration::from_millis(200)),
+            ..default_config()
+        },
+    );
+    let frontier = Server::bind(
+        "127.0.0.1:0",
+        frontier_config(vec![healthy.addr().to_string(), dead.addr().to_string()]),
+    )
+    .expect("bind frontier")
+    .spawn()
+    .expect("spawn frontier");
+
+    let client = fast_client(frontier.addr().to_string(), 1, Duration::from_secs(60));
+    let sc = smoke();
+    let mut sweep = client.submit_scenario(&sc, Some(2)).expect("submit");
+    let status = sweep.status();
+    let cells = sweep.fetch_reports().expect("fetch");
+
+    assert_eq!(cells.len(), 4, "no cell is lost to the dead link");
+    assert!(cells.iter().all(|c| c.report().is_some()));
+    assert_eq!(status.errors, 0, "{status:?}");
+    assert_eq!(
+        status.simulated + status.cache_hits + status.joined + status.errors,
+        status.unique,
+        "accounting balances through the failure: {status:?}"
+    );
+    assert_eq!(
+        dead.engine().total_simulations(),
+        0,
+        "a black hole swallows requests before the engine"
+    );
+    assert_eq!(
+        frontier.engine().total_simulations() + healthy.engine().total_simulations(),
+        4,
+        "zero duplicate simulations across the topology: {status:?}"
+    );
+
+    // The dead link drained: the frontier reports it unhealthy.
+    let ping = client.ping().expect("ping frontier");
+    let dead_status = ping
+        .downstreams
+        .iter()
+        .find(|ds| ds.address == dead.addr().to_string())
+        .expect("dead link is in the topology");
+    assert!(!dead_status.healthy, "the dead link must be draining");
+}
+
+/// A downstream that kills the forward connection mid-stream (after the
+/// status frame and the first cell of its two-cell batch) is recovered
+/// by the link's own retry: the second attempt is served from the
+/// downstream's cache, so nothing is lost and nothing simulates twice.
+#[test]
+fn downstream_killed_mid_stream_loses_and_duplicates_nothing() {
+    let flaky = faulty_server(FaultPlan::new().drop_after(2, 1), default_config());
+    let frontier = Server::bind(
+        "127.0.0.1:0",
+        frontier_config(vec![flaky.addr().to_string()]),
+    )
+    .expect("bind frontier")
+    .spawn()
+    .expect("spawn frontier");
+
+    let client = fast_client(frontier.addr().to_string(), 1, Duration::from_secs(60));
+    let sc = smoke();
+    let mut sweep = client.submit_scenario(&sc, Some(2)).expect("submit");
+    let status = sweep.status();
+    let cells = sweep.fetch_reports().expect("fetch");
+
+    assert_eq!(cells.len(), 4);
+    assert!(cells.iter().all(|c| c.report().is_some()));
+    assert_eq!(status.errors, 0, "{status:?}");
+    assert_eq!(
+        status.simulated + status.cache_hits + status.joined + status.errors,
+        status.unique,
+        "accounting balances through the drop: {status:?}"
+    );
+    assert_eq!(
+        frontier.engine().total_simulations() + flaky.engine().total_simulations(),
+        4,
+        "the dropped batch re-cost nothing: {status:?}"
+    );
+
+    // The recovered bytes are the simulated bytes: byte-identical to
+    // the goldens, as if no connection had ever died.
+    let goldens = repo_root().join("goldens");
+    let policy = TolerancePolicy::exact();
+    for cell in cells.iter().filter_map(CellReply::report) {
+        let drift = check_cell(
+            &goldens,
+            &sc.name,
+            &cell.label,
+            &cell.workload,
+            &cell.report,
+            &policy,
+        )
+        .expect("golden readable");
+        assert!(drift.is_none(), "recovered report drifted: {drift:?}");
+    }
 }

@@ -58,6 +58,18 @@ fn reports(cells: Vec<CellReply>) -> Vec<CellResult> {
         .collect()
 }
 
+/// The tier-wide accounting invariant: every unique cell was simulated
+/// (here or downstream), served from a cache, joined, or failed —
+/// nothing double-counted, nothing dropped. Holds at every federation
+/// tier; `forwarded` tracks placement, not an outcome class.
+fn assert_accounted(status: &contopt_client::protocol::SweepStatus) {
+    assert_eq!(
+        status.simulated + status.cache_hits + status.joined + status.errors,
+        status.unique,
+        "sweep accounting must be exhaustive: {status:?}"
+    );
+}
+
 #[test]
 fn remote_reports_byte_match_checked_in_goldens() {
     let server = spawn_server(2);
@@ -69,6 +81,8 @@ fn remote_reports_byte_match_checked_in_goldens() {
     assert_eq!(status.results, 4, "smoke = 2 configs x 2 workloads");
     assert_eq!(status.unique, 4);
     assert_eq!(status.errors, 0);
+    assert_eq!(status.forwarded, 0, "standalone server forwards nothing");
+    assert_accounted(&status);
     let cells = reports(sweep.fetch_reports().expect("fetch"));
     assert_eq!(cells.len(), 4);
 
@@ -107,6 +121,7 @@ fn resubmission_is_served_entirely_from_cache() {
     let s1 = first.status();
     assert_eq!(s1.simulated, s1.unique, "cold cache: everything simulates");
     assert_eq!(s1.cache_hits, 0);
+    assert_accounted(&s1);
     let baseline_sims = engine.total_simulations();
     assert_eq!(baseline_sims, s1.unique);
     let first_reports = reports(first.fetch_reports().expect("fetch"));
@@ -115,6 +130,7 @@ fn resubmission_is_served_entirely_from_cache() {
     let s2 = second.status();
     assert_eq!(s2.simulated, 0, "warm cache: nothing simulates");
     assert_eq!(s2.cache_hits, s2.unique, "every unique cell is a cache hit");
+    assert_accounted(&s2);
     assert_eq!(
         engine.total_simulations(),
         baseline_sims,
@@ -176,7 +192,7 @@ fn concurrent_overlapping_sweeps_dedupe_by_fingerprint() {
     // simulated here, found in cache, joined from the other sweep, or
     // (never, in this test) failed.
     for s in [&status_a, &status_b] {
-        assert_eq!(s.simulated + s.cache_hits + s.joined + s.errors, s.unique);
+        assert_accounted(s);
         assert_eq!(s.errors, 0);
     }
     // The dedup guarantee: 4 unique fingerprints across both sweeps,
@@ -235,6 +251,10 @@ fn ping_answers_with_a_live_status_snapshot() {
     assert_eq!(status.cache_capacity, 1024);
     assert_eq!(status.cache_entries, 0);
     assert_eq!(status.total_simulations, 0);
+    assert!(
+        status.downstreams.is_empty(),
+        "a standalone server reports no downstream topology"
+    );
 
     // After a sweep the snapshot moves: the health check reflects the
     // live engine, not a static banner.
@@ -259,6 +279,7 @@ fn engine_cache_is_bounded_lru() {
         label: "c".to_string(),
         machine: base,
         workload: workload.to_string(),
+        program: None,
     };
 
     for w in ["twf", "untst", "mcf"] {
@@ -275,4 +296,64 @@ fn engine_cache_is_bounded_lru() {
     let r = engine.sweep(1000, &[cell("twf")], None).expect("sweep");
     assert_eq!(r.status.simulated, 1);
     assert_eq!(engine.total_simulations(), 4);
+}
+
+#[test]
+fn programs_bearing_scenarios_sweep_and_cache_over_the_wire() {
+    // PR 8 rejected any scenario shipping a "programs" block; the cell
+    // fingerprint now covers the assembled program bytes, so
+    // text-authored kernels submit like any Table 1 workload.
+    let server = spawn_server(2);
+    let engine = server.engine();
+    let client = Client::new(server.addr().to_string());
+    let sc = Scenario::load(repo_root().join("scenarios/asm_smoke.json"))
+        .expect("checked-in asm_smoke scenario");
+    assert!(
+        !sc.programs.is_empty(),
+        "asm_smoke must exercise the programs path"
+    );
+
+    let mut sweep = client.submit_scenario(&sc, None).expect("submit");
+    let status = sweep.status();
+    assert_eq!(status.errors, 0);
+    assert_eq!(status.simulated, status.unique, "cold cache");
+    assert_accounted(&status);
+    let cells = reports(sweep.fetch_reports().expect("fetch"));
+
+    // The remote reports byte-match the locally recorded goldens.
+    let goldens = repo_root().join("goldens");
+    let policy = TolerancePolicy::exact();
+    for cell in &cells {
+        let drift = check_cell(
+            &goldens,
+            &sc.name,
+            &cell.label,
+            &cell.workload,
+            &cell.report,
+            &policy,
+        )
+        .expect("golden readable");
+        assert!(
+            drift.is_none(),
+            "remote report for {}/{} drifted from the checked-in golden: {:?}",
+            cell.label,
+            cell.workload,
+            drift
+        );
+    }
+
+    // Resubmitting re-hits the fingerprint cache: the program bytes key
+    // the cell, so an identical kernel costs zero extra simulations.
+    let baseline = engine.total_simulations();
+    let mut again = client.submit_scenario(&sc, None).expect("resubmit");
+    let s2 = again.status();
+    assert_eq!(s2.simulated, 0, "warm cache: nothing simulates");
+    assert_eq!(s2.cache_hits, s2.unique);
+    assert_accounted(&s2);
+    assert_eq!(engine.total_simulations(), baseline);
+    let again_cells = reports(again.fetch_reports().expect("fetch again"));
+    for (a, b) in cells.iter().zip(&again_cells) {
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.report, b.report);
+    }
 }

@@ -121,7 +121,9 @@ impl VerifyPolicy {
         }
     }
 
-    fn parse(s: &str) -> Option<VerifyPolicy> {
+    /// Parses the JSON spelling (`"allow-warnings"` / `"clean"` /
+    /// `"skip"`); `None` for anything else.
+    pub fn parse(s: &str) -> Option<VerifyPolicy> {
         match s {
             "allow-warnings" => Some(VerifyPolicy::AllowWarnings),
             "clean" => Some(VerifyPolicy::Clean),
@@ -180,6 +182,62 @@ impl ProgramSpec {
             }
             (ProgramSource::File(_), Some(p)) => Some(analysis::verify(p)),
             (ProgramSource::File(_), None) => None,
+        }
+    }
+
+    /// Assembles an inline source in place (a no-op when already
+    /// assembled). A `"file"` source cannot be resolved here — contexts
+    /// without a base directory, like wire submissions, must receive
+    /// inlined text (see [`Scenario::with_inlined_programs`]).
+    pub fn assemble_inline(&mut self) -> Result<(), ScenarioError> {
+        if self.program.is_some() {
+            return Ok(());
+        }
+        match &self.source {
+            ProgramSource::Inline(text) => {
+                self.program = Some(assemble(&self.name, text)?);
+                Ok(())
+            }
+            ProgramSource::File(_) => Err(ScenarioError::Program {
+                name: self.name.clone(),
+                detail: "a \"file\" program cannot be assembled without a base directory; \
+                         inline its text first"
+                    .into(),
+            }),
+        }
+    }
+
+    /// Enforces this program's [`VerifyPolicy`] against its static
+    /// verification report: error-severity findings always fail, and a
+    /// [`VerifyPolicy::Clean`] program fails on warnings too. `Ok` under
+    /// [`VerifyPolicy::Skip`] or when the program is not assembled yet
+    /// (nothing to check).
+    pub fn verify_under_policy(&self) -> Result<(), ScenarioError> {
+        if self.verify == VerifyPolicy::Skip {
+            return Ok(());
+        }
+        let Some(report) = self.verify_report() else {
+            return Ok(());
+        };
+        let first: Option<String> =
+            report
+                .errors
+                .first()
+                .map(|e| e.to_string())
+                .or_else(|| match self.verify {
+                    VerifyPolicy::Clean => report.warnings.first().map(|w| w.to_string()),
+                    _ => None,
+                });
+        match first {
+            Some(first) => Err(ScenarioError::ProgramVerification {
+                name: self.name.clone(),
+                detail: format!(
+                    "{first} ({} error(s), {} warning(s))",
+                    report.errors.len(),
+                    report.warnings.len()
+                ),
+            }),
+            None => Ok(()),
         }
     }
 
@@ -451,33 +509,30 @@ impl Scenario {
     /// directory) cannot be checked and are skipped.
     pub fn verify_programs(&self) -> Result<(), ScenarioError> {
         for spec in &self.programs {
-            if spec.verify == VerifyPolicy::Skip {
-                continue;
-            }
-            let Some(report) = spec.verify_report() else {
-                continue;
-            };
-            let first: Option<String> =
-                report
-                    .errors
-                    .first()
-                    .map(|e| e.to_string())
-                    .or_else(|| match spec.verify {
-                        VerifyPolicy::Clean => report.warnings.first().map(|w| w.to_string()),
-                        _ => None,
-                    });
-            if let Some(first) = first {
-                return Err(ScenarioError::ProgramVerification {
-                    name: spec.name.clone(),
-                    detail: format!(
-                        "{first} ({} error(s), {} warning(s))",
-                        report.errors.len(),
-                        report.warnings.len()
-                    ),
-                });
-            }
+            spec.verify_under_policy()?;
         }
         Ok(())
+    }
+
+    /// This scenario with every `"file"`-sourced program converted to an
+    /// inline source carrying the canonical [`asm_text::emit`] rendering
+    /// of its assembled program — the self-contained form wire
+    /// submissions need (a file path relative to the scenario is
+    /// meaningless on another host). Fails if a `"file"` program was
+    /// never assembled ([`parse`](Self::parse) cannot resolve one;
+    /// [`load`](Self::load) can).
+    pub fn with_inlined_programs(&self) -> Result<Scenario, ScenarioError> {
+        let mut sc = self.clone();
+        for spec in &mut sc.programs {
+            if let ProgramSource::File(_) = &spec.source {
+                let program = spec.program.clone().ok_or_else(|| ScenarioError::Program {
+                    name: spec.name.clone(),
+                    detail: "not assembled (a \"file\" program needs Scenario::load)".into(),
+                })?;
+                spec.source = ProgramSource::Inline(asm_text::emit(&program));
+            }
+        }
+        Ok(sc)
     }
 
     /// The workloads one configuration runs on, in declaration order:
@@ -669,7 +724,12 @@ impl ToJson for AblationSpec {
 }
 
 impl ProgramSpec {
-    fn from_json(doc: &JsonValue, at: &str) -> Result<ProgramSpec, ScenarioError> {
+    /// Parses one `"programs"` entry (`at` names the entry in
+    /// diagnostics, e.g. `programs[0]`). The spec comes back unassembled;
+    /// callers that need a runnable program follow up with
+    /// [`assemble_inline`](Self::assemble_inline) or
+    /// [`Scenario::assemble_programs`].
+    pub fn from_json(doc: &JsonValue, at: &str) -> Result<ProgramSpec, ScenarioError> {
         let fields = doc.as_object().ok_or(expected(at, "an object"))?;
         let mut name = None;
         let mut source = None;
